@@ -1,0 +1,144 @@
+//! Bubble-up (Mars et al., MICRO'11): an empirically measured per-application
+//! sensitivity curve.
+//!
+//! The original methodology co-runs the application of interest against a
+//! tunable "bubble" of memory pressure, recording its performance at each
+//! bubble size. Predictions then interpolate the curve at the expected
+//! pressure. Accuracy is high, but *each application* needs its own set of
+//! co-run measurements — the post-silicon-only property the PCCS paper
+//! contrasts against.
+
+use pccs_core::SlowdownModel;
+use serde::{Deserialize, Serialize};
+
+/// A per-application sensitivity curve measured with a pressure "bubble".
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BubbleUp {
+    name: String,
+    /// `(external pressure GB/s, relative speed %)`, ascending pressure.
+    curve: Vec<(f64, f64)>,
+}
+
+impl BubbleUp {
+    /// Wraps a measured sensitivity curve.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two points are given, pressures are not
+    /// strictly increasing, or a relative speed is outside `(0, 102]`.
+    pub fn from_curve(name: impl Into<String>, curve: Vec<(f64, f64)>) -> Self {
+        assert!(
+            curve.len() >= 2,
+            "a sensitivity curve needs at least two points"
+        );
+        assert!(
+            curve.windows(2).all(|w| w[1].0 > w[0].0),
+            "pressure axis must be strictly increasing"
+        );
+        assert!(
+            curve.iter().all(|&(_, rs)| rs > 0.0 && rs <= 102.0),
+            "relative speeds must be in (0, 102]"
+        );
+        Self {
+            name: name.into(),
+            curve,
+        }
+    }
+
+    /// The application this curve belongs to.
+    pub fn application(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of co-run measurements the curve cost.
+    pub fn measurement_count(&self) -> usize {
+        self.curve.len()
+    }
+
+    /// Piecewise-linear interpolation of the curve at `external_gbps`,
+    /// clamped to the measured range.
+    pub fn interpolate(&self, external_gbps: f64) -> f64 {
+        let first = self.curve[0];
+        let last = *self.curve.last().expect("non-empty");
+        if external_gbps <= first.0 {
+            return first.1;
+        }
+        if external_gbps >= last.0 {
+            return last.1;
+        }
+        for w in self.curve.windows(2) {
+            let (x0, y0) = w[0];
+            let (x1, y1) = w[1];
+            if external_gbps <= x1 {
+                let t = (external_gbps - x0) / (x1 - x0);
+                return y0 + t * (y1 - y0);
+            }
+        }
+        last.1
+    }
+}
+
+impl SlowdownModel for BubbleUp {
+    fn name(&self) -> &'static str {
+        "Bubble-up"
+    }
+
+    /// The curve already encodes the application, so the demand argument is
+    /// ignored — Bubble-up is application-specific by construction.
+    fn relative_speed_pct(&self, _demand_gbps: f64, external_gbps: f64) -> f64 {
+        self.interpolate(external_gbps).clamp(0.0, 100.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn curve() -> BubbleUp {
+        BubbleUp::from_curve(
+            "streamcluster",
+            vec![(10.0, 100.0), (50.0, 80.0), (90.0, 60.0)],
+        )
+    }
+
+    #[test]
+    fn interpolates_between_points() {
+        let b = curve();
+        assert!((b.interpolate(30.0) - 90.0).abs() < 1e-9);
+        assert!((b.interpolate(70.0) - 70.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clamps_outside_measured_range() {
+        let b = curve();
+        assert_eq!(b.interpolate(0.0), 100.0);
+        assert_eq!(b.interpolate(500.0), 60.0);
+    }
+
+    #[test]
+    fn exact_points_reproduce() {
+        let b = curve();
+        assert_eq!(b.interpolate(50.0), 80.0);
+        assert_eq!(b.measurement_count(), 3);
+        assert_eq!(b.application(), "streamcluster");
+    }
+
+    #[test]
+    fn implements_slowdown_model() {
+        let b = curve();
+        assert!((b.relative_speed_pct(999.0, 50.0) - 80.0).abs() < 1e-9);
+        assert_eq!(b.name(), "Bubble-up");
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn rejects_unsorted_curve() {
+        BubbleUp::from_curve("x", vec![(10.0, 90.0), (5.0, 95.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn rejects_single_point() {
+        BubbleUp::from_curve("x", vec![(10.0, 90.0)]);
+    }
+}

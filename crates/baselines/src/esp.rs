@@ -1,0 +1,193 @@
+//! ESP-style interference prediction (Mishra et al., ICAC'17): a black-box
+//! regression trained on measured co-run samples.
+//!
+//! The original trains per-application regressors over rich feature sets;
+//! this reproduction uses ordinary least squares over the features the
+//! slowdown problem exposes — the kernel's demand `x`, the pressure `y`,
+//! their product and the total `x + y` — which is enough to reproduce the
+//! paper's qualitative placement: better than a naive analytical model,
+//! worse than curve-per-app empirical ones, and still requiring co-run
+//! training data.
+
+use pccs_core::SlowdownModel;
+use serde::{Deserialize, Serialize};
+
+/// One training sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CorunSample {
+    /// Kernel standalone demand (GB/s).
+    pub demand_gbps: f64,
+    /// Total external demand (GB/s).
+    pub external_gbps: f64,
+    /// Measured relative speed (%).
+    pub rs_pct: f64,
+}
+
+/// A least-squares regression over co-run samples.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EspRegression {
+    /// Coefficients for `[1, x, y, x·y, x+y]`.
+    coeffs: [f64; 5],
+    samples: usize,
+}
+
+fn features(x: f64, y: f64) -> [f64; 5] {
+    [1.0, x, y, x * y * 1e-2, x + y]
+}
+
+impl EspRegression {
+    /// Fits the regression to training samples via the normal equations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than 5 samples are provided (underdetermined) or the
+    /// normal matrix is singular (degenerate training set, e.g. all samples
+    /// identical).
+    pub fn fit(samples: &[CorunSample]) -> Self {
+        assert!(
+            samples.len() >= 5,
+            "need at least 5 samples to fit 5 coefficients"
+        );
+        const N: usize = 5;
+        let mut ata = [[0.0f64; N]; N];
+        let mut atb = [0.0f64; N];
+        for s in samples {
+            let f = features(s.demand_gbps, s.external_gbps);
+            for i in 0..N {
+                for j in 0..N {
+                    ata[i][j] += f[i] * f[j];
+                }
+                atb[i] += f[i] * s.rs_pct;
+            }
+        }
+        // Ridge stabilization keeps nearly collinear features solvable.
+        for (i, row) in ata.iter_mut().enumerate() {
+            row[i] += 1e-6;
+        }
+        let coeffs = solve5(ata, atb).expect("normal matrix must be non-singular");
+        Self {
+            coeffs,
+            samples: samples.len(),
+        }
+    }
+
+    /// Number of co-run measurements used for training.
+    pub fn measurement_count(&self) -> usize {
+        self.samples
+    }
+
+    /// Raw (unclamped) regression output.
+    pub fn raw_predict(&self, demand_gbps: f64, external_gbps: f64) -> f64 {
+        let f = features(demand_gbps, external_gbps);
+        f.iter().zip(&self.coeffs).map(|(a, b)| a * b).sum()
+    }
+}
+
+impl SlowdownModel for EspRegression {
+    fn name(&self) -> &'static str {
+        "ESP regression"
+    }
+
+    fn relative_speed_pct(&self, demand_gbps: f64, external_gbps: f64) -> f64 {
+        self.raw_predict(demand_gbps, external_gbps)
+            .clamp(0.0, 100.0)
+    }
+}
+
+/// Gaussian elimination with partial pivoting for the 5×5 normal system.
+fn solve5(mut a: [[f64; 5]; 5], mut b: [f64; 5]) -> Option<[f64; 5]> {
+    const N: usize = 5;
+    for col in 0..N {
+        let pivot = (col..N).max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))?;
+        if a[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        for row in (col + 1)..N {
+            let k = a[row][col] / a[col][col];
+            let (upper, lower) = a.split_at_mut(row);
+            let pivot_row = &upper[col];
+            for (c, cell) in lower[0].iter_mut().enumerate().skip(col) {
+                *cell -= k * pivot_row[c];
+            }
+            b[row] -= k * b[col];
+        }
+    }
+    let mut x = [0.0f64; N];
+    for row in (0..N).rev() {
+        let mut acc = b[row];
+        for c in (row + 1)..N {
+            acc -= a[row][c] * x[c];
+        }
+        x[row] = acc / a[row][row];
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linear_world(x: f64, y: f64) -> f64 {
+        (100.0 - 0.2 * x - 0.3 * y).clamp(0.0, 100.0)
+    }
+
+    fn training() -> Vec<CorunSample> {
+        let mut v = Vec::new();
+        for i in 1..=6 {
+            for j in 1..=6 {
+                let x = i as f64 * 15.0;
+                let y = j as f64 * 15.0;
+                v.push(CorunSample {
+                    demand_gbps: x,
+                    external_gbps: y,
+                    rs_pct: linear_world(x, y),
+                });
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn fits_a_linear_response_closely() {
+        let model = EspRegression::fit(&training());
+        for (x, y) in [(30.0, 30.0), (60.0, 45.0), (75.0, 90.0)] {
+            let err = (model.relative_speed_pct(x, y) - linear_world(x, y)).abs();
+            assert!(err < 2.0, "err {err:.2} at ({x},{y})");
+        }
+        assert_eq!(model.measurement_count(), 36);
+    }
+
+    #[test]
+    fn prediction_is_clamped() {
+        let model = EspRegression::fit(&training());
+        let rs = model.relative_speed_pct(400.0, 400.0);
+        assert!((0.0..=100.0).contains(&rs));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 5")]
+    fn rejects_tiny_training_sets() {
+        EspRegression::fit(&training()[..3]);
+    }
+
+    #[test]
+    fn solver_handles_permutations() {
+        // A system needing pivoting.
+        let a = [
+            [0.0, 1.0, 0.0, 0.0, 0.0],
+            [1.0, 0.0, 0.0, 0.0, 0.0],
+            [0.0, 0.0, 2.0, 0.0, 0.0],
+            [0.0, 0.0, 0.0, 3.0, 0.0],
+            [0.0, 0.0, 0.0, 0.0, 4.0],
+        ];
+        let b = [2.0, 1.0, 4.0, 9.0, 16.0];
+        let x = solve5(a, b).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-9);
+        assert!((x[1] - 2.0).abs() < 1e-9);
+        assert!((x[2] - 2.0).abs() < 1e-9);
+        assert!((x[3] - 3.0).abs() < 1e-9);
+        assert!((x[4] - 4.0).abs() < 1e-9);
+    }
+}

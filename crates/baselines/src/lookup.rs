@@ -1,0 +1,120 @@
+//! Co-run lookup table (Zhu et al., IPDPS'17): predictions read directly
+//! from a grid of measured co-run combinations, with nearest-neighbour
+//! lookup on both axes. Maximum fidelity, maximum measurement cost — the
+//! grid must be measured per application (and re-measured for any hardware
+//! change).
+
+use pccs_core::SlowdownModel;
+use serde::{Deserialize, Serialize};
+
+/// A measured `(demand, pressure) → relative speed` grid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CorunTable {
+    demands: Vec<f64>,
+    pressures: Vec<f64>,
+    /// `rs[i][j]`: RS % of demand level `i` under pressure level `j`.
+    rs: Vec<Vec<f64>>,
+}
+
+impl CorunTable {
+    /// Wraps a measured grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either axis is empty or not strictly increasing, or if the
+    /// matrix shape does not match the axes.
+    pub fn new(demands: Vec<f64>, pressures: Vec<f64>, rs: Vec<Vec<f64>>) -> Self {
+        assert!(
+            !demands.is_empty() && !pressures.is_empty(),
+            "axes must be non-empty"
+        );
+        assert!(
+            demands.windows(2).all(|w| w[1] > w[0]),
+            "demand axis must be strictly increasing"
+        );
+        assert!(
+            pressures.windows(2).all(|w| w[1] > w[0]),
+            "pressure axis must be strictly increasing"
+        );
+        assert_eq!(rs.len(), demands.len(), "row count must match demand axis");
+        assert!(
+            rs.iter().all(|row| row.len() == pressures.len()),
+            "every row must match the pressure axis"
+        );
+        Self {
+            demands,
+            pressures,
+            rs,
+        }
+    }
+
+    /// Total number of co-run measurements behind the table.
+    pub fn measurement_count(&self) -> usize {
+        self.demands.len() * self.pressures.len()
+    }
+
+    fn nearest(axis: &[f64], value: f64) -> usize {
+        axis.iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| (**a - value).abs().total_cmp(&(**b - value).abs()))
+            .map(|(i, _)| i)
+            .expect("non-empty axis")
+    }
+
+    /// Nearest-neighbour lookup.
+    pub fn lookup(&self, demand_gbps: f64, external_gbps: f64) -> f64 {
+        let i = Self::nearest(&self.demands, demand_gbps);
+        let j = Self::nearest(&self.pressures, external_gbps);
+        self.rs[i][j]
+    }
+}
+
+impl SlowdownModel for CorunTable {
+    fn name(&self) -> &'static str {
+        "Co-run table"
+    }
+
+    fn relative_speed_pct(&self, demand_gbps: f64, external_gbps: f64) -> f64 {
+        self.lookup(demand_gbps, external_gbps).clamp(0.0, 100.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> CorunTable {
+        CorunTable::new(
+            vec![20.0, 60.0],
+            vec![10.0, 50.0, 90.0],
+            vec![vec![100.0, 95.0, 92.0], vec![98.0, 80.0, 65.0]],
+        )
+    }
+
+    #[test]
+    fn exact_lookup() {
+        let t = table();
+        assert_eq!(t.lookup(60.0, 50.0), 80.0);
+        assert_eq!(t.measurement_count(), 6);
+    }
+
+    #[test]
+    fn nearest_neighbour_rounds() {
+        let t = table();
+        assert_eq!(t.lookup(35.0, 10.0), 100.0); // nearer 20 than 60
+        assert_eq!(t.lookup(45.0, 75.0), 65.0); // nearer 60, nearer 90
+    }
+
+    #[test]
+    fn out_of_range_clamps_to_edges() {
+        let t = table();
+        assert_eq!(t.lookup(500.0, 500.0), 65.0);
+        assert_eq!(t.lookup(0.0, 0.0), 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "row count")]
+    fn rejects_shape_mismatch() {
+        CorunTable::new(vec![1.0, 2.0], vec![1.0], vec![vec![90.0]]);
+    }
+}

@@ -1,0 +1,88 @@
+//! Ablation benches for the design choices DESIGN.md calls out. Each bench
+//! reports throughput-relevant metrics via the measured runtime of a fixed
+//! simulation, and the accompanying `eprintln!` lines (printed once) show
+//! the *quality* deltas (row-hit rates, achieved bandwidth) so the ablation
+//! is visible in `cargo bench` output.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pccs_dram::config::DramConfig;
+use pccs_dram::controller::MemoryController;
+use pccs_dram::mapping::AddressMapping;
+use pccs_dram::policy::PolicyKind;
+use pccs_dram::request::SourceId;
+use pccs_dram::sim::DramSystem;
+use pccs_dram::traffic::StreamTraffic;
+use std::sync::Once;
+use std::time::Duration;
+
+fn run_with_mapping(mapping: AddressMapping) -> (f64, f64) {
+    let config = DramConfig::cmp_study();
+    let controller =
+        MemoryController::with_mapping(config, PolicyKind::FrFcfs.instantiate(), mapping);
+    let mut sys = DramSystem::from_controller(controller);
+    for s in 0..8 {
+        sys.add_generator(
+            StreamTraffic::builder(SourceId(s))
+                .demand_gbps(12.0)
+                .row_locality(0.9)
+                .window(24)
+                .seed(5 + s as u64)
+                .build(),
+        );
+    }
+    let out = sys.run(20_000);
+    (out.row_hit_pct(), out.effective_bw_gbps())
+}
+
+fn run_with_locality(locality: f64) -> (f64, f64) {
+    let mut sys = DramSystem::new(DramConfig::cmp_study(), PolicyKind::FrFcfs);
+    for s in 0..8 {
+        sys.add_generator(
+            StreamTraffic::builder(SourceId(s))
+                .demand_gbps(12.0)
+                .row_locality(locality)
+                .window(24)
+                .seed(5 + s as u64)
+                .build(),
+        );
+    }
+    let out = sys.run(20_000);
+    (out.row_hit_pct(), out.effective_bw_gbps())
+}
+
+static PRINT_ONCE: Once = Once::new();
+
+fn bench_ablations(c: &mut Criterion) {
+    PRINT_ONCE.call_once(|| {
+        let (rbh_xor, bw_xor) = run_with_mapping(AddressMapping::ChannelInterleaveXorBank);
+        let (rbh_plain, bw_plain) = run_with_mapping(AddressMapping::ChannelInterleavePlain);
+        eprintln!(
+            "[ablation] bank mapping: XOR rbh={rbh_xor:.1}% bw={bw_xor:.1} GB/s | \
+             plain rbh={rbh_plain:.1}% bw={bw_plain:.1} GB/s"
+        );
+        for loc in [0.4, 0.7, 0.92, 0.99] {
+            let (rbh, bw) = run_with_locality(loc);
+            eprintln!("[ablation] locality {loc:.2}: rbh={rbh:.1}% bw={bw:.1} GB/s");
+        }
+    });
+
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10).measurement_time(Duration::from_secs(10));
+
+    g.bench_function("mapping_xor_bank", |b| {
+        b.iter(|| run_with_mapping(black_box(AddressMapping::ChannelInterleaveXorBank)))
+    });
+    g.bench_function("mapping_plain_bank", |b| {
+        b.iter(|| run_with_mapping(black_box(AddressMapping::ChannelInterleavePlain)))
+    });
+    g.bench_function("locality_low_0.4", |b| {
+        b.iter(|| run_with_locality(black_box(0.4)))
+    });
+    g.bench_function("locality_high_0.92", |b| {
+        b.iter(|| run_with_locality(black_box(0.92)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

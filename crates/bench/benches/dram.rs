@@ -1,0 +1,65 @@
+//! Microbenchmarks of the DRAM substrate: simulation throughput per
+//! scheduling policy and address-decode speed. These set the cost of every
+//! measurement the reproduction takes.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pccs_dram::config::DramConfig;
+use pccs_dram::mapping::AddressMapping;
+use pccs_dram::policy::PolicyKind;
+use pccs_dram::request::SourceId;
+use pccs_dram::sim::DramSystem;
+use pccs_dram::traffic::StreamTraffic;
+use std::time::Duration;
+
+fn loaded_system(policy: PolicyKind) -> DramSystem {
+    let mut sys = DramSystem::new(DramConfig::cmp_study(), policy);
+    for s in 0..8 {
+        sys.add_generator(
+            StreamTraffic::builder(SourceId(s))
+                .demand_gbps(10.0)
+                .row_locality(0.92)
+                .window(24)
+                .seed(s as u64)
+                .build(),
+        );
+    }
+    sys
+}
+
+fn bench_dram(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dram_sim_10k_cycles");
+    g.sample_size(10).measurement_time(Duration::from_secs(10));
+    for policy in PolicyKind::all() {
+        g.bench_function(policy.label(), |b| {
+            b.iter(|| loaded_system(policy).run(black_box(10_000)))
+        });
+    }
+    g.finish();
+
+    c.bench_function("address_decode_xor", |b| {
+        let cfg = DramConfig::cmp_study();
+        let m = AddressMapping::ChannelInterleaveXorBank;
+        b.iter(|| {
+            let mut acc = 0usize;
+            for i in 0..10_000u64 {
+                acc += m.decode(black_box(i * 64 * 131), &cfg).bank;
+            }
+            acc
+        })
+    });
+
+    c.bench_function("address_decode_plain", |b| {
+        let cfg = DramConfig::cmp_study();
+        let m = AddressMapping::ChannelInterleavePlain;
+        b.iter(|| {
+            let mut acc = 0usize;
+            for i in 0..10_000u64 {
+                acc += m.decode(black_box(i * 64 * 131), &cfg).bank;
+            }
+            acc
+        })
+    });
+}
+
+criterion_group!(benches, bench_dram);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! One Criterion benchmark per paper table/figure: each measures the time
+//! to regenerate the artifact at quick fidelity. Run a single one with
+//! e.g. `cargo bench -p pccs-bench --bench figures -- fig3`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pccs_experiments::context::{Context, Quality};
+use pccs_experiments::validate::Figure;
+use pccs_experiments::{fig13, fig14, fig2, fig3, fig5, fig6, table5, table7, table9, validate};
+use std::time::Duration;
+
+fn quick_ctx() -> Context {
+    Context::new(Quality::Quick)
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10).measurement_time(Duration::from_secs(20));
+
+    g.bench_function("fig2_bandwidth_met", |b| {
+        b.iter(|| fig2::run(&mut quick_ctx()))
+    });
+    g.bench_function("fig3_three_classes", |b| {
+        b.iter(|| fig3::run(&mut quick_ctx()))
+    });
+    g.bench_function("fig5_policy_study", |b| {
+        let ctx = quick_ctx();
+        b.iter(|| fig5::run(&ctx))
+    });
+    g.bench_function("fig6_model_chart", |b| {
+        // Model construction dominates; reuse the cached context so the
+        // bench measures chart generation plus one construction amortized.
+        let mut ctx = quick_ctx();
+        let _ = fig6::run(&mut ctx); // warm the model cache
+        b.iter(|| fig6::run(&mut ctx))
+    });
+    g.bench_function("fig8_xavier_gpu_validation", |b| {
+        let mut ctx = quick_ctx();
+        let _ = validate::run(&mut ctx, Figure::XavierGpu);
+        b.iter(|| validate::run(&mut ctx, Figure::XavierGpu))
+    });
+    g.bench_function("fig9_xavier_cpu_validation", |b| {
+        let mut ctx = quick_ctx();
+        let _ = validate::run(&mut ctx, Figure::XavierCpu);
+        b.iter(|| validate::run(&mut ctx, Figure::XavierCpu))
+    });
+    g.bench_function("fig10_snapdragon_gpu_validation", |b| {
+        let mut ctx = quick_ctx();
+        let _ = validate::run(&mut ctx, Figure::SnapdragonGpu);
+        b.iter(|| validate::run(&mut ctx, Figure::SnapdragonGpu))
+    });
+    g.bench_function("fig11_snapdragon_cpu_validation", |b| {
+        let mut ctx = quick_ctx();
+        let _ = validate::run(&mut ctx, Figure::SnapdragonCpu);
+        b.iter(|| validate::run(&mut ctx, Figure::SnapdragonCpu))
+    });
+    g.bench_function("fig12_xavier_dla_validation", |b| {
+        let mut ctx = quick_ctx();
+        let _ = validate::run(&mut ctx, Figure::XavierDla);
+        b.iter(|| validate::run(&mut ctx, Figure::XavierDla))
+    });
+    g.bench_function("fig13_cfd_phases", |b| {
+        let mut ctx = quick_ctx();
+        let _ = fig13::run(&mut ctx);
+        b.iter(|| fig13::run(&mut ctx))
+    });
+    g.bench_function("fig14_corun_workloads", |b| {
+        let mut ctx = quick_ctx();
+        let _ = fig14::run(&mut ctx);
+        b.iter(|| fig14::run(&mut ctx))
+    });
+    g.bench_function("table5_linear_scaling", |b| {
+        let mut ctx = quick_ctx();
+        let _ = table7::run(&mut ctx); // warm all model caches
+        b.iter(|| table5::run(&mut ctx))
+    });
+    g.bench_function("table7_model_parameters", |b| {
+        let mut ctx = quick_ctx();
+        let _ = table7::run(&mut ctx);
+        b.iter(|| table7::run(&mut ctx))
+    });
+    g.bench_function("table9_frequency_selection", |b| {
+        let mut ctx = quick_ctx();
+        let _ = table9::run(&mut ctx);
+        b.iter(|| table9::run(&mut ctx))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

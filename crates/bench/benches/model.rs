@@ -1,0 +1,78 @@
+//! Microbenchmarks of the model layer: prediction throughput, parameter
+//! extraction, scaling and phased aggregation. These quantify PCCS's design
+//!-space-exploration cost — the paper's pitch is that the model is cheap
+//! enough to sit inside an exploration loop.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pccs_core::{CalibrationData, ModelBuilder, PccsModel, PhasedWorkload, SlowdownModel};
+use pccs_gables::GablesModel;
+
+fn synthetic_data(n: usize, m: usize) -> CalibrationData {
+    let truth = PccsModel::xavier_gpu_paper();
+    let std_bw: Vec<f64> = (1..=n).map(|i| 130.0 * i as f64 / n as f64).collect();
+    let ext_bw: Vec<f64> = (1..=m).map(|j| 130.0 * j as f64 / m as f64).collect();
+    let rela = std_bw
+        .iter()
+        .map(|&x| {
+            ext_bw
+                .iter()
+                .map(|&y| truth.predict(x, y).max(1.0))
+                .collect()
+        })
+        .collect();
+    CalibrationData::new(std_bw, ext_bw, rela, 137.0).unwrap()
+}
+
+fn bench_model(c: &mut Criterion) {
+    let pccs = PccsModel::xavier_gpu_paper();
+    let gables = GablesModel::new(137.0);
+
+    c.bench_function("pccs_predict", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for x in 1..=100 {
+                for y in 1..=100 {
+                    acc += pccs.predict(black_box(x as f64), black_box(y as f64));
+                }
+            }
+            acc
+        })
+    });
+
+    c.bench_function("gables_predict", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for x in 1..=100 {
+                for y in 1..=100 {
+                    acc += gables.relative_speed_pct(black_box(x as f64), black_box(y as f64));
+                }
+            }
+            acc
+        })
+    });
+
+    c.bench_function("builder_extract_10x10", |b| {
+        let data = synthetic_data(10, 10);
+        b.iter(|| ModelBuilder::new(black_box(data.clone())).build().unwrap())
+    });
+
+    c.bench_function("builder_extract_20x20", |b| {
+        let data = synthetic_data(20, 20);
+        b.iter(|| ModelBuilder::new(black_box(data.clone())).build().unwrap())
+    });
+
+    c.bench_function("scale_bandwidth", |b| {
+        b.iter(|| black_box(&pccs).scale_bandwidth(black_box(0.625)))
+    });
+
+    c.bench_function("phased_piecewise_predict", |b| {
+        let w = PhasedWorkload::new(
+            "cfd",
+            &[(110.0, 0.3), (55.0, 0.25), (50.0, 0.25), (60.0, 0.2)],
+        );
+        b.iter(|| w.predict_piecewise(black_box(&pccs), black_box(60.0)))
+    });
+}
+
+criterion_group!(benches, bench_model);
+criterion_main!(benches);

@@ -1,0 +1,2 @@
+//! Benchmark harness crate: see the `benches/` directory for one Criterion
+//! bench per paper table and figure.

@@ -1,0 +1,297 @@
+//! Implementations of the `pccs` subcommands.
+
+use crate::args::{ArgError, Args};
+use pccs_core::{PccsModel, SlowdownModel};
+use pccs_dram::config::DramConfig;
+use pccs_dram::policy::PolicyKind;
+use pccs_dram::request::SourceId;
+use pccs_dram::sim::DramSystem;
+use pccs_dram::traffic::StreamTraffic;
+use pccs_dse::freq::{ground_truth_frequency, profile_frequencies, select_frequency};
+use pccs_gables::GablesModel;
+use pccs_soc::corun::CoRunSim;
+use pccs_soc::pu::PuKind;
+use pccs_soc::soc::SocConfig;
+use pccs_workloads::calibrate::{build_model, CalibrationConfig};
+use pccs_workloads::rodinia::RodiniaBenchmark;
+use std::fs;
+
+fn soc_by_name(name: &str) -> Result<SocConfig, ArgError> {
+    match name.to_ascii_lowercase().as_str() {
+        "xavier" => Ok(SocConfig::xavier()),
+        "snapdragon855" | "snapdragon" => Ok(SocConfig::snapdragon855()),
+        other => Err(ArgError(format!(
+            "unknown SoC '{other}' (known: xavier, snapdragon855)"
+        ))),
+    }
+}
+
+fn pu_index(soc: &SocConfig, name: &str) -> Result<usize, ArgError> {
+    soc.pu_index(&name.to_ascii_uppercase()).ok_or_else(|| {
+        ArgError(format!(
+            "SoC {} has no PU named '{name}' (has: {})",
+            soc.name,
+            soc.pus
+                .iter()
+                .map(|p| p.name.as_str())
+                .collect::<Vec<_>>()
+                .join(", ")
+        ))
+    })
+}
+
+fn pu_kind(soc: &SocConfig, pu: usize) -> PuKind {
+    soc.pus[pu].kind
+}
+
+fn bench_kernel(
+    soc: &SocConfig,
+    pu: usize,
+    name: &str,
+) -> Result<pccs_soc::kernel::KernelDesc, ArgError> {
+    let bench = RodiniaBenchmark::from_label(name)
+        .ok_or_else(|| ArgError(format!("unknown benchmark '{name}'")))?;
+    Ok(bench.kernel(pu_kind(soc, pu)))
+}
+
+/// `pccs socs` — lists the bundled SoC presets.
+pub fn socs() -> Result<(), ArgError> {
+    for soc in [SocConfig::xavier(), SocConfig::snapdragon855()] {
+        println!("{} — peak {:.1} GB/s", soc.name, soc.peak_bw_gbps());
+        for pu in &soc.pus {
+            println!(
+                "  {:<4} {:>4} cores @ {:>6.0} MHz  window {:>4}  streams {}",
+                pu.name, pu.cores, pu.freq_mhz, pu.mlp_window, pu.streams
+            );
+        }
+    }
+    Ok(())
+}
+
+/// `pccs calibrate` — constructs a PCCS model and optionally stores it.
+pub fn calibrate(args: &Args) -> Result<(), ArgError> {
+    let soc = soc_by_name(args.require("soc")?)?;
+    let pu = pu_index(&soc, args.require("pu")?)?;
+    let pressure = {
+        let cpu = pu_index(&soc, "CPU")?;
+        if pu == cpu {
+            pu_index(&soc, "GPU")?
+        } else {
+            cpu
+        }
+    };
+    let cfg = if args.has("quick") {
+        CalibrationConfig::quick()
+    } else {
+        CalibrationConfig::default()
+    };
+    eprintln!(
+        "calibrating {} / {} (pressure from {}) ...",
+        soc.name, soc.pus[pu].name, soc.pus[pressure].name
+    );
+    let (model, data) = build_model(&soc, pu, pressure, &cfg)
+        .map_err(|e| ArgError(format!("construction failed: {e}")))?;
+    println!(
+        "normalBW {:.1}  intensiveBW {:.1}  MRMC {}  CBP {:.1}  TBWDC {:.1}  rateN {:.3}  rateI {:.3}  peak {:.1}",
+        model.normal_bw,
+        model.intensive_bw,
+        model.mrmc.map_or("NA".into(), |m| format!("{m:.1}%")),
+        model.cbp,
+        model.tbwdc,
+        model.rate_n,
+        model.rate_i_representative(),
+        model.peak_bw
+    );
+    println!(
+        "built from a {}x{} calibration matrix",
+        data.rows(),
+        data.cols()
+    );
+    if let Some(path) = args.get("out") {
+        let json = serde_json::to_string_pretty(&model)
+            .map_err(|e| ArgError(format!("serialization failed: {e}")))?;
+        fs::write(path, json).map_err(|e| ArgError(format!("writing {path}: {e}")))?;
+        println!("model written to {path}");
+    }
+    Ok(())
+}
+
+fn load_model(path: &str) -> Result<PccsModel, ArgError> {
+    let text = fs::read_to_string(path).map_err(|e| ArgError(format!("reading {path}: {e}")))?;
+    serde_json::from_str(&text).map_err(|e| ArgError(format!("parsing {path}: {e}")))
+}
+
+/// `pccs predict` — evaluates a stored model at a demand/pressure point, or
+/// for a named benchmark whose demand is profiled on the simulator.
+pub fn predict(args: &Args) -> Result<(), ArgError> {
+    let model = load_model(args.require("model")?)?;
+    let external = args.get_f64("external", 40.0)?;
+    let demand = if let Some(bench) = args.get("bench") {
+        let soc = soc_by_name(args.require("soc")?)?;
+        let pu = pu_index(&soc, args.require("pu")?)?;
+        let kernel = bench_kernel(&soc, pu, bench)?;
+        let profile = CoRunSim::standalone_averaged(&soc, pu, &kernel, 30_000, 2);
+        println!(
+            "{bench} standalone demand on {}/{}: {:.1} GB/s",
+            soc.name, soc.pus[pu].name, profile.bw_gbps
+        );
+        profile.bw_gbps
+    } else {
+        let d = args.get_f64("demand", f64::NAN)?;
+        if !d.is_finite() {
+            return Err(ArgError(
+                "predict needs either --demand or --soc/--pu/--bench".into(),
+            ));
+        }
+        d
+    };
+    let rs = model.relative_speed_pct(demand, external);
+    println!(
+        "region {}  RS {:.1}%  slowdown {:.2}x  (x = {demand:.1} GB/s, y = {external:.1} GB/s)",
+        model.region(demand),
+        rs,
+        model.slowdown(demand, external)
+    );
+    Ok(())
+}
+
+/// `pccs explore-freq` — the Section 4.3 use case from the command line.
+pub fn explore_freq(args: &Args) -> Result<(), ArgError> {
+    let soc = soc_by_name(args.require("soc")?)?;
+    let pu = pu_index(&soc, args.require("pu")?)?;
+    let kernel = bench_kernel(&soc, pu, args.require("bench")?)?;
+    let external = args.get_f64("external", 40.0)?;
+    let budget = args.get_f64("budget", 0.05)?;
+    if !(0.0..1.0).contains(&budget) {
+        return Err(ArgError("--budget must be a fraction in [0, 1)".into()));
+    }
+    let horizon = 24_000;
+    let freqs: Vec<f64> = vec![400.0, 600.0, 800.0, 1000.0, 1200.0, soc.pus[pu].freq_mhz];
+
+    eprintln!("profiling {} candidate frequencies ...", freqs.len());
+    let points = profile_frequencies(&soc, pu, &kernel, &freqs, horizon);
+
+    let model: Box<dyn SlowdownModel> = match args.get("model") {
+        Some(path) => Box::new(load_model(path)?),
+        None => Box::new(GablesModel::new(soc.peak_bw_gbps())),
+    };
+    let sel = select_frequency(&points, model.as_ref(), external, budget);
+    println!("{} picks {:.0} MHz", model.name(), sel.chosen_mhz);
+    for (f, rel) in &sel.perf_rel {
+        println!("  {f:>6.0} MHz: predicted co-run perf {rel:.2} of best");
+    }
+    if args.has("truth") {
+        let pressure = {
+            let cpu = pu_index(&soc, "CPU")?;
+            if pu == cpu {
+                pu_index(&soc, "GPU")?
+            } else {
+                cpu
+            }
+        };
+        let truth = ground_truth_frequency(
+            &soc, pu, pressure, &kernel, &freqs, external, budget, horizon,
+        );
+        println!("simulated ground truth picks {:.0} MHz", truth.chosen_mhz);
+    }
+    Ok(())
+}
+
+/// `pccs policies` — the Section 2.3 policy comparison on the CMP config.
+pub fn policies(args: &Args) -> Result<(), ArgError> {
+    let victim = args.get_f64("victim", 48.0)?;
+    let horizon = 30_000;
+    let pressures = [0.0, 24.0, 48.0, 80.0, 120.0];
+
+    let run = |policy: PolicyKind, aggressor: f64| -> f64 {
+        let mut sys = DramSystem::new(DramConfig::cmp_study(), policy);
+        for s in 0..8 {
+            sys.add_generator(
+                StreamTraffic::builder(SourceId(s))
+                    .demand_gbps(victim / 8.0)
+                    .row_locality(0.95)
+                    .window(24)
+                    .seed(3 + s as u64)
+                    .build(),
+            );
+        }
+        if aggressor > 0.0 {
+            for s in 8..16 {
+                sys.add_generator(
+                    StreamTraffic::builder(SourceId(s))
+                        .demand_gbps(aggressor / 8.0)
+                        .row_locality(0.92)
+                        .window(24)
+                        .seed(71 + s as u64)
+                        .build(),
+                );
+            }
+        }
+        let out = sys.run(horizon);
+        (0..8).map(|s| out.source_bw_gbps(SourceId(s))).sum()
+    };
+
+    println!("victim group {victim:.0} GB/s on the Table 1 CMP config; cells are RS %");
+    print!("{:<9}", "policy");
+    for p in &pressures[1..] {
+        print!("{:>9}", format!("y={p:.0}"));
+    }
+    println!();
+    for policy in PolicyKind::all() {
+        let standalone = run(policy, 0.0).max(f64::MIN_POSITIVE);
+        print!("{:<9}", policy.label());
+        for &p in &pressures[1..] {
+            print!("{:>9.1}", 100.0 * run(policy, p) / standalone);
+        }
+        println!();
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn soc_lookup_accepts_known_names() {
+        assert_eq!(soc_by_name("xavier").unwrap().pus.len(), 3);
+        assert_eq!(soc_by_name("SNAPDRAGON855").unwrap().pus.len(), 2);
+        assert_eq!(soc_by_name("snapdragon").unwrap().pus.len(), 2);
+        assert!(soc_by_name("a15").is_err());
+    }
+
+    #[test]
+    fn pu_lookup_is_case_insensitive_and_lists_options() {
+        let soc = soc_by_name("xavier").unwrap();
+        assert!(pu_index(&soc, "gpu").is_ok());
+        let err = pu_index(&soc, "NPU").unwrap_err();
+        assert!(err.to_string().contains("CPU"));
+    }
+
+    #[test]
+    fn bench_kernel_resolves_per_pu_kind() {
+        let soc = soc_by_name("xavier").unwrap();
+        let gpu = pu_index(&soc, "GPU").unwrap();
+        let cpu = pu_index(&soc, "CPU").unwrap();
+        let on_gpu = bench_kernel(&soc, gpu, "streamcluster").unwrap();
+        let on_cpu = bench_kernel(&soc, cpu, "streamcluster").unwrap();
+        assert!(on_gpu.ops_per_byte != on_cpu.ops_per_byte);
+        assert!(bench_kernel(&soc, gpu, "doom").is_err());
+    }
+
+    #[test]
+    fn model_round_trips_through_json() {
+        let model = PccsModel::xavier_gpu_paper();
+        let path = std::env::temp_dir().join("pccs_cli_test_model.json");
+        std::fs::write(&path, serde_json::to_string(&model).unwrap()).unwrap();
+        let loaded = load_model(path.to_str().unwrap()).unwrap();
+        assert_eq!(loaded, model);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn load_model_reports_missing_file() {
+        let err = load_model("/nonexistent/p.json").unwrap_err();
+        assert!(err.to_string().contains("reading"));
+    }
+}

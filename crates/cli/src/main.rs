@@ -1,0 +1,66 @@
+//! `pccs` — the user-facing command-line tool of the PCCS reproduction.
+//!
+//! ```text
+//! pccs socs
+//! pccs calibrate   --soc xavier --pu GPU [--quick] [--out model.json]
+//! pccs predict     --model model.json --demand 60 --external 40
+//! pccs predict     --model model.json --soc xavier --pu GPU --bench streamcluster --external 40
+//! pccs explore-freq --soc xavier --pu GPU --bench streamcluster
+//!                   --external 40 --budget 0.05 [--model model.json]
+//! pccs policies    [--victim 48]
+//! ```
+//!
+//! `calibrate` runs the paper's processor-centric construction on the
+//! simulated SoC and stores the model as JSON; `predict` evaluates a stored
+//! model; `explore-freq` runs the Section 4.3 frequency-selection use case;
+//! `policies` reproduces the Section 2.3 scheduling-policy comparison.
+
+mod args;
+mod commands;
+
+use args::Args;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+pccs — processor-centric contention-aware slowdown modeling
+
+USAGE:
+  pccs socs
+  pccs calibrate    --soc <xavier|snapdragon855> --pu <CPU|GPU|DLA>
+                    [--quick] [--out <model.json>]
+  pccs predict      --model <model.json> (--demand <GB/s> | --soc <s> --pu <p>
+                    --bench <rodinia-name>) [--external <GB/s>]
+  pccs explore-freq --soc <s> --pu GPU --bench <name> [--external <GB/s>]
+                    [--budget <fraction>] [--model <model.json>]
+  pccs policies     [--victim <GB/s>]
+
+Run `pccs <command> --help` equivalents by reading the crate docs.";
+
+fn main() -> ExitCode {
+    let args = match Args::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let outcome = match args.command.as_deref() {
+        Some("socs") => commands::socs(),
+        Some("calibrate") => commands::calibrate(&args),
+        Some("predict") => commands::predict(&args),
+        Some("explore-freq") => commands::explore_freq(&args),
+        Some("policies") => commands::policies(&args),
+        Some(other) => Err(args::ArgError(format!("unknown command '{other}'"))),
+        None => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+    };
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            ExitCode::from(1)
+        }
+    }
+}

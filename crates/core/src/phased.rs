@@ -1,0 +1,160 @@
+//! Multi-phase program handling (Section 3.2, "Handling multi-phase
+//! programs", and the CFD study of Figure 13).
+//!
+//! A program with phases of differing bandwidth demand is predicted per
+//! phase; the total slowdown aggregates the per-phase predictions weighted
+//! by each phase's share of standalone execution time: a phase with
+//! standalone time fraction `w` and relative speed `rs` contributes `w/rs`
+//! to the (normalized) co-run time, so the overall relative speed is
+//! `1 / Σ (wᵢ / rsᵢ)`.
+
+use crate::traits::SlowdownModel;
+use serde::{Deserialize, Serialize};
+
+/// A program expressed as phases of (bandwidth demand, standalone time
+/// fraction).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhasedWorkload {
+    /// Display name.
+    pub name: String,
+    phases: Vec<Phase>,
+}
+
+/// One phase of a [`PhasedWorkload`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Phase {
+    /// Standalone bandwidth demand of the phase (GB/s).
+    pub demand_gbps: f64,
+    /// Fraction of standalone execution time spent in the phase.
+    pub weight: f64,
+}
+
+impl PhasedWorkload {
+    /// Creates a phased workload from `(demand_gbps, weight)` pairs; the
+    /// weights are normalized to sum to 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no phases are given, any demand or weight is negative, or
+    /// all weights are zero.
+    pub fn new(name: impl Into<String>, phases: &[(f64, f64)]) -> Self {
+        assert!(!phases.is_empty(), "at least one phase required");
+        let total: f64 = phases.iter().map(|&(_, w)| w).sum();
+        assert!(total > 0.0, "weights must not all be zero");
+        let phases = phases
+            .iter()
+            .map(|&(demand_gbps, weight)| {
+                assert!(demand_gbps >= 0.0, "demand must be non-negative");
+                assert!(weight >= 0.0, "weights must be non-negative");
+                Phase {
+                    demand_gbps,
+                    weight: weight / total,
+                }
+            })
+            .collect();
+        Self {
+            name: name.into(),
+            phases,
+        }
+    }
+
+    /// The normalized phases.
+    pub fn phases(&self) -> &[Phase] {
+        &self.phases
+    }
+
+    /// The time-weighted average bandwidth demand — what a phase-oblivious
+    /// prediction would feed the model (Figure 13a).
+    pub fn average_demand_gbps(&self) -> f64 {
+        self.phases.iter().map(|p| p.demand_gbps * p.weight).sum()
+    }
+
+    /// Phase-aware prediction (Figure 13b): predicts each phase separately
+    /// and aggregates by standalone time share.
+    pub fn predict_piecewise<M: SlowdownModel + ?Sized>(
+        &self,
+        model: &M,
+        external_gbps: f64,
+    ) -> f64 {
+        let corun_time: f64 = self
+            .phases
+            .iter()
+            .map(|p| {
+                let rs = model
+                    .relative_speed_pct(p.demand_gbps, external_gbps)
+                    .max(1e-6);
+                p.weight / (rs / 100.0)
+            })
+            .sum();
+        100.0 / corun_time
+    }
+
+    /// Phase-oblivious prediction using the average demand (Figure 13a).
+    pub fn predict_average<M: SlowdownModel + ?Sized>(&self, model: &M, external_gbps: f64) -> f64 {
+        model.relative_speed_pct(self.average_demand_gbps(), external_gbps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::PccsModel;
+
+    fn cfd_like() -> PhasedWorkload {
+        // One high-bandwidth kernel plus three medium ones, like CFD (§4.1.2).
+        PhasedWorkload::new(
+            "cfd",
+            &[(110.0, 0.3), (55.0, 0.25), (50.0, 0.25), (60.0, 0.2)],
+        )
+    }
+
+    #[test]
+    fn weights_are_normalized() {
+        let w = PhasedWorkload::new("w", &[(10.0, 2.0), (20.0, 2.0)]);
+        assert!((w.phases()[0].weight - 0.5).abs() < 1e-12);
+        assert!((w.average_demand_gbps() - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn piecewise_predicts_more_slowdown_than_average_for_cfd() {
+        // The paper: averaging underestimates the slowdown because the
+        // high-BW kernel suffers disproportionately.
+        let model = PccsModel::xavier_gpu_paper();
+        let w = cfd_like();
+        let piecewise = w.predict_piecewise(&model, 60.0);
+        let averaged = w.predict_average(&model, 60.0);
+        assert!(
+            piecewise < averaged,
+            "piecewise {piecewise:.1} should be below averaged {averaged:.1}"
+        );
+    }
+
+    #[test]
+    fn single_phase_matches_direct_prediction() {
+        let model = PccsModel::xavier_gpu_paper();
+        let w = PhasedWorkload::new("single", &[(60.0, 1.0)]);
+        let direct = model.predict(60.0, 40.0);
+        assert!((w.predict_piecewise(&model, 40.0) - direct).abs() < 1e-9);
+        assert!((w.predict_average(&model, 40.0) - direct).abs() < 1e-9);
+    }
+
+    #[test]
+    fn harmonic_aggregation_is_exact_for_two_equal_phases() {
+        let model = PccsModel::xavier_gpu_paper();
+        let w = PhasedWorkload::new("two", &[(60.0, 0.5), (60.0, 0.5)]);
+        let direct = model.predict(60.0, 80.0);
+        assert!((w.predict_piecewise(&model, 80.0) - direct).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one phase")]
+    fn empty_phases_panic() {
+        PhasedWorkload::new("x", &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "weights must not all be zero")]
+    fn zero_weights_panic() {
+        PhasedWorkload::new("x", &[(10.0, 0.0)]);
+    }
+}

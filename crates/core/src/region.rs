@@ -1,0 +1,89 @@
+//! Contention-region classification (Equation 1 of the paper).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The three contention regions of the PCCS model (Figure 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Region {
+    /// Low bandwidth demand: external pressure has minimal effect.
+    Minor,
+    /// Medium demand: flat → linear drop → flat behaviour.
+    Normal,
+    /// High demand: the drop starts immediately and is steeper.
+    Intensive,
+}
+
+impl Region {
+    /// Classifies a standalone bandwidth demand `x` (GB/s) given the two
+    /// region boundaries (Equation 1). Boundary values classify downward
+    /// (`x == normal_bw` is Minor), matching the paper's `≤` conventions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is negative or the boundaries are not ordered
+    /// `0 ≤ normal_bw ≤ intensive_bw`.
+    pub fn classify(x: f64, normal_bw: f64, intensive_bw: f64) -> Region {
+        assert!(x >= 0.0, "bandwidth demand must be non-negative");
+        assert!(
+            (0.0..=intensive_bw).contains(&normal_bw),
+            "boundaries must satisfy 0 <= normal_bw <= intensive_bw"
+        );
+        if x <= normal_bw {
+            Region::Minor
+        } else if x <= intensive_bw {
+            Region::Normal
+        } else {
+            Region::Intensive
+        }
+    }
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Region::Minor => f.write_str("minor"),
+            Region::Normal => f.write_str("normal"),
+            Region::Intensive => f.write_str("intensive"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_covers_all_regions() {
+        assert_eq!(Region::classify(10.0, 38.0, 96.0), Region::Minor);
+        assert_eq!(Region::classify(38.0, 38.0, 96.0), Region::Minor);
+        assert_eq!(Region::classify(38.1, 38.0, 96.0), Region::Normal);
+        assert_eq!(Region::classify(96.0, 38.0, 96.0), Region::Normal);
+        assert_eq!(Region::classify(96.1, 38.0, 96.0), Region::Intensive);
+    }
+
+    #[test]
+    fn zero_normal_bw_skips_minor_region() {
+        // The DLA has no minor contention region (Table 7: Normal BW = 0).
+        assert_eq!(Region::classify(0.0, 0.0, 27.9), Region::Minor);
+        assert_eq!(Region::classify(0.1, 0.0, 27.9), Region::Normal);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_demand_panics() {
+        Region::classify(-1.0, 10.0, 20.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "boundaries")]
+    fn unordered_boundaries_panic() {
+        Region::classify(1.0, 30.0, 20.0);
+    }
+
+    #[test]
+    fn display_labels() {
+        assert_eq!(Region::Minor.to_string(), "minor");
+        assert_eq!(Region::Intensive.to_string(), "intensive");
+    }
+}

@@ -1,0 +1,66 @@
+//! The common interface of co-run slowdown models.
+
+/// A model that predicts the achieved relative speed of a kernel under
+/// external memory pressure.
+///
+/// Implemented by [`PccsModel`](crate::PccsModel) and by the Gables baseline
+/// in the `pccs-gables` crate; design-space exploration is generic over this
+/// trait so the two models can be compared head-to-head (Section 4.3).
+pub trait SlowdownModel {
+    /// Short model name for reports ("PCCS", "Gables").
+    fn name(&self) -> &'static str;
+
+    /// Predicts the achieved relative speed, in percent of the standalone
+    /// speed, of a kernel whose standalone bandwidth demand is
+    /// `demand_gbps` when other PUs demand `external_gbps` in total.
+    ///
+    /// Implementations must return values in `[0, 100]`.
+    fn relative_speed_pct(&self, demand_gbps: f64, external_gbps: f64) -> f64;
+
+    /// The predicted slowdown factor (standalone time ÷ co-run time is
+    /// `relative speed`; slowdown is its reciprocal). Returns `f64::INFINITY`
+    /// when the predicted relative speed is zero.
+    fn slowdown(&self, demand_gbps: f64, external_gbps: f64) -> f64 {
+        let rs = self.relative_speed_pct(demand_gbps, external_gbps);
+        if rs <= 0.0 {
+            f64::INFINITY
+        } else {
+            100.0 / rs
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug)]
+    struct Constant(f64);
+
+    impl SlowdownModel for Constant {
+        fn name(&self) -> &'static str {
+            "constant"
+        }
+        fn relative_speed_pct(&self, _: f64, _: f64) -> f64 {
+            self.0
+        }
+    }
+
+    #[test]
+    fn slowdown_is_reciprocal_of_relative_speed() {
+        let m = Constant(50.0);
+        assert!((m.slowdown(1.0, 1.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_speed_gives_infinite_slowdown() {
+        let m = Constant(0.0);
+        assert!(m.slowdown(1.0, 1.0).is_infinite());
+    }
+
+    #[test]
+    fn trait_objects_work() {
+        let models: Vec<Box<dyn SlowdownModel>> = vec![Box::new(Constant(100.0))];
+        assert_eq!(models[0].name(), "constant");
+    }
+}

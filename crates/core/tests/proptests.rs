@@ -1,0 +1,159 @@
+//! Property-based tests of the PCCS model invariants.
+
+use pccs_core::{CalibrationData, ModelBuilder, PccsModel, PhasedWorkload, Region, SlowdownModel};
+use proptest::prelude::*;
+
+/// Generates a structurally valid model: ordered boundaries, positive peak.
+fn arb_model() -> impl Strategy<Value = PccsModel> {
+    (
+        0.0f64..60.0,                   // normal_bw
+        0.0f64..80.0,                   // intensive gap above normal
+        prop::option::of(0.0f64..15.0), // mrmc
+        1.0f64..90.0,                   // cbp
+        0.0f64..140.0,                  // tbwdc
+        0.0f64..3.0,                    // rate_n
+        100.0f64..200.0,                // peak
+    )
+        .prop_map(|(nb, gap, mrmc, cbp, tbwdc, rate_n, peak)| {
+            PccsModel::from_parameters(nb, nb + gap, mrmc, cbp, tbwdc, rate_n, peak)
+        })
+}
+
+proptest! {
+    #[test]
+    fn prediction_is_bounded(model in arb_model(), x in 0.0f64..200.0, y in 0.0f64..200.0) {
+        let rs = model.predict(x, y);
+        prop_assert!((0.0..=100.0).contains(&rs));
+    }
+
+    #[test]
+    fn prediction_monotone_non_increasing_in_pressure(
+        model in arb_model(),
+        x in 0.0f64..150.0,
+        y in 0.0f64..180.0,
+        dy in 0.0f64..40.0,
+    ) {
+        let a = model.predict(x, y);
+        let b = model.predict(x, y + dy);
+        prop_assert!(b <= a + 1e-9, "rs increased with pressure: {a} -> {b}");
+    }
+
+    #[test]
+    fn zero_pressure_means_full_speed(model in arb_model(), x in 0.0f64..150.0) {
+        // With no external traffic there is no contention: minor-region
+        // kernels, intensive-region kernels (whose drop is scaled by `y`),
+        // and normal-region kernels that fit under TBWDC all run at full
+        // speed. (A normal-region kernel with `x > TBWDC` is the one case
+        // Equation 3 lets drop at zero pressure.)
+        let rs = model.predict(x, 0.0);
+        if model.region(x) != Region::Normal || x <= model.tbwdc {
+            prop_assert!(rs >= 99.0 - 1e-9, "rs at zero pressure: {rs}");
+        }
+    }
+
+    #[test]
+    fn region_classification_is_total_and_ordered(
+        model in arb_model(),
+        x1 in 0.0f64..200.0,
+        x2 in 0.0f64..200.0,
+    ) {
+        let (lo, hi) = if x1 <= x2 { (x1, x2) } else { (x2, x1) };
+        let rl = model.region(lo);
+        let rh = model.region(hi);
+        let rank = |r: Region| match r {
+            Region::Minor => 0,
+            Region::Normal => 1,
+            Region::Intensive => 2,
+        };
+        prop_assert!(rank(rl) <= rank(rh), "regions must be ordered by demand");
+    }
+
+    #[test]
+    fn scaling_round_trips(model in arb_model(), ratio in 0.1f64..4.0) {
+        let back = model.scale_bandwidth(ratio).scale_bandwidth(1.0 / ratio);
+        prop_assert!((back.normal_bw - model.normal_bw).abs() < 1e-6);
+        prop_assert!((back.intensive_bw - model.intensive_bw).abs() < 1e-6);
+        prop_assert!((back.cbp - model.cbp).abs() < 1e-6);
+        prop_assert!((back.tbwdc - model.tbwdc).abs() < 1e-6);
+        prop_assert!((back.rate_n - model.rate_n).abs() < 1e-6);
+        prop_assert!((back.peak_bw - model.peak_bw).abs() < 1e-6);
+    }
+
+    #[test]
+    fn scaling_preserves_predictions_at_scaled_points(
+        model in arb_model(),
+        ratio in 0.2f64..3.0,
+        x in 0.0f64..150.0,
+        y in 0.0f64..150.0,
+    ) {
+        let scaled = model.scale_bandwidth(ratio);
+        let a = model.predict(x, y);
+        let b = scaled.predict(x * ratio, y * ratio);
+        prop_assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+    }
+
+    #[test]
+    fn slowdown_is_reciprocal(model in arb_model(), x in 0.0f64..150.0, y in 0.0f64..150.0) {
+        let rs = model.relative_speed_pct(x, y);
+        let sd = model.slowdown(x, y);
+        if rs > 0.0 {
+            prop_assert!((sd - 100.0 / rs).abs() < 1e-9);
+        } else {
+            prop_assert!(sd.is_infinite());
+        }
+    }
+
+    #[test]
+    fn phased_piecewise_is_bounded_by_extreme_phases(
+        model in arb_model(),
+        d1 in 1.0f64..150.0,
+        d2 in 1.0f64..150.0,
+        w in 0.05f64..0.95,
+        y in 0.0f64..150.0,
+    ) {
+        let phased = PhasedWorkload::new("p", &[(d1, w), (d2, 1.0 - w)]);
+        let rs = phased.predict_piecewise(&model, y);
+        let r1 = model.predict(d1, y).max(1e-6);
+        let r2 = model.predict(d2, y).max(1e-6);
+        let lo = r1.min(r2);
+        let hi = r1.max(r2);
+        prop_assert!(rs >= lo - 1e-6 && rs <= hi + 1e-6, "{rs} outside [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn builder_accepts_any_monotone_decreasing_matrix(
+        seed in 0u64..1000,
+        rows in 3usize..8,
+        cols in 3usize..8,
+    ) {
+        // Synthesize plausible monotone data and check the builder always
+        // produces a structurally valid model.
+        let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 1000) as f64 / 1000.0
+        };
+        let std_bw: Vec<f64> = (1..=rows).map(|i| i as f64 * 12.0).collect();
+        let ext_bw: Vec<f64> = (1..=cols).map(|j| j as f64 * 15.0).collect();
+        let rela: Vec<Vec<f64>> = (0..rows)
+            .map(|i| {
+                let mut v = 100.0 - 3.0 * i as f64 * next();
+                (0..cols)
+                    .map(|_| {
+                        v -= 6.0 * next();
+                        v.clamp(5.0, 100.0)
+                    })
+                    .collect()
+            })
+            .collect();
+        let data = CalibrationData::new(std_bw, ext_bw, rela, 140.0).unwrap();
+        let model = ModelBuilder::new(data).build().unwrap();
+        prop_assert!(model.normal_bw <= model.intensive_bw);
+        prop_assert!(model.cbp > 0.0);
+        prop_assert!(model.rate_n >= 0.0);
+        let rs = model.predict(30.0, 50.0);
+        prop_assert!((0.0..=100.0).contains(&rs));
+    }
+}

@@ -1,0 +1,443 @@
+//! The memory controller: per-channel request queues, bank state, and the
+//! pluggable scheduling policy.
+//!
+//! Modelling notes (deviations from a full command-level simulator, all of
+//! which preserve the contention behaviour the study measures):
+//!
+//! * The per-request command sequence (PRE/ACT/RD) is collapsed into one
+//!   service window computed from the row-buffer outcome; tRAS is enforced
+//!   on row conflicts.
+//! * The channel data bus serializes transfers; a bank may overlap its next
+//!   access with a queued transfer (bank-level pipelining), so sustained
+//!   throughput is bus-limited exactly at the configured peak.
+//! * Refresh is not modelled (uniform tax on all sources).
+
+use crate::bank::Bank;
+use crate::config::DramConfig;
+use crate::mapping::AddressMapping;
+use crate::policy::{Candidate, ScheduleInput, SchedulingPolicy};
+use crate::request::{DecodedAddr, MemoryRequest, SourceId};
+use crate::stats::MemoryStats;
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
+
+/// Maximum row-hit streak an open row may serve while shielded from
+/// closure by pending hits (starvation control for conflicting requests).
+const ROW_STREAK_CAP: u64 = 64;
+
+/// A request completion event delivered by [`MemoryController::tick`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completion {
+    /// The id of the completed request.
+    pub request_id: u64,
+    /// The source that issued it.
+    pub source: SourceId,
+    /// The cycle at which the last data beat transferred.
+    pub finish: u64,
+}
+
+#[derive(Debug)]
+struct QueuedRequest {
+    req: MemoryRequest,
+    decoded: DecodedAddr,
+}
+
+#[derive(Debug)]
+struct ChannelState {
+    queue: Vec<QueuedRequest>,
+    banks: Vec<Bank>,
+    /// Next cycle at which the channel may issue (data-bus rate pacing).
+    next_issue_at: u64,
+    /// Next cycle at which an all-bank refresh is due (u64::MAX = never).
+    next_refresh_at: u64,
+}
+
+/// A multi-channel memory controller with a pluggable scheduling policy.
+#[derive(Debug)]
+pub struct MemoryController {
+    config: DramConfig,
+    mapping: AddressMapping,
+    policy: Box<dyn SchedulingPolicy>,
+    channels: Vec<ChannelState>,
+    stats: MemoryStats,
+    pending_per_source: BTreeMap<SourceId, usize>,
+    completions: BinaryHeap<Reverse<(u64, u64, usize)>>,
+}
+
+impl MemoryController {
+    /// Creates a controller for the given memory geometry and policy.
+    pub fn new(config: DramConfig, policy: Box<dyn SchedulingPolicy>) -> Self {
+        Self::with_mapping(config, policy, AddressMapping::default())
+    }
+
+    /// Creates a controller with an explicit address mapping (for the
+    /// mapping ablation).
+    pub fn with_mapping(
+        config: DramConfig,
+        policy: Box<dyn SchedulingPolicy>,
+        mapping: AddressMapping,
+    ) -> Self {
+        let channels = (0..config.channels)
+            .map(|_| ChannelState {
+                queue: Vec::with_capacity(config.queue_capacity),
+                banks: (0..config.banks_per_channel).map(|_| Bank::new()).collect(),
+                next_issue_at: 0,
+                next_refresh_at: if config.timing.t_refi == 0 {
+                    u64::MAX
+                } else {
+                    config.timing.t_refi
+                },
+            })
+            .collect();
+        Self {
+            config,
+            mapping,
+            policy,
+            channels,
+            stats: MemoryStats::new(),
+            pending_per_source: BTreeMap::new(),
+            completions: BinaryHeap::new(),
+        }
+    }
+
+    /// The memory geometry this controller drives.
+    pub fn config(&self) -> &DramConfig {
+        &self.config
+    }
+
+    /// The active scheduling policy's name.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &MemoryStats {
+        &self.stats
+    }
+
+    /// Consumes the controller and returns its statistics.
+    pub fn into_stats(self) -> MemoryStats {
+        self.stats
+    }
+
+    /// Number of queued (unissued) requests across all channels.
+    pub fn pending(&self) -> usize {
+        self.channels.iter().map(|c| c.queue.len()).sum()
+    }
+
+    /// Number of queued requests for one source.
+    pub fn pending_for(&self, source: SourceId) -> usize {
+        self.pending_per_source.get(&source).copied().unwrap_or(0)
+    }
+
+    /// Attempts to enqueue a request; returns it back if the target
+    /// channel's queue is full (back-pressure).
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(req)` when the channel queue has no room; the caller
+    /// should retry on a later cycle.
+    pub fn try_enqueue(&mut self, req: MemoryRequest) -> Result<(), MemoryRequest> {
+        let decoded = self.mapping.decode(req.addr, &self.config);
+        let channel = &mut self.channels[decoded.channel];
+        if channel.queue.len() >= self.config.queue_capacity {
+            self.stats.source_mut(req.source).rejected += 1;
+            return Err(req);
+        }
+        self.stats.source_mut(req.source).enqueued += 1;
+        *self.pending_per_source.entry(req.source).or_insert(0) += 1;
+        self.policy.on_enqueue(req.source);
+        channel.queue.push(QueuedRequest { req, decoded });
+        Ok(())
+    }
+
+    /// Advances the controller by one cycle: lets the policy pick at most
+    /// one request per channel, updates bank/bus state, and returns the
+    /// completions whose data finished transferring at or before `cycle`.
+    pub fn tick(&mut self, cycle: u64) -> Vec<Completion> {
+        self.policy.on_cycle(cycle);
+        self.stats.elapsed_cycles = self.stats.elapsed_cycles.max(cycle + 1);
+
+        for ch_idx in 0..self.channels.len() {
+            self.schedule_channel(ch_idx, cycle);
+        }
+
+        let mut done = Vec::new();
+        while let Some(&Reverse((finish, id, source))) = self.completions.peek() {
+            if finish > cycle {
+                break;
+            }
+            self.completions.pop();
+            done.push(Completion {
+                request_id: id,
+                source: SourceId(source),
+                finish,
+            });
+        }
+        done
+    }
+
+    fn schedule_channel(&mut self, ch_idx: usize, cycle: u64) {
+        // The data bus is modelled as a rate limiter: at most one line may
+        // *begin* service per burst window, which caps sustained channel
+        // throughput at exactly the bus rate while letting transfers from
+        // different banks complete out of order (a row conflict delays only
+        // its own bank, not the channel pipeline).
+        let burst = self.config.burst_cycles();
+        // All-bank refresh: blocks every bank of the channel for tRFC. A
+        // uniform tax on all sources (it cannot change *relative* speeds),
+        // but it keeps effective bandwidth honest.
+        {
+            let t_rfc = self.config.timing.t_rfc;
+            let t_refi = self.config.timing.t_refi;
+            let channel = &mut self.channels[ch_idx];
+            if cycle >= channel.next_refresh_at {
+                let until = cycle + t_rfc;
+                for bank in &mut channel.banks {
+                    bank.refresh_until(until);
+                }
+                channel.next_refresh_at = channel.next_refresh_at.saturating_add(t_refi);
+            }
+        }
+        {
+            let channel = &self.channels[ch_idx];
+            if channel.queue.is_empty() {
+                self.stats.scheduler.idle += 1;
+                return;
+            }
+            if cycle < channel.next_issue_at {
+                self.stats.scheduler.bus_blocked += 1;
+                return;
+            }
+        }
+
+        let candidates: Vec<Candidate> = {
+            let channel = &self.channels[ch_idx];
+            // Open-page awareness: while a bank still has queued row hits
+            // for its open row, realistic schedulers do not close that row
+            // for a conflicting request — the pending hits cost tCCD each,
+            // the precharge+activate costs an order of magnitude more. A
+            // per-row hit budget bounds the shielding so conflicting
+            // requests cannot starve (row-hit streak cap, as in real MCs).
+            let shield_rows = self.policy.respects_open_rows();
+            let mut bank_has_pending_hit = vec![false; channel.banks.len()];
+            if shield_rows {
+                for q in &channel.queue {
+                    if channel.banks[q.decoded.bank].open_row() == Some(q.decoded.row) {
+                        bank_has_pending_hit[q.decoded.bank] = true;
+                    }
+                }
+            }
+            channel
+                .queue
+                .iter()
+                .enumerate()
+                .filter(|(_, q)| {
+                    let bank = &channel.banks[q.decoded.bank];
+                    if !bank.is_ready(cycle) {
+                        return false;
+                    }
+                    let row_hit = bank.open_row() == Some(q.decoded.row);
+                    if shield_rows
+                        && !row_hit
+                        && bank_has_pending_hit[q.decoded.bank]
+                        && bank.hits_since_open() < ROW_STREAK_CAP
+                    {
+                        return false;
+                    }
+                    true
+                })
+                .map(|(i, q)| Candidate {
+                    queue_idx: i,
+                    source: q.req.source,
+                    row_hit: channel.banks[q.decoded.bank].open_row() == Some(q.decoded.row),
+                    arrival: q.req.arrival,
+                    bank: q.decoded.bank,
+                    row: q.decoded.row,
+                })
+                .collect()
+        };
+        if candidates.is_empty() {
+            self.stats.scheduler.no_candidate += 1;
+            return;
+        }
+
+        let input = ScheduleInput {
+            cycle,
+            candidates: &candidates,
+            pending_per_source: &self.pending_per_source,
+        };
+        let Some(chosen) = self.policy.choose(&input) else {
+            return;
+        };
+        let queue_idx = candidates[chosen].queue_idx;
+
+        let channel = &mut self.channels[ch_idx];
+        let q = channel.queue.swap_remove(queue_idx);
+        let issue = channel.banks[q.decoded.bank].issue(
+            q.decoded.row,
+            q.req.kind,
+            cycle,
+            &self.config.timing,
+            burst,
+        );
+        let finish = issue.data_ready + burst;
+        channel.next_issue_at = cycle + burst;
+
+        if let Some(n) = self.pending_per_source.get_mut(&q.req.source) {
+            *n = n.saturating_sub(1);
+        }
+        self.policy.on_served(q.req.source, u64::from(q.req.bytes));
+        self.stats.record_served(
+            q.req.source,
+            u64::from(q.req.bytes),
+            issue.outcome,
+            finish.saturating_sub(q.req.arrival),
+        );
+        self.stats.scheduler.issued += 1;
+        self.completions
+            .push(Reverse((finish, q.req.id, q.req.source.0)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::PolicyKind;
+
+    fn controller(kind: PolicyKind) -> MemoryController {
+        MemoryController::new(DramConfig::cmp_study(), kind.instantiate())
+    }
+
+    fn run_until_complete(mc: &mut MemoryController, n: usize, max_cycles: u64) -> Vec<Completion> {
+        let mut done = Vec::new();
+        for cycle in 0..max_cycles {
+            done.extend(mc.tick(cycle));
+            if done.len() >= n {
+                break;
+            }
+        }
+        done
+    }
+
+    #[test]
+    fn single_request_completes_with_miss_latency() {
+        let mut mc = controller(PolicyKind::FrFcfs);
+        mc.try_enqueue(MemoryRequest::read(1, SourceId(0), 0, 0))
+            .unwrap();
+        let done = run_until_complete(&mut mc, 1, 1000);
+        assert_eq!(done.len(), 1);
+        let t = &mc.config().timing;
+        // tRCD + tCL + burst.
+        assert_eq!(
+            done[0].finish,
+            t.t_rcd + t.t_cl + mc.config().burst_cycles()
+        );
+        assert_eq!(mc.stats().total_served(), 1);
+        assert_eq!(mc.pending(), 0);
+    }
+
+    #[test]
+    fn sequential_stream_hits_rows() {
+        let mut mc = controller(PolicyKind::FrFcfs);
+        // Same channel (stride = channels * 64), same row.
+        let stride = 64 * mc.config().channels as u64;
+        for i in 0..16u64 {
+            mc.try_enqueue(MemoryRequest::read(i, SourceId(0), i * stride, 0))
+                .unwrap();
+        }
+        let done = run_until_complete(&mut mc, 16, 10_000);
+        assert_eq!(done.len(), 16);
+        let s = &mc.stats().per_source[&SourceId(0)];
+        assert_eq!(s.row_misses, 1, "only the first access misses");
+        assert_eq!(s.row_hits, 15);
+    }
+
+    #[test]
+    fn queue_full_applies_backpressure() {
+        let mut mc = controller(PolicyKind::Fcfs);
+        let cap = mc.config().queue_capacity;
+        let stride = 64 * mc.config().channels as u64; // all to channel 0
+        let mut accepted = 0;
+        for i in 0..(cap as u64 + 10) {
+            if mc
+                .try_enqueue(MemoryRequest::read(i, SourceId(0), i * stride, 0))
+                .is_ok()
+            {
+                accepted += 1;
+            }
+        }
+        assert_eq!(accepted, cap);
+        assert_eq!(mc.stats().per_source[&SourceId(0)].rejected, 10);
+    }
+
+    #[test]
+    fn channels_interleave_for_sequential_addresses() {
+        let mut mc = controller(PolicyKind::FrFcfs);
+        for i in 0..4u64 {
+            mc.try_enqueue(MemoryRequest::read(i, SourceId(0), i * 64, 0))
+                .unwrap();
+        }
+        // All four channels can issue in the same cycle.
+        mc.tick(0);
+        assert_eq!(mc.pending(), 0);
+    }
+
+    #[test]
+    fn bus_serializes_same_channel_transfers() {
+        let mut mc = controller(PolicyKind::FrFcfs);
+        let stride = 64 * mc.config().channels as u64;
+        for i in 0..8u64 {
+            mc.try_enqueue(MemoryRequest::read(i, SourceId(0), i * stride, 0))
+                .unwrap();
+        }
+        let done = run_until_complete(&mut mc, 8, 10_000);
+        let mut finishes: Vec<u64> = done.iter().map(|c| c.finish).collect();
+        finishes.sort_unstable();
+        let burst = mc.config().burst_cycles();
+        for w in finishes.windows(2) {
+            assert!(w[1] - w[0] >= burst, "transfers overlap on the bus");
+        }
+    }
+
+    #[test]
+    fn pending_per_source_tracks_queue() {
+        let mut mc = controller(PolicyKind::Fcfs);
+        mc.try_enqueue(MemoryRequest::read(0, SourceId(3), 0, 0))
+            .unwrap();
+        mc.try_enqueue(MemoryRequest::read(1, SourceId(3), 64, 0))
+            .unwrap();
+        assert_eq!(mc.pending_for(SourceId(3)), 2);
+        run_until_complete(&mut mc, 2, 1000);
+        assert_eq!(mc.pending_for(SourceId(3)), 0);
+    }
+
+    #[test]
+    fn all_policies_drain_a_mixed_queue() {
+        for kind in PolicyKind::all() {
+            let mut mc = controller(kind);
+            for i in 0..64u64 {
+                let src = SourceId((i % 4) as usize);
+                mc.try_enqueue(MemoryRequest::read(i, src, i * 64 * 7919, 0))
+                    .unwrap();
+            }
+            let done = run_until_complete(&mut mc, 64, 100_000);
+            assert_eq!(done.len(), 64, "{kind} failed to drain");
+        }
+    }
+
+    #[test]
+    fn stats_latency_includes_queueing() {
+        let mut mc = controller(PolicyKind::Fcfs);
+        let stride = 64 * mc.config().channels as u64;
+        for i in 0..4u64 {
+            mc.try_enqueue(MemoryRequest::read(i, SourceId(0), i * stride, 0))
+                .unwrap();
+        }
+        run_until_complete(&mut mc, 4, 10_000);
+        let s = &mc.stats().per_source[&SourceId(0)];
+        // The last request waited for three predecessors.
+        assert!(s.max_latency > s.avg_latency() as u64 / 2);
+        assert!(s.max_latency >= 3 * mc.config().burst_cycles());
+    }
+}

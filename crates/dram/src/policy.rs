@@ -1,0 +1,799 @@
+//! Memory-controller scheduling policies (Table 2 of the paper).
+//!
+//! Five policies are implemented:
+//!
+//! | Policy | Fairness control | Reference |
+//! |---|---|---|
+//! | [`Fcfs`] | none | — |
+//! | [`FrFcfs`] | none | Rixner et al., ISCA'00 |
+//! | [`Atlas`] | least-attained-service ranking | Kim et al., HPCA'10 |
+//! | [`Tcm`] | latency/bandwidth clustering + rank shuffle | Kim et al., MICRO'10 |
+//! | [`Sms`] | batch formation + probabilistic shortest-first | Ausavarungnirun et al., ISCA'12 |
+//!
+//! Each policy selects, once per scheduling opportunity, one request among
+//! the *issuable* candidates of a channel (requests whose bank is free).
+//! Policies keep their own per-source state (attained service, intensity,
+//! cluster membership) and are notified of enqueue/serve events by the
+//! controller.
+
+use crate::request::SourceId;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One issuable request presented to a scheduling policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Candidate {
+    /// Index of the request in the channel queue (returned by `choose`).
+    pub queue_idx: usize,
+    /// Source that issued the request.
+    pub source: SourceId,
+    /// Whether the request would hit in the currently open row.
+    pub row_hit: bool,
+    /// Cycle the request entered the queue.
+    pub arrival: u64,
+    /// Target bank within the channel.
+    pub bank: usize,
+    /// Target row.
+    pub row: u64,
+}
+
+/// Everything a policy may inspect when choosing the next request.
+#[derive(Debug)]
+pub struct ScheduleInput<'a> {
+    /// Current memory-controller cycle.
+    pub cycle: u64,
+    /// Issuable requests (banks free) in this channel.
+    pub candidates: &'a [Candidate],
+    /// Number of pending (queued, not yet served) requests per source across
+    /// the whole controller; used by SMS's shortest-job-first stage.
+    pub pending_per_source: &'a BTreeMap<SourceId, usize>,
+}
+
+/// A memory-request scheduling discipline.
+///
+/// This trait is sealed in spirit: the controller only exercises the
+/// implementations in this module, but it is left open so experiments can
+/// plug in custom disciplines (e.g. for ablations).
+pub trait SchedulingPolicy: fmt::Debug + Send {
+    /// Human-readable policy name (matches the paper's Table 2 labels).
+    fn name(&self) -> &'static str;
+
+    /// Picks the index (into `input.candidates`) of the request to issue,
+    /// or `None` to idle this opportunity. An empty candidate list must
+    /// return `None`.
+    fn choose(&mut self, input: &ScheduleInput<'_>) -> Option<usize>;
+
+    /// Notification: a request from `source` entered the queue.
+    fn on_enqueue(&mut self, _source: SourceId) {}
+
+    /// Notification: `bytes` of service were delivered to `source`.
+    fn on_served(&mut self, _source: SourceId, _bytes: u64) {}
+
+    /// Called once per controller cycle for epoch/quantum maintenance.
+    fn on_cycle(&mut self, _cycle: u64) {}
+
+    /// Whether the controller may shield an open row from closure while
+    /// row-hit requests for it are still queued (open-page awareness).
+    /// All realistic schedulers respect open rows; plain FCFS — by
+    /// definition locality-oblivious — overrides this to `false`.
+    fn respects_open_rows(&self) -> bool {
+        true
+    }
+}
+
+/// Enumerates the built-in policies; convenient for sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PolicyKind {
+    /// First-come-first-serve.
+    Fcfs,
+    /// First-ready FCFS (row-hit first).
+    FrFcfs,
+    /// Adaptive per-thread least-attained-service.
+    Atlas,
+    /// Thread cluster memory scheduling.
+    Tcm,
+    /// Staged memory scheduling.
+    Sms,
+}
+
+impl PolicyKind {
+    /// All five policies in the paper's order.
+    pub fn all() -> [PolicyKind; 5] {
+        [
+            PolicyKind::Fcfs,
+            PolicyKind::FrFcfs,
+            PolicyKind::Atlas,
+            PolicyKind::Tcm,
+            PolicyKind::Sms,
+        ]
+    }
+
+    /// The three policies with fairness control.
+    pub fn fairness_aware() -> [PolicyKind; 3] {
+        [PolicyKind::Atlas, PolicyKind::Tcm, PolicyKind::Sms]
+    }
+
+    /// Display label matching the paper.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PolicyKind::Fcfs => "FCFS",
+            PolicyKind::FrFcfs => "FR-FCFS",
+            PolicyKind::Atlas => "ATLAS",
+            PolicyKind::Tcm => "TCM",
+            PolicyKind::Sms => "SMS",
+        }
+    }
+
+    /// Whether the policy employs fairness control.
+    pub fn has_fairness_control(&self) -> bool {
+        matches!(self, PolicyKind::Atlas | PolicyKind::Tcm | PolicyKind::Sms)
+    }
+
+    /// Builds a fresh policy instance with its default parameters.
+    pub fn instantiate(&self) -> Box<dyn SchedulingPolicy> {
+        match self {
+            PolicyKind::Fcfs => Box::new(Fcfs::new()),
+            PolicyKind::FrFcfs => Box::new(FrFcfs::new()),
+            PolicyKind::Atlas => Box::new(Atlas::default()),
+            PolicyKind::Tcm => Box::new(Tcm::default()),
+            PolicyKind::Sms => Box::new(Sms::default()),
+        }
+    }
+}
+
+impl fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+fn oldest(cands: &[Candidate]) -> Option<usize> {
+    cands
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, c)| (c.arrival, c.queue_idx))
+        .map(|(i, _)| i)
+}
+
+fn oldest_where<F: Fn(&Candidate) -> bool>(cands: &[Candidate], pred: F) -> Option<usize> {
+    cands
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| pred(c))
+        .min_by_key(|(_, c)| (c.arrival, c.queue_idx))
+        .map(|(i, _)| i)
+}
+
+/// First-come-first-serve: requests are served strictly in arrival order
+/// with no locality awareness.
+///
+/// As the paper observes (Fig. 5a, Table 3), FCFS suffers low row-buffer hit
+/// rates under co-location because interleaved sources destroy row locality.
+#[derive(Debug, Clone, Default)]
+pub struct Fcfs;
+
+impl Fcfs {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        Fcfs
+    }
+}
+
+impl SchedulingPolicy for Fcfs {
+    fn name(&self) -> &'static str {
+        "FCFS"
+    }
+
+    fn choose(&mut self, input: &ScheduleInput<'_>) -> Option<usize> {
+        oldest(input.candidates)
+    }
+
+    fn respects_open_rows(&self) -> bool {
+        false
+    }
+}
+
+/// First-ready FCFS: row-hit requests first, then oldest (Rixner et al.).
+///
+/// Maximizes row-buffer hit rate and total bandwidth but has no fairness
+/// control; memory-intensive streams can hog bandwidth (Fig. 5b).
+#[derive(Debug, Clone, Default)]
+pub struct FrFcfs;
+
+impl FrFcfs {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        FrFcfs
+    }
+}
+
+impl SchedulingPolicy for FrFcfs {
+    fn name(&self) -> &'static str {
+        "FR-FCFS"
+    }
+
+    fn choose(&mut self, input: &ScheduleInput<'_>) -> Option<usize> {
+        oldest_where(input.candidates, |c| c.row_hit).or_else(|| oldest(input.candidates))
+    }
+}
+
+/// ATLAS: Adaptive per-Thread Least-Attained-Service (Kim et al., HPCA'10).
+///
+/// Prioritization order (Table 2): (1) requests waiting beyond the
+/// starvation threshold, (2) requests from the source with least attained
+/// service, (3) row-hit requests, (4) oldest requests. Attained service is
+/// accumulated per quantum and aged with an exponential moving average.
+#[derive(Debug, Clone)]
+pub struct Atlas {
+    /// Starvation threshold in cycles; older requests jump the ranking.
+    pub threshold_cycles: u64,
+    /// Quantum length in cycles between long-term service aging.
+    pub quantum_cycles: u64,
+    /// Epoch length in cycles between rank recomputations. Ranks are held
+    /// *fixed* within an epoch — the original proposal's rank stability —
+    /// which lets the prioritized source stream row hits instead of the
+    /// scheduler round-robining every request (and destroying locality).
+    pub epoch_cycles: u64,
+    /// EMA weight on history at quantum boundaries (ATLAS's alpha).
+    pub alpha: f64,
+    service_current: BTreeMap<SourceId, f64>,
+    service_total: BTreeMap<SourceId, f64>,
+    rank: BTreeMap<SourceId, usize>,
+    next_quantum: u64,
+    next_epoch: u64,
+}
+
+impl Atlas {
+    /// Creates ATLAS with explicit parameters.
+    pub fn new(threshold_cycles: u64, quantum_cycles: u64, epoch_cycles: u64, alpha: f64) -> Self {
+        assert!((0.0..=1.0).contains(&alpha), "alpha must be in [0, 1]");
+        assert!(epoch_cycles > 0, "epoch must be positive");
+        Self {
+            threshold_cycles,
+            quantum_cycles,
+            epoch_cycles,
+            alpha,
+            service_current: BTreeMap::new(),
+            service_total: BTreeMap::new(),
+            rank: BTreeMap::new(),
+            next_quantum: quantum_cycles,
+            next_epoch: 0,
+        }
+    }
+
+    /// Long-term attained service of a source (for tests/inspection).
+    pub fn attained_service(&self, source: SourceId) -> f64 {
+        self.service_total.get(&source).copied().unwrap_or(0.0)
+            + self.service_current.get(&source).copied().unwrap_or(0.0)
+    }
+
+    /// Rank of a source at the current epoch (0 = highest priority);
+    /// unknown sources get top priority, as in the original (new threads
+    /// have attained no service yet).
+    fn rank_of(&self, source: SourceId) -> usize {
+        self.rank.get(&source).copied().unwrap_or(0)
+    }
+
+    fn recompute_ranks(&mut self) {
+        let mut by_service: Vec<(SourceId, f64)> = self
+            .service_current
+            .keys()
+            .chain(self.service_total.keys())
+            .copied()
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .map(|s| (s, self.attained_service(s)))
+            .collect();
+        by_service.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        self.rank = by_service
+            .into_iter()
+            .enumerate()
+            .map(|(r, (s, _))| (s, r))
+            .collect();
+    }
+}
+
+impl Default for Atlas {
+    fn default() -> Self {
+        // Quanta/epochs are scaled to the short horizons of the study (the
+        // original proposal uses ~10M-cycle quanta on full applications).
+        // The starvation threshold is the rule that keeps least-attained-
+        // service prioritization from starving a heavier victim outright;
+        // at queue latencies of a few hundred cycles, ~2.5k cycles bounds
+        // any request's wait without degrading to FCFS.
+        Self::new(2_500, 10_000, 1_500, 0.875)
+    }
+}
+
+impl SchedulingPolicy for Atlas {
+    fn name(&self) -> &'static str {
+        "ATLAS"
+    }
+
+    fn choose(&mut self, input: &ScheduleInput<'_>) -> Option<usize> {
+        let cands = input.candidates;
+        if cands.is_empty() {
+            return None;
+        }
+        // (1) Over-threshold requests, oldest first.
+        if let Some(i) = oldest_where(cands, |c| {
+            input.cycle.saturating_sub(c.arrival) > self.threshold_cycles
+        }) {
+            return Some(i);
+        }
+        // (2) Best-ranked (least-attained-service) source among candidates;
+        // ranks are fixed within the epoch.
+        let best_rank = cands.iter().map(|c| self.rank_of(c.source)).min()?;
+        let pool: Vec<Candidate> = cands
+            .iter()
+            .copied()
+            .filter(|c| self.rank_of(c.source) == best_rank)
+            .collect();
+        // (3) Row-hit first, (4) oldest, within that source class.
+        let pick = oldest_where(&pool, |c| c.row_hit).or_else(|| oldest(&pool))?;
+        let chosen = pool[pick];
+        cands.iter().position(|c| c.queue_idx == chosen.queue_idx)
+    }
+
+    fn on_enqueue(&mut self, source: SourceId) {
+        self.service_current.entry(source).or_insert(0.0);
+    }
+
+    fn on_served(&mut self, source: SourceId, bytes: u64) {
+        *self.service_current.entry(source).or_insert(0.0) += bytes as f64;
+    }
+
+    fn on_cycle(&mut self, cycle: u64) {
+        if cycle >= self.next_epoch {
+            self.recompute_ranks();
+            self.next_epoch = cycle + self.epoch_cycles;
+        }
+        if cycle >= self.next_quantum {
+            for (src, cur) in self.service_current.iter_mut() {
+                let total = self.service_total.entry(*src).or_insert(0.0);
+                *total = self.alpha * *total + (1.0 - self.alpha) * *cur;
+                *cur = 0.0;
+            }
+            self.next_quantum = cycle + self.quantum_cycles;
+        }
+    }
+}
+
+/// TCM: Thread Cluster Memory scheduling (Kim et al., MICRO'10).
+///
+/// Each quantum, sources are split by memory intensity into a
+/// latency-sensitive cluster (prioritized) and a bandwidth-sensitive cluster
+/// whose internal ranking is shuffled periodically to spread slowdown
+/// fairly. Prioritization (Table 2): (1) non-memory-intensive sources,
+/// (2) shuffled rank among intensive sources, (3) row hit, (4) oldest.
+#[derive(Debug)]
+pub struct Tcm {
+    /// Quantum length in cycles between cluster re-formation.
+    pub quantum_cycles: u64,
+    /// Rank-shuffle period in cycles.
+    pub shuffle_cycles: u64,
+    /// Fraction of total attained bandwidth allowed into the
+    /// latency-sensitive cluster (the original ClusterThresh, default 4/24).
+    pub cluster_thresh: f64,
+    served_current: BTreeMap<SourceId, u64>,
+    latency_cluster: Vec<SourceId>,
+    bw_rank: Vec<SourceId>,
+    next_quantum: u64,
+    next_shuffle: u64,
+    rng: SmallRng,
+}
+
+impl Tcm {
+    /// Creates TCM with explicit parameters; `seed` fixes the shuffle order
+    /// for reproducibility.
+    pub fn new(quantum_cycles: u64, shuffle_cycles: u64, cluster_thresh: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&cluster_thresh),
+            "cluster threshold must be a fraction"
+        );
+        Self {
+            quantum_cycles,
+            shuffle_cycles,
+            cluster_thresh,
+            served_current: BTreeMap::new(),
+            latency_cluster: Vec::new(),
+            bw_rank: Vec::new(),
+            next_quantum: quantum_cycles,
+            next_shuffle: shuffle_cycles,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    fn is_latency_sensitive(&self, source: SourceId) -> bool {
+        self.latency_cluster.contains(&source)
+    }
+
+    fn rank_of(&self, source: SourceId) -> usize {
+        self.bw_rank
+            .iter()
+            .position(|&s| s == source)
+            .unwrap_or(usize::MAX)
+    }
+
+    fn reform_clusters(&mut self) {
+        let total: u64 = self.served_current.values().sum();
+        let mut by_intensity: Vec<(SourceId, u64)> =
+            self.served_current.iter().map(|(&s, &v)| (s, v)).collect();
+        by_intensity.sort_by_key(|&(s, v)| (v, s));
+        self.latency_cluster.clear();
+        self.bw_rank.clear();
+        let budget = (total as f64 * self.cluster_thresh) as u64;
+        let mut used = 0u64;
+        for (src, v) in by_intensity {
+            if used + v <= budget {
+                used += v;
+                self.latency_cluster.push(src);
+            } else {
+                self.bw_rank.push(src);
+            }
+        }
+        self.served_current.values_mut().for_each(|v| *v = 0);
+    }
+
+    fn shuffle_ranks(&mut self) {
+        // Fisher–Yates over the bandwidth cluster.
+        for i in (1..self.bw_rank.len()).rev() {
+            let j = self.rng.gen_range(0..=i);
+            self.bw_rank.swap(i, j);
+        }
+    }
+}
+
+impl Default for Tcm {
+    fn default() -> Self {
+        // Quantum/shuffle periods scaled to the short horizons of this
+        // study (the original proposal re-clusters every ~1M cycles on full
+        // applications); clusters must re-form several times per run.
+        Self::new(8_000, 2_000, 4.0 / 24.0, 0x7c3)
+    }
+}
+
+impl SchedulingPolicy for Tcm {
+    fn name(&self) -> &'static str {
+        "TCM"
+    }
+
+    fn choose(&mut self, input: &ScheduleInput<'_>) -> Option<usize> {
+        let cands = input.candidates;
+        if cands.is_empty() {
+            return None;
+        }
+        // (1) Latency-sensitive cluster first.
+        let latency: Vec<Candidate> = cands
+            .iter()
+            .copied()
+            .filter(|c| self.is_latency_sensitive(c.source))
+            .collect();
+        let pool: Vec<Candidate> = if !latency.is_empty() {
+            latency
+        } else {
+            // (2) Highest-ranked bandwidth-cluster source.
+            let best_rank = cands.iter().map(|c| self.rank_of(c.source)).min()?;
+            cands
+                .iter()
+                .copied()
+                .filter(|c| self.rank_of(c.source) == best_rank)
+                .collect()
+        };
+        // (3) Row hit, (4) oldest.
+        let pick = oldest_where(&pool, |c| c.row_hit).or_else(|| oldest(&pool))?;
+        let chosen = pool[pick];
+        cands.iter().position(|c| c.queue_idx == chosen.queue_idx)
+    }
+
+    fn on_enqueue(&mut self, source: SourceId) {
+        // Ensure newly seen sources participate in the next clustering.
+        self.served_current.entry(source).or_insert(0);
+    }
+
+    fn on_served(&mut self, source: SourceId, _bytes: u64) {
+        *self.served_current.entry(source).or_insert(0) += 1;
+    }
+
+    fn on_cycle(&mut self, cycle: u64) {
+        if cycle >= self.next_quantum {
+            self.reform_clusters();
+            self.next_quantum = cycle + self.quantum_cycles;
+        }
+        if cycle >= self.next_shuffle {
+            self.shuffle_ranks();
+            self.next_shuffle = cycle + self.shuffle_cycles;
+        }
+    }
+}
+
+/// SMS: Staged Memory Scheduling (Ausavarungnirun et al., ISCA'12).
+///
+/// Requests are conceptually grouped into per-source same-row batches; the
+/// scheduler then picks, with probability `p`, the source with the shortest
+/// outstanding work (favouring latency-sensitive sources) and otherwise
+/// round-robins across sources (fairness). Within the selected source, the
+/// oldest request goes first so batches drain in order.
+#[derive(Debug)]
+pub struct Sms {
+    /// Probability of the shortest-job-first stage (the paper's `p`).
+    pub p_shortest: f64,
+    round_robin_next: usize,
+    rng: SmallRng,
+}
+
+impl Sms {
+    /// Creates SMS with an explicit shortest-first probability and RNG seed.
+    pub fn new(p_shortest: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&p_shortest),
+            "probability must be in [0, 1]"
+        );
+        Self {
+            p_shortest,
+            round_robin_next: 0,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Default for Sms {
+    fn default() -> Self {
+        Self::new(0.9, 0x515)
+    }
+}
+
+impl SchedulingPolicy for Sms {
+    fn name(&self) -> &'static str {
+        "SMS"
+    }
+
+    fn choose(&mut self, input: &ScheduleInput<'_>) -> Option<usize> {
+        let cands = input.candidates;
+        if cands.is_empty() {
+            return None;
+        }
+        let mut sources: Vec<SourceId> = cands.iter().map(|c| c.source).collect();
+        sources.sort_unstable();
+        sources.dedup();
+
+        let target = if self.rng.gen_bool(self.p_shortest) {
+            // Shortest job first: least pending work controller-wide.
+            sources
+                .iter()
+                .copied()
+                .min_by_key(|s| (input.pending_per_source.get(s).copied().unwrap_or(0), *s))
+                .expect("non-empty sources")
+        } else {
+            // Round-robin across currently present sources.
+            let idx = self.round_robin_next % sources.len();
+            self.round_robin_next = self.round_robin_next.wrapping_add(1);
+            sources[idx]
+        };
+
+        let pool: Vec<Candidate> = cands
+            .iter()
+            .copied()
+            .filter(|c| c.source == target)
+            .collect();
+        let pick = oldest_where(&pool, |c| c.row_hit).or_else(|| oldest(&pool))?;
+        let chosen = pool[pick];
+        cands.iter().position(|c| c.queue_idx == chosen.queue_idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cand(queue_idx: usize, source: usize, row_hit: bool, arrival: u64) -> Candidate {
+        Candidate {
+            queue_idx,
+            source: SourceId(source),
+            row_hit,
+            arrival,
+            bank: 0,
+            row: 0,
+        }
+    }
+
+    fn input<'a>(
+        cycle: u64,
+        cands: &'a [Candidate],
+        pending: &'a BTreeMap<SourceId, usize>,
+    ) -> ScheduleInput<'a> {
+        ScheduleInput {
+            cycle,
+            candidates: cands,
+            pending_per_source: pending,
+        }
+    }
+
+    #[test]
+    fn all_policies_return_none_on_empty() {
+        let pending = BTreeMap::new();
+        for kind in PolicyKind::all() {
+            let mut p = kind.instantiate();
+            assert_eq!(p.choose(&input(0, &[], &pending)), None, "{kind}");
+        }
+    }
+
+    #[test]
+    fn all_policies_pick_the_only_candidate() {
+        let pending = BTreeMap::new();
+        let cands = [cand(3, 0, false, 10)];
+        for kind in PolicyKind::all() {
+            let mut p = kind.instantiate();
+            assert_eq!(p.choose(&input(20, &cands, &pending)), Some(0), "{kind}");
+        }
+    }
+
+    #[test]
+    fn fcfs_ignores_row_hits() {
+        let pending = BTreeMap::new();
+        let cands = [cand(0, 0, true, 20), cand(1, 1, false, 10)];
+        let mut p = Fcfs::new();
+        assert_eq!(p.choose(&input(30, &cands, &pending)), Some(1));
+    }
+
+    #[test]
+    fn frfcfs_prefers_row_hit_over_older() {
+        let pending = BTreeMap::new();
+        let cands = [cand(0, 0, true, 20), cand(1, 1, false, 10)];
+        let mut p = FrFcfs::new();
+        assert_eq!(p.choose(&input(30, &cands, &pending)), Some(0));
+    }
+
+    #[test]
+    fn frfcfs_falls_back_to_oldest() {
+        let pending = BTreeMap::new();
+        let cands = [cand(0, 0, false, 20), cand(1, 1, false, 10)];
+        let mut p = FrFcfs::new();
+        assert_eq!(p.choose(&input(30, &cands, &pending)), Some(1));
+    }
+
+    #[test]
+    fn atlas_prioritizes_least_attained_service() {
+        let pending = BTreeMap::new();
+        let mut p = Atlas::default();
+        // Source 0 has received lots of service; source 1 none.
+        p.on_served(SourceId(0), 1_000_000);
+        p.on_enqueue(SourceId(1));
+        p.on_cycle(0); // recompute ranks for the epoch
+        let cands = [cand(0, 0, true, 5), cand(1, 1, false, 10)];
+        assert_eq!(p.choose(&input(50, &cands, &pending)), Some(1));
+    }
+
+    #[test]
+    fn atlas_starvation_threshold_overrides_service() {
+        let pending = BTreeMap::new();
+        let mut p = Atlas::new(100, 50_000, 1_000, 0.875);
+        p.on_served(SourceId(0), 1_000_000);
+        p.on_enqueue(SourceId(1));
+        p.on_cycle(0);
+        // Source 0's request is over the 100-cycle threshold.
+        let cands = [cand(0, 0, false, 0), cand(1, 1, true, 190)];
+        assert_eq!(p.choose(&input(200, &cands, &pending)), Some(0));
+    }
+
+    #[test]
+    fn atlas_rank_is_stable_within_an_epoch() {
+        let pending = BTreeMap::new();
+        let mut p = Atlas::default();
+        p.on_served(SourceId(0), 1_000_000);
+        p.on_enqueue(SourceId(1));
+        p.on_cycle(0);
+        let cands = [cand(0, 0, true, 5), cand(1, 1, false, 10)];
+        // Serving source 1 repeatedly does not flip the rank until the next
+        // epoch boundary.
+        for _ in 0..10 {
+            assert_eq!(p.choose(&input(50, &cands, &pending)), Some(1));
+            p.on_served(SourceId(1), 1_000_000_000);
+        }
+        p.on_cycle(p.epoch_cycles + 1);
+        assert_eq!(p.choose(&input(50, &cands, &pending)), Some(0));
+    }
+
+    #[test]
+    fn atlas_service_decays_across_quanta() {
+        let mut p = Atlas::new(1_000, 100, 50, 0.5);
+        p.on_served(SourceId(0), 1000);
+        p.on_cycle(100);
+        // total = 0.5*0 + 0.5*1000 = 500; current reset.
+        assert!((p.attained_service(SourceId(0)) - 500.0).abs() < 1e-9);
+        p.on_cycle(200);
+        assert!((p.attained_service(SourceId(0)) - 250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn atlas_ties_broken_by_row_hit() {
+        let pending = BTreeMap::new();
+        let mut p = Atlas::default();
+        let cands = [cand(0, 0, false, 5), cand(1, 1, true, 10)];
+        assert_eq!(p.choose(&input(50, &cands, &pending)), Some(1));
+    }
+
+    #[test]
+    fn tcm_prioritizes_latency_sensitive_cluster() {
+        let pending = BTreeMap::new();
+        let mut p = Tcm::default();
+        // Source 1 is heavy, source 0 light.
+        for _ in 0..100 {
+            p.on_served(SourceId(1), 64);
+        }
+        p.on_served(SourceId(0), 64);
+        p.on_cycle(p.quantum_cycles); // reform clusters
+        assert!(p.is_latency_sensitive(SourceId(0)));
+        assert!(!p.is_latency_sensitive(SourceId(1)));
+        let cands = [cand(0, 1, true, 0), cand(1, 0, false, 50)];
+        assert_eq!(p.choose(&input(60_000, &cands, &pending)), Some(1));
+    }
+
+    #[test]
+    fn tcm_shuffle_changes_rank_order_eventually() {
+        let mut p = Tcm::default();
+        for s in 0..4 {
+            for _ in 0..100 {
+                p.on_served(SourceId(s), 64);
+            }
+        }
+        p.on_cycle(p.quantum_cycles);
+        let before = p.bw_rank.clone();
+        assert_eq!(before.len(), 4);
+        let mut changed = false;
+        let mut t = p.quantum_cycles;
+        for _ in 0..32 {
+            t += p.shuffle_cycles;
+            p.on_cycle(t);
+            if p.bw_rank != before {
+                changed = true;
+                break;
+            }
+        }
+        assert!(changed, "rank order never shuffled");
+    }
+
+    #[test]
+    fn sms_shortest_first_picks_lightest_source() {
+        let mut pending = BTreeMap::new();
+        pending.insert(SourceId(0), 100);
+        pending.insert(SourceId(1), 2);
+        let mut p = Sms::new(1.0, 42); // always shortest-first
+        let cands = [cand(0, 0, true, 0), cand(1, 1, false, 50)];
+        assert_eq!(p.choose(&input(60, &cands, &pending)), Some(1));
+    }
+
+    #[test]
+    fn sms_round_robin_rotates_sources() {
+        let pending = BTreeMap::new();
+        let mut p = Sms::new(0.0, 42); // always round-robin
+        let cands = [cand(0, 0, false, 0), cand(1, 1, false, 0)];
+        let first = p.choose(&input(10, &cands, &pending)).unwrap();
+        let second = p.choose(&input(11, &cands, &pending)).unwrap();
+        assert_ne!(cands[first].source, cands[second].source);
+    }
+
+    #[test]
+    fn policy_kind_labels_and_fairness() {
+        assert_eq!(PolicyKind::FrFcfs.label(), "FR-FCFS");
+        assert!(!PolicyKind::Fcfs.has_fairness_control());
+        assert!(PolicyKind::Atlas.has_fairness_control());
+        assert_eq!(PolicyKind::all().len(), 5);
+        assert_eq!(PolicyKind::fairness_aware().len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn atlas_rejects_bad_alpha() {
+        let _ = Atlas::new(1, 1, 1, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn sms_rejects_bad_probability() {
+        let _ = Sms::new(-0.1, 0);
+    }
+}

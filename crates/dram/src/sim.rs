@@ -1,0 +1,381 @@
+//! The top-level DRAM simulation loop: traffic sources feeding a memory
+//! controller for a fixed horizon.
+
+use crate::config::DramConfig;
+use crate::controller::MemoryController;
+use crate::policy::PolicyKind;
+use crate::request::SourceId;
+use crate::stats::MemoryStats;
+use crate::traffic::TrafficSource;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A complete DRAM simulation: a controller plus a set of traffic sources.
+#[derive(Debug)]
+pub struct DramSystem {
+    controller: MemoryController,
+    generators: Vec<Box<dyn TrafficSource>>,
+}
+
+impl DramSystem {
+    /// Creates a system with the given geometry and scheduling policy.
+    pub fn new(config: DramConfig, policy: PolicyKind) -> Self {
+        Self {
+            controller: MemoryController::new(config.clone(), policy.instantiate()),
+            generators: Vec::new(),
+        }
+    }
+
+    /// Creates a system around an existing controller (e.g. with a custom
+    /// policy or address mapping).
+    pub fn from_controller(controller: MemoryController) -> Self {
+        Self {
+            controller,
+            generators: Vec::new(),
+        }
+    }
+
+    /// The memory geometry.
+    pub fn config(&self) -> &DramConfig {
+        self.controller.config()
+    }
+
+    /// Adds a traffic source; it is bound to this system's geometry.
+    pub fn add_generator<T: TrafficSource + 'static>(&mut self, mut generator: T) {
+        generator.bind(self.controller.config());
+        self.generators.push(Box::new(generator));
+    }
+
+    /// Runs the simulation for `horizon` memory-controller cycles and
+    /// returns the outcome.
+    pub fn run(self, horizon: u64) -> SimOutcome {
+        self.run_with_warmup(0, horizon)
+    }
+
+    /// Runs for `horizon` cycles, additionally recording a measurement
+    /// window that excludes the first `warmup` cycles (cold row buffers,
+    /// pipeline fill). Rates derived from [`SimOutcome::measured`] are
+    /// steadier than whole-run rates on short horizons.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `warmup >= horizon`.
+    pub fn run_with_warmup(mut self, warmup: u64, horizon: u64) -> SimOutcome {
+        assert!(warmup < horizon, "warmup must be shorter than the horizon");
+        let config = self.controller.config().clone();
+        let mut warmup_progress: BTreeMap<SourceId, u64> = BTreeMap::new();
+        let mut warmup_bytes: BTreeMap<SourceId, u64> = BTreeMap::new();
+        for cycle in 0..horizon {
+            if cycle == warmup && warmup > 0 {
+                for g in &self.generators {
+                    warmup_progress.insert(g.source_id(), g.progress());
+                }
+                for (src, st) in &self.controller.stats().per_source {
+                    warmup_bytes.insert(*src, st.bytes);
+                }
+            }
+            // Let every source emit as much as it can this cycle.
+            for generator in &mut self.generators {
+                while let Some(req) = generator.poll(cycle) {
+                    if let Err(back) = self.controller.try_enqueue(req) {
+                        generator.on_reject(back);
+                        break;
+                    }
+                }
+            }
+            // Advance the controller; deliver completions.
+            let done = self.controller.tick(cycle);
+            for completion in &done {
+                for generator in &mut self.generators {
+                    if generator.source_id() == completion.source {
+                        generator.on_complete(completion);
+                        break;
+                    }
+                }
+            }
+        }
+
+        let completed: BTreeMap<SourceId, u64> = self
+            .generators
+            .iter()
+            .map(|g| (g.source_id(), g.completed()))
+            .collect();
+        let progress: BTreeMap<SourceId, u64> = self
+            .generators
+            .iter()
+            .map(|g| (g.source_id(), g.progress()))
+            .collect();
+        let stats = self.controller.into_stats();
+        let measured = MeasureWindow {
+            cycles: horizon - warmup,
+            progress: progress
+                .iter()
+                .map(|(s, &p)| (*s, p - warmup_progress.get(s).copied().unwrap_or(0)))
+                .collect(),
+            bytes: stats
+                .per_source
+                .iter()
+                .map(|(s, st)| (*s, st.bytes - warmup_bytes.get(s).copied().unwrap_or(0)))
+                .collect(),
+        };
+        SimOutcome {
+            stats,
+            config,
+            horizon,
+            completed,
+            progress,
+            measured,
+        }
+    }
+}
+
+/// The result of one [`DramSystem::run`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimOutcome {
+    /// Controller statistics (per-source service, hit rates, latencies).
+    pub stats: MemoryStats,
+    /// The geometry that was simulated.
+    pub config: DramConfig,
+    /// Cycles simulated.
+    pub horizon: u64,
+    /// Requests completed per source.
+    pub completed: BTreeMap<SourceId, u64>,
+    /// Forward progress per source (see
+    /// [`TrafficSource::progress`](crate::traffic::TrafficSource)).
+    pub progress: BTreeMap<SourceId, u64>,
+    /// Post-warmup measurement window (equals the whole run when no warmup
+    /// was requested).
+    pub measured: MeasureWindow,
+}
+
+/// Per-source counts accumulated after the warmup cut-off.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct MeasureWindow {
+    /// Cycles in the measurement window.
+    pub cycles: u64,
+    /// Lines of forward progress per source within the window.
+    pub progress: BTreeMap<SourceId, u64>,
+    /// Bytes served per source within the window.
+    pub bytes: BTreeMap<SourceId, u64>,
+}
+
+impl MeasureWindow {
+    /// Work rate of a source in lines per cycle within the window.
+    pub fn rate(&self, source: SourceId) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.progress.get(&source).copied().unwrap_or(0) as f64 / self.cycles as f64
+    }
+
+    /// Bandwidth of a source in bytes per cycle within the window.
+    pub fn bytes_per_cycle(&self, source: SourceId) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.bytes.get(&source).copied().unwrap_or(0) as f64 / self.cycles as f64
+    }
+}
+
+impl SimOutcome {
+    /// Bandwidth attained by `source` in GB/s.
+    pub fn source_bw_gbps(&self, source: SourceId) -> f64 {
+        self.stats.source_bw_gbps(source, &self.config)
+    }
+
+    /// Aggregate effective bandwidth in GB/s.
+    pub fn effective_bw_gbps(&self) -> f64 {
+        self.stats.effective_bw_gbps(&self.config)
+    }
+
+    /// Effective bandwidth as % of peak (Table 3 metric).
+    pub fn effective_bw_pct(&self) -> f64 {
+        self.stats.effective_bw_pct(&self.config)
+    }
+
+    /// Aggregate row-buffer hit rate as % (Table 3 metric).
+    pub fn row_hit_pct(&self) -> f64 {
+        100.0 * self.stats.row_hit_rate()
+    }
+
+    /// Mean request latency of `source` in cycles.
+    pub fn avg_latency(&self, source: SourceId) -> f64 {
+        self.stats
+            .per_source
+            .get(&source)
+            .map(|s| s.avg_latency())
+            .unwrap_or(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traffic::StreamTraffic;
+
+    fn system(policy: PolicyKind) -> DramSystem {
+        DramSystem::new(DramConfig::cmp_study(), policy)
+    }
+
+    #[test]
+    fn standalone_stream_achieves_its_demand() {
+        let mut sys = system(PolicyKind::FrFcfs);
+        sys.add_generator(
+            StreamTraffic::builder(SourceId(0))
+                .demand_gbps(30.0)
+                .row_locality(0.95)
+                .window(64)
+                .build(),
+        );
+        let out = sys.run(100_000);
+        let bw = out.source_bw_gbps(SourceId(0));
+        assert!(
+            (bw - 30.0).abs() < 2.0,
+            "standalone 30 GB/s stream achieved {bw:.1} GB/s"
+        );
+    }
+
+    #[test]
+    fn demand_beyond_peak_saturates() {
+        let mut sys = system(PolicyKind::FrFcfs);
+        sys.add_generator(
+            StreamTraffic::builder(SourceId(0))
+                .demand_gbps(200.0)
+                .row_locality(0.95)
+                .window(256)
+                .build(),
+        );
+        let out = sys.run(100_000);
+        let bw = out.source_bw_gbps(SourceId(0));
+        assert!(bw < 102.4, "cannot exceed peak");
+        assert!(bw > 70.0, "should get most of peak, got {bw:.1}");
+    }
+
+    #[test]
+    fn two_streams_share_bandwidth() {
+        let mut sys = system(PolicyKind::FrFcfs);
+        for s in 0..2 {
+            sys.add_generator(
+                StreamTraffic::builder(SourceId(s))
+                    .demand_gbps(80.0)
+                    .row_locality(0.95)
+                    .window(128)
+                    .build(),
+            );
+        }
+        let out = sys.run(100_000);
+        let a = out.source_bw_gbps(SourceId(0));
+        let b = out.source_bw_gbps(SourceId(1));
+        assert!(a + b < 102.4 + 1.0);
+        assert!(a + b > 60.0, "total {:.1}", a + b);
+        // FR-FCFS has no fairness control but symmetric streams should be
+        // roughly balanced.
+        assert!((a - b).abs() / (a + b) < 0.25, "a={a:.1} b={b:.1}");
+    }
+
+    #[test]
+    fn frfcfs_beats_fcfs_on_row_hits_under_colocation() {
+        let run = |policy| {
+            let mut sys = system(policy);
+            for s in 0..4 {
+                sys.add_generator(
+                    StreamTraffic::builder(SourceId(s))
+                        .demand_gbps(40.0)
+                        .row_locality(0.9)
+                        .window(64)
+                        .build(),
+                );
+            }
+            sys.run(60_000)
+        };
+        let fcfs = run(PolicyKind::Fcfs);
+        let fr = run(PolicyKind::FrFcfs);
+        assert!(
+            fr.row_hit_pct() > fcfs.row_hit_pct(),
+            "FR-FCFS RBH {:.1}% should beat FCFS {:.1}%",
+            fr.row_hit_pct(),
+            fcfs.row_hit_pct()
+        );
+        assert!(fr.effective_bw_pct() > fcfs.effective_bw_pct());
+    }
+
+    #[test]
+    fn atlas_protects_light_source_from_heavy_one() {
+        let run = |policy| {
+            let mut sys = system(policy);
+            sys.add_generator(
+                StreamTraffic::builder(SourceId(0))
+                    .demand_gbps(15.0)
+                    .row_locality(0.9)
+                    .window(16)
+                    .build(),
+            );
+            sys.add_generator(
+                StreamTraffic::builder(SourceId(1))
+                    .demand_gbps(150.0)
+                    .row_locality(0.95)
+                    .window(256)
+                    .build(),
+            );
+            sys.run(120_000)
+        };
+        let atlas = run(PolicyKind::Atlas);
+        let light = atlas.source_bw_gbps(SourceId(0));
+        // The light source's 15 GB/s demand should be mostly satisfied
+        // (less the refresh tax and its own small window's latency
+        // sensitivity).
+        assert!(
+            light > 11.0,
+            "ATLAS should nearly satisfy the light source; got {light:.1} GB/s"
+        );
+    }
+
+    #[test]
+    fn refresh_taxes_throughput_slightly_and_uniformly() {
+        let run = |t_refi: u64| {
+            let mut config = DramConfig::cmp_study();
+            config.timing.t_refi = t_refi;
+            let mut sys = DramSystem::new(config, PolicyKind::FrFcfs);
+            for s in 0..2 {
+                sys.add_generator(
+                    StreamTraffic::builder(SourceId(s))
+                        .demand_gbps(80.0)
+                        .row_locality(0.95)
+                        .window(64)
+                        .build(),
+                );
+            }
+            let out = sys.run(80_000);
+            (
+                out.source_bw_gbps(SourceId(0)),
+                out.source_bw_gbps(SourceId(1)),
+            )
+        };
+        let (a_off, b_off) = run(0);
+        let (a_on, b_on) = run(12_480);
+        let total_off = a_off + b_off;
+        let total_on = a_on + b_on;
+        assert!(total_on < total_off, "refresh must cost bandwidth");
+        assert!(
+            total_on > total_off * 0.90,
+            "refresh tax too large: {total_on:.1} vs {total_off:.1}"
+        );
+        // Uniform: both sources lose a similar share.
+        let share_off = a_off / total_off;
+        let share_on = a_on / total_on;
+        assert!((share_off - share_on).abs() < 0.05);
+    }
+
+    #[test]
+    fn outcome_reports_completed_counts() {
+        let mut sys = system(PolicyKind::Sms);
+        sys.add_generator(
+            StreamTraffic::builder(SourceId(0))
+                .demand_gbps(20.0)
+                .build(),
+        );
+        let out = sys.run(20_000);
+        assert!(out.completed[&SourceId(0)] > 0);
+        assert_eq!(out.horizon, 20_000);
+    }
+}

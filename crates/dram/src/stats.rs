@@ -1,0 +1,201 @@
+//! Per-source and aggregate memory-system statistics.
+
+use crate::config::DramConfig;
+use crate::request::SourceId;
+use crate::timing::RowOutcome;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Statistics accumulated for one traffic source.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SourceStats {
+    /// Requests served.
+    pub served: u64,
+    /// Bytes transferred.
+    pub bytes: u64,
+    /// Row-buffer hits observed by served requests.
+    pub row_hits: u64,
+    /// Row misses (bank was precharged).
+    pub row_misses: u64,
+    /// Row conflicts (another row was open).
+    pub row_conflicts: u64,
+    /// Sum of queueing + service latency over served requests, in cycles.
+    pub total_latency: u64,
+    /// Largest single-request latency, in cycles.
+    pub max_latency: u64,
+    /// Requests enqueued (may exceed `served` at the end of a run).
+    pub enqueued: u64,
+    /// Requests the source wanted to enqueue but could not because the
+    /// controller queue was full (back-pressure).
+    pub rejected: u64,
+}
+
+impl SourceStats {
+    /// Mean request latency in cycles, or 0 when nothing was served.
+    pub fn avg_latency(&self) -> f64 {
+        if self.served == 0 {
+            0.0
+        } else {
+            self.total_latency as f64 / self.served as f64
+        }
+    }
+
+    /// Fraction of served requests that hit in the row buffer.
+    pub fn row_hit_rate(&self) -> f64 {
+        if self.served == 0 {
+            0.0
+        } else {
+            self.row_hits as f64 / self.served as f64
+        }
+    }
+}
+
+/// Statistics for an entire simulation run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MemoryStats {
+    /// Per-source breakdown, ordered by source id.
+    pub per_source: BTreeMap<SourceId, SourceStats>,
+    /// Cycles simulated.
+    pub elapsed_cycles: u64,
+    /// Scheduler diagnostics, summed over channels.
+    pub scheduler: SchedulerStats,
+}
+
+/// Aggregate scheduler diagnostics (summed over channels and cycles).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SchedulerStats {
+    /// Channel-cycles in which a request was issued.
+    pub issued: u64,
+    /// Channel-cycles skipped because the data-bus backlog guard tripped.
+    pub bus_blocked: u64,
+    /// Channel-cycles with a non-empty queue but no issuable candidate
+    /// (all target banks busy or shielded).
+    pub no_candidate: u64,
+    /// Channel-cycles with an empty queue.
+    pub idle: u64,
+}
+
+impl MemoryStats {
+    /// Creates an empty statistics record.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Mutable access to (and creation of) one source's statistics.
+    pub fn source_mut(&mut self, source: SourceId) -> &mut SourceStats {
+        self.per_source.entry(source).or_default()
+    }
+
+    /// Records a served request.
+    pub fn record_served(
+        &mut self,
+        source: SourceId,
+        bytes: u64,
+        outcome: RowOutcome,
+        latency: u64,
+    ) {
+        let s = self.source_mut(source);
+        s.served += 1;
+        s.bytes += bytes;
+        match outcome {
+            RowOutcome::Hit => s.row_hits += 1,
+            RowOutcome::Miss => s.row_misses += 1,
+            RowOutcome::Conflict => s.row_conflicts += 1,
+        }
+        s.total_latency += latency;
+        s.max_latency = s.max_latency.max(latency);
+    }
+
+    /// Total bytes served across all sources.
+    pub fn total_bytes(&self) -> u64 {
+        self.per_source.values().map(|s| s.bytes).sum()
+    }
+
+    /// Total requests served across all sources.
+    pub fn total_served(&self) -> u64 {
+        self.per_source.values().map(|s| s.served).sum()
+    }
+
+    /// Aggregate row-buffer hit rate across all sources (fraction in 0..=1).
+    pub fn row_hit_rate(&self) -> f64 {
+        let served = self.total_served();
+        if served == 0 {
+            return 0.0;
+        }
+        let hits: u64 = self.per_source.values().map(|s| s.row_hits).sum();
+        hits as f64 / served as f64
+    }
+
+    /// Bandwidth attained by one source in GB/s.
+    pub fn source_bw_gbps(&self, source: SourceId, config: &DramConfig) -> f64 {
+        if self.elapsed_cycles == 0 {
+            return 0.0;
+        }
+        let bytes = self.per_source.get(&source).map(|s| s.bytes).unwrap_or(0);
+        config.bytes_per_cycle_to_gbps(bytes as f64 / self.elapsed_cycles as f64)
+    }
+
+    /// Aggregate effective bandwidth across all sources in GB/s.
+    pub fn effective_bw_gbps(&self, config: &DramConfig) -> f64 {
+        if self.elapsed_cycles == 0 {
+            return 0.0;
+        }
+        config.bytes_per_cycle_to_gbps(self.total_bytes() as f64 / self.elapsed_cycles as f64)
+    }
+
+    /// Effective bandwidth as a percentage of the theoretical peak (the
+    /// "Effective BW Percentage over Peak BW" row of Table 3).
+    pub fn effective_bw_pct(&self, config: &DramConfig) -> f64 {
+        100.0 * self.effective_bw_gbps(config) / config.peak_bw_gbps()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_served_accumulates() {
+        let mut m = MemoryStats::new();
+        m.record_served(SourceId(0), 64, RowOutcome::Hit, 30);
+        m.record_served(SourceId(0), 64, RowOutcome::Conflict, 90);
+        m.record_served(SourceId(1), 64, RowOutcome::Miss, 44);
+        let s0 = &m.per_source[&SourceId(0)];
+        assert_eq!(s0.served, 2);
+        assert_eq!(s0.bytes, 128);
+        assert_eq!(s0.row_hits, 1);
+        assert_eq!(s0.row_conflicts, 1);
+        assert_eq!(s0.max_latency, 90);
+        assert!((s0.avg_latency() - 60.0).abs() < 1e-12);
+        assert_eq!(m.total_bytes(), 192);
+        assert_eq!(m.total_served(), 3);
+    }
+
+    #[test]
+    fn hit_rate_aggregates_over_sources() {
+        let mut m = MemoryStats::new();
+        m.record_served(SourceId(0), 64, RowOutcome::Hit, 1);
+        m.record_served(SourceId(1), 64, RowOutcome::Miss, 1);
+        assert!((m.row_hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bandwidth_computation() {
+        let c = DramConfig::cmp_study();
+        let mut m = MemoryStats::new();
+        // Saturate: 4 channels * 16 B/cycle = 64 B/cycle over 1000 cycles.
+        m.elapsed_cycles = 1000;
+        m.source_mut(SourceId(0)).bytes = 64_000;
+        assert!((m.effective_bw_gbps(&c) - c.peak_bw_gbps()).abs() < 1e-9);
+        assert!((m.effective_bw_pct(&c) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let c = DramConfig::cmp_study();
+        let m = MemoryStats::new();
+        assert_eq!(m.row_hit_rate(), 0.0);
+        assert_eq!(m.effective_bw_gbps(&c), 0.0);
+        assert_eq!(m.source_bw_gbps(SourceId(9), &c), 0.0);
+    }
+}

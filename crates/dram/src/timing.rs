@@ -1,0 +1,137 @@
+//! DRAM device timing parameters.
+//!
+//! Timings are expressed in command-clock cycles (half the data rate; e.g. a
+//! DDR4-3200 part runs a 1600 MHz command clock). The controller model in
+//! [`crate::controller`] composes these primitives into per-request service
+//! latencies depending on the row-buffer state it finds.
+
+use serde::{Deserialize, Serialize};
+
+/// Timing parameters of a DRAM device, in command-clock cycles.
+///
+/// Only the parameters the bank-state model consumes are included; refresh
+/// and power-down states are out of scope for the contention study (they
+/// affect all sources equally and do not change relative slowdowns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DramTiming {
+    /// Row-to-column delay: cycles from ACTIVATE until a column command.
+    pub t_rcd: u64,
+    /// Row precharge: cycles to close an open row.
+    pub t_rp: u64,
+    /// CAS latency: cycles from READ command to first data beat.
+    pub t_cl: u64,
+    /// Minimum time a row must stay open after ACTIVATE.
+    pub t_ras: u64,
+    /// Write recovery time added to bank occupancy after a write burst.
+    pub t_wr: u64,
+    /// Column-to-column delay between bursts to the same bank group
+    /// (modelled as a uniform minimum gap between column commands).
+    pub t_ccd: u64,
+    /// Average refresh interval: one all-bank refresh is issued per
+    /// channel every `t_refi` cycles (0 disables refresh).
+    pub t_refi: u64,
+    /// Refresh cycle time: how long an all-bank refresh blocks the banks.
+    pub t_rfc: u64,
+}
+
+impl DramTiming {
+    /// DDR4-3200 timing (22-22-22, command clock 1600 MHz), matching the
+    /// "DDR4-3200 timing parameter" row of Table 1 in the paper.
+    pub fn ddr4_3200() -> Self {
+        Self {
+            t_rcd: 22,
+            t_rp: 22,
+            t_cl: 22,
+            t_ras: 52,
+            t_wr: 24,
+            t_ccd: 8,
+            t_refi: 12_480, // 7.8 us at the 1600 MHz command clock
+            t_rfc: 560,     // ~350 ns
+        }
+    }
+
+    /// LPDDR4X-4266-class timing (command clock 2133 MHz). Latencies are
+    /// higher in cycles than DDR4 because the clock is faster; values follow
+    /// JEDEC LPDDR4X speed-bin tables rounded to even cycles.
+    pub fn lpddr4x_4266() -> Self {
+        Self {
+            t_rcd: 39,
+            t_rp: 42,
+            t_cl: 40,
+            t_ras: 90,
+            t_wr: 42,
+            t_ccd: 8,
+            t_refi: 8_320, // 3.9 us at 2133 MHz (per-bank refresh averaged)
+            t_rfc: 380,    // ~180 ns LPDDR4 per-bank RFCpb aggregated
+        }
+    }
+
+    /// The latency, in cycles, from scheduling a request to its first data
+    /// beat given the row-buffer outcome.
+    pub fn access_latency(&self, outcome: RowOutcome) -> u64 {
+        match outcome {
+            RowOutcome::Hit => self.t_cl,
+            RowOutcome::Miss => self.t_rcd + self.t_cl,
+            RowOutcome::Conflict => self.t_rp + self.t_rcd + self.t_cl,
+        }
+    }
+}
+
+impl Default for DramTiming {
+    fn default() -> Self {
+        Self::ddr4_3200()
+    }
+}
+
+/// The row-buffer state a request finds when it is scheduled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RowOutcome {
+    /// The target row is already open: column access only.
+    Hit,
+    /// The bank is precharged (no open row): activate then access.
+    Miss,
+    /// A different row is open: precharge, activate, then access.
+    Conflict,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_is_fastest_conflict_is_slowest() {
+        let t = DramTiming::ddr4_3200();
+        let hit = t.access_latency(RowOutcome::Hit);
+        let miss = t.access_latency(RowOutcome::Miss);
+        let conflict = t.access_latency(RowOutcome::Conflict);
+        assert!(hit < miss);
+        assert!(miss < conflict);
+    }
+
+    #[test]
+    fn ddr4_matches_speed_bin() {
+        let t = DramTiming::ddr4_3200();
+        assert_eq!(t.t_cl, 22);
+        assert_eq!(t.access_latency(RowOutcome::Conflict), 66);
+    }
+
+    #[test]
+    fn refresh_parameters_are_sane() {
+        for t in [DramTiming::ddr4_3200(), DramTiming::lpddr4x_4266()] {
+            assert!(t.t_refi > 10 * t.t_rfc, "refresh overhead must be small");
+        }
+    }
+
+    #[test]
+    fn lpddr4x_has_longer_cycle_latencies() {
+        let ddr4 = DramTiming::ddr4_3200();
+        let lp = DramTiming::lpddr4x_4266();
+        assert!(lp.t_cl > ddr4.t_cl);
+        assert!(lp.t_ras > ddr4.t_ras);
+    }
+
+    #[test]
+    fn default_is_ddr4() {
+        assert_eq!(DramTiming::default(), DramTiming::ddr4_3200());
+    }
+}

@@ -1,0 +1,46 @@
+//! Pre-silicon SoC design-space exploration with slowdown models
+//! (Sections 3.4 and 4.3 of the PCCS paper).
+//!
+//! The exploration loop: for each candidate hardware configuration (PU
+//! frequency, core count, memory subsystem), obtain the kernel's standalone
+//! performance and bandwidth demand (by profiling a reconfigured existing
+//! system — here, the simulator), feed the demand into a
+//! [`SlowdownModel`](pccs_core::SlowdownModel) to predict its co-run
+//! relative speed under the expected external bandwidth demand, and pick
+//! the cheapest configuration whose *co-run* performance is within the
+//! allowed slowdown of the best achievable. A model that overestimates
+//! co-run performance (Gables under contention) makes the architect buy
+//! frequency that contention then wastes; PCCS's accuracy is what avoids
+//! the over-provisioning (Table 9, Figure 15).
+//!
+//! # Example
+//!
+//! ```no_run
+//! use pccs_soc::{SocConfig, KernelDesc};
+//! use pccs_core::PccsModel;
+//! use pccs_dse::freq::{profile_frequencies, select_frequency};
+//!
+//! let soc = SocConfig::xavier();
+//! let gpu = soc.pu_index("GPU").unwrap();
+//! let kernel = KernelDesc::memory_streaming("streamcluster", 22.5);
+//! let freqs: Vec<f64> = (5..=13).map(|i| i as f64 * 100.0).collect();
+//! let points = profile_frequencies(&soc, gpu, &kernel, &freqs, 30_000);
+//! let model = PccsModel::xavier_gpu_paper();
+//! let sel = select_frequency(&points, &model, 40.0, 0.05);
+//! println!("clock the GPU at {} MHz", sel.chosen_mhz);
+//! ```
+
+pub mod cost;
+pub mod explore;
+pub mod freq;
+pub mod memory;
+pub mod power_budget;
+
+pub use cost::{area_rel, dynamic_power_rel};
+pub use explore::{explore_core_counts, CoreCountPoint};
+pub use freq::{
+    ground_truth_frequency, profile_frequencies, select_frequency, FrequencyPoint,
+    FrequencySelection,
+};
+pub use memory::{explore_memory_configs, select_memory_config, MemoryDesignPoint};
+pub use power_budget::{select_under_power_budget, PowerBudgetedChoice};

@@ -1,0 +1,147 @@
+//! Power-budgeted frequency selection — the extension the paper's
+//! Discussion sketches: "our current model could potentially work with
+//! power budgeting by predicting the co-run performance under each given
+//! power budget" (Section 5).
+//!
+//! Given candidate frequencies, an external-demand estimate and a dynamic
+//! power budget (relative to a reference clock), pick the frequency that
+//! maximizes *predicted co-run performance* among those within budget. A
+//! contention-blind model (Gables) buys frequency that contention then
+//! wastes; a contention-aware one spends the same budget where it pays.
+
+use crate::cost::dynamic_power_rel;
+use crate::freq::FrequencyPoint;
+use pccs_core::SlowdownModel;
+use serde::{Deserialize, Serialize};
+
+/// The outcome of a power-budgeted selection.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerBudgetedChoice {
+    /// Chosen frequency (MHz).
+    pub chosen_mhz: f64,
+    /// Its relative dynamic power (vs the reference clock).
+    pub power_rel: f64,
+    /// Its predicted co-run performance (lines per cycle).
+    pub predicted_perf: f64,
+    /// All candidates considered: `(freq, power_rel, predicted_perf,
+    /// within_budget)`.
+    pub candidates: Vec<(f64, f64, f64, bool)>,
+}
+
+/// Picks the best-performing in-budget frequency under `external_gbps` of
+/// contention, as predicted by `model`.
+///
+/// # Panics
+///
+/// Panics if `points` is empty, `reference_mhz` is not positive, or
+/// `power_budget_rel` is not positive.
+pub fn select_under_power_budget<M: SlowdownModel + ?Sized>(
+    points: &[FrequencyPoint],
+    model: &M,
+    external_gbps: f64,
+    power_budget_rel: f64,
+    reference_mhz: f64,
+) -> PowerBudgetedChoice {
+    assert!(!points.is_empty(), "no candidate frequencies");
+    assert!(reference_mhz > 0.0, "reference clock must be positive");
+    assert!(power_budget_rel > 0.0, "power budget must be positive");
+
+    let mut candidates: Vec<(f64, f64, f64, bool)> = points
+        .iter()
+        .map(|p| {
+            let power = dynamic_power_rel(p.freq_mhz, reference_mhz);
+            let perf =
+                p.standalone_rate * model.relative_speed_pct(p.demand_gbps, external_gbps) / 100.0;
+            (p.freq_mhz, power, perf, power <= power_budget_rel)
+        })
+        .collect();
+    candidates.sort_by(|a, b| a.0.total_cmp(&b.0));
+
+    let best = candidates
+        .iter()
+        .filter(|c| c.3)
+        .max_by(|a, b| a.2.total_cmp(&b.2))
+        .or_else(|| candidates.first()) // nothing in budget: lowest clock
+        .copied()
+        .expect("non-empty candidates");
+
+    PowerBudgetedChoice {
+        chosen_mhz: best.0,
+        power_rel: best.1,
+        predicted_perf: best.2,
+        candidates,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pccs_core::PccsModel;
+    use pccs_gables::GablesModel;
+
+    fn points() -> Vec<FrequencyPoint> {
+        vec![
+            FrequencyPoint {
+                freq_mhz: 500.0,
+                standalone_rate: 0.25,
+                demand_gbps: 35.0,
+            },
+            FrequencyPoint {
+                freq_mhz: 900.0,
+                standalone_rate: 0.44,
+                demand_gbps: 62.0,
+            },
+            FrequencyPoint {
+                freq_mhz: 1377.0,
+                standalone_rate: 0.45,
+                demand_gbps: 85.0,
+            },
+        ]
+    }
+
+    #[test]
+    fn respects_the_budget() {
+        let model = PccsModel::xavier_gpu_paper();
+        // Budget 0.35 of reference power excludes 1377 MHz (1.0) and allows
+        // 900 MHz ((900/1377)^3 = 0.28).
+        let c = select_under_power_budget(&points(), &model, 40.0, 0.35, 1377.0);
+        assert_eq!(c.chosen_mhz, 900.0);
+        assert!(c.power_rel <= 0.35);
+    }
+
+    #[test]
+    fn unlimited_budget_takes_best_predicted_perf() {
+        let model = PccsModel::xavier_gpu_paper();
+        let c = select_under_power_budget(&points(), &model, 0.0, 10.0, 1377.0);
+        // With no contention the top clock's extra standalone rate wins.
+        assert_eq!(c.chosen_mhz, 1377.0);
+    }
+
+    #[test]
+    fn contention_awareness_can_prefer_lower_clock() {
+        // Under heavy contention PCCS sees the 1377 MHz point (demand 85,
+        // deep in the normal region) collapse, while Gables sees no slowdown at all
+        // below peak and always picks the top clock.
+        let pccs = PccsModel::xavier_gpu_paper();
+        let gables = GablesModel::new(137.0);
+        let y = 40.0;
+        let p = select_under_power_budget(&points(), &pccs, y, 10.0, 1377.0);
+        let g = select_under_power_budget(&points(), &gables, y, 10.0, 1377.0);
+        assert_eq!(g.chosen_mhz, 1377.0);
+        assert!(p.chosen_mhz <= g.chosen_mhz);
+    }
+
+    #[test]
+    fn impossible_budget_falls_back_to_lowest_clock() {
+        let model = PccsModel::xavier_gpu_paper();
+        let c = select_under_power_budget(&points(), &model, 40.0, 1e-6, 1377.0);
+        assert_eq!(c.chosen_mhz, 500.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no candidate")]
+    fn rejects_empty_candidates() {
+        let model = PccsModel::xavier_gpu_paper();
+        select_under_power_budget(&[], &model, 40.0, 1.0, 1377.0);
+    }
+}

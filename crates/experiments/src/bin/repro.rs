@@ -1,0 +1,132 @@
+//! `repro` — regenerates the PCCS paper's tables and figures against the
+//! simulated SoC substrate.
+//!
+//! ```text
+//! repro [--quick] [--curves] [--json <dir>]
+//!       [all | fig2 fig3 fig5 fig6 table5 table7 fig8 fig9 fig10 fig11
+//!        fig12 fig13 fig14 table9 table10]
+//! ```
+//!
+//! With no experiment arguments, everything runs. `--quick` trades
+//! fidelity for speed (short horizons, coarse grids) and is what the test
+//! suite uses; `--curves` dumps the full per-benchmark curves for the
+//! validation figures; `--json <dir>` additionally writes each
+//! experiment's raw result as `<dir>/<name>.json` for downstream tooling.
+
+use pccs_experiments::context::{Context, Quality};
+use pccs_experiments::validate::Figure;
+use pccs_experiments::{
+    fig13, fig14, fig2, fig3, fig5, fig6, oblivious, table10, table5, table7, table9, validate,
+};
+use std::time::Instant;
+
+const ALL: &[&str] = &[
+    "fig2",
+    "fig3",
+    "fig5",
+    "fig6",
+    "table5",
+    "table7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "table9",
+    "table10",
+    "oblivious",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let verbose = args.iter().any(|a| a == "--curves");
+    let json_dir: Option<String> = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.to_owned());
+    if let Some(dir) = &json_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create --json dir {dir}: {e}");
+            std::process::exit(2);
+        }
+    }
+    let json_value_of = |a: &String| json_dir.as_deref() == Some(a.as_str());
+    let mut selected: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--") && !json_value_of(a))
+        .map(|s| s.to_ascii_lowercase())
+        .collect();
+    if selected.is_empty() || selected.iter().any(|s| s == "all") {
+        selected = ALL.iter().map(|s| (*s).to_owned()).collect();
+    }
+    for s in &selected {
+        if !ALL.contains(&s.as_str()) {
+            eprintln!("unknown experiment '{s}'; known: {}", ALL.join(" "));
+            std::process::exit(2);
+        }
+    }
+
+    let quality = if quick { Quality::Quick } else { Quality::Full };
+    let mut ctx = Context::new(quality);
+    println!(
+        "# PCCS reproduction — {} fidelity (horizon {} cycles, {} repeats)\n",
+        if quick { "quick" } else { "full" },
+        ctx.horizon(),
+        ctx.repeats()
+    );
+
+    let t0 = Instant::now();
+    for name in &selected {
+        let t = Instant::now();
+        let (report, json) = match name.as_str() {
+            "fig2" => jsonify(fig2::run(&mut ctx), fig2::Fig2::format),
+            "fig3" => jsonify(fig3::run(&mut ctx), fig3::Fig3::format),
+            "fig5" => jsonify(fig5::run(&ctx), fig5::Fig5::format),
+            "fig6" => jsonify(fig6::run(&mut ctx), fig6::Fig6::format),
+            "table5" => jsonify(table5::run(&mut ctx), table5::Table5::format),
+            "table7" => jsonify(table7::run(&mut ctx), table7::Table7::format),
+            "fig8" => json_validation(&mut ctx, Figure::XavierGpu, verbose),
+            "fig9" => json_validation(&mut ctx, Figure::XavierCpu, verbose),
+            "fig10" => json_validation(&mut ctx, Figure::SnapdragonGpu, verbose),
+            "fig11" => json_validation(&mut ctx, Figure::SnapdragonCpu, verbose),
+            "fig12" => json_validation(&mut ctx, Figure::XavierDla, verbose),
+            "fig13" => jsonify(fig13::run(&mut ctx), fig13::Fig13::format),
+            "fig14" => jsonify(fig14::run(&mut ctx), fig14::Fig14::format),
+            "table9" => jsonify(table9::run(&mut ctx), table9::Table9::format),
+            "table10" => jsonify(table10::run(&mut ctx), table10::Table10::format),
+            "oblivious" => jsonify(oblivious::run(&mut ctx), oblivious::Oblivious::format),
+            _ => unreachable!("validated above"),
+        };
+        println!("{report}");
+        if let Some(dir) = &json_dir {
+            let path = format!("{dir}/{name}.json");
+            if let Err(e) = std::fs::write(&path, json) {
+                eprintln!("warning: could not write {path}: {e}");
+            }
+        }
+        println!("[{name} took {:.1?}]\n", t.elapsed());
+    }
+    println!("total: {:.1?}", t0.elapsed());
+}
+
+/// Formats a result and serializes it to JSON in one pass.
+fn jsonify<T: serde::Serialize>(value: T, fmt: impl Fn(&T) -> String) -> (String, String) {
+    let report = fmt(&value);
+    let json = serde_json::to_string_pretty(&value).expect("results serialize");
+    (report, json)
+}
+
+fn json_validation(ctx: &mut Context, figure: Figure, verbose: bool) -> (String, String) {
+    let v = validate::run(ctx, figure);
+    let report = if verbose {
+        format!("{}{}", v.format(), v.format_curves())
+    } else {
+        v.format()
+    };
+    let json = serde_json::to_string_pretty(&v).expect("results serialize");
+    (report, json)
+}

@@ -1,0 +1,205 @@
+//! Shared experiment context: SoC presets, measurement quality, and a cache
+//! of constructed PCCS models (construction is the expensive step, and
+//! several experiments share the same models).
+
+use pccs_core::{CalibrationData, PccsModel};
+use pccs_gables::GablesModel;
+use pccs_soc::corun::{CoRunSim, Placement, StandaloneProfile};
+use pccs_soc::kernel::KernelDesc;
+use pccs_soc::soc::SocConfig;
+use pccs_workloads::calibrate::{build_model, CalibrationConfig};
+use std::collections::HashMap;
+
+/// Measurement fidelity of an experiment run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Quality {
+    /// Short horizons, single repetition, coarse grids — for tests and
+    /// smoke runs (minutes → seconds).
+    Quick,
+    /// The defaults used for the numbers reported in EXPERIMENTS.md.
+    Full,
+}
+
+/// Shared state across experiments.
+#[derive(Debug)]
+pub struct Context {
+    /// Fidelity preset.
+    pub quality: Quality,
+    /// The NVIDIA Jetson AGX Xavier model (Table 6).
+    pub xavier: SocConfig,
+    /// The Qualcomm Snapdragon 855 model (Table 6).
+    pub snapdragon: SocConfig,
+    models: HashMap<(String, usize), (PccsModel, CalibrationData)>,
+}
+
+impl Context {
+    /// Creates a context at the given fidelity.
+    pub fn new(quality: Quality) -> Self {
+        Self {
+            quality,
+            xavier: SocConfig::xavier(),
+            snapdragon: SocConfig::snapdragon855(),
+            models: HashMap::new(),
+        }
+    }
+
+    /// Simulation horizon in memory cycles.
+    pub fn horizon(&self) -> u64 {
+        match self.quality {
+            Quality::Quick => 24_000,
+            Quality::Full => 60_000,
+        }
+    }
+
+    /// Differently seeded repetitions averaged per measurement.
+    pub fn repeats(&self) -> u32 {
+        match self.quality {
+            Quality::Quick => 1,
+            Quality::Full => 3,
+        }
+    }
+
+    /// The calibration-sweep configuration at this fidelity.
+    pub fn calibration_config(&self) -> CalibrationConfig {
+        CalibrationConfig {
+            horizon: self.horizon(),
+            repeats: self.repeats(),
+            ..CalibrationConfig::default()
+        }
+    }
+
+    /// The paper's pressure-PU convention: "For the CPU model, we create
+    /// the external pressure using the GPU; for the GPU and DLA models, we
+    /// create the external pressure using the CPU" (§4.1.1).
+    pub fn pressure_pu_for(soc: &SocConfig, target_pu: usize) -> usize {
+        let cpu = soc.pu_index("CPU").expect("SoC has a CPU");
+        if target_pu == cpu {
+            soc.pu_index("GPU").expect("SoC has a GPU")
+        } else {
+            cpu
+        }
+    }
+
+    /// The constructed PCCS model of PU `pu_idx` on `soc` (cached).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the calibration sweep fails validation — on the bundled
+    /// SoC presets it does not.
+    pub fn pccs_model(&mut self, soc: &SocConfig, pu_idx: usize) -> PccsModel {
+        self.model_and_data(soc, pu_idx).0
+    }
+
+    /// The constructed model together with its calibration matrix (cached).
+    pub fn model_and_data(
+        &mut self,
+        soc: &SocConfig,
+        pu_idx: usize,
+    ) -> (PccsModel, CalibrationData) {
+        let key = (soc.name.clone(), pu_idx);
+        if let Some(found) = self.models.get(&key) {
+            return found.clone();
+        }
+        let pressure = Self::pressure_pu_for(soc, pu_idx);
+        let cfg = self.calibration_config();
+        let built = build_model(soc, pu_idx, pressure, &cfg)
+            .unwrap_or_else(|e| panic!("model construction failed for {}/{pu_idx}: {e}", soc.name));
+        self.models.insert(key.clone(), built.clone());
+        built
+    }
+
+    /// The Gables baseline for `soc`.
+    pub fn gables(&self, soc: &SocConfig) -> GablesModel {
+        GablesModel::new(soc.peak_bw_gbps())
+    }
+
+    /// Standalone profile of `kernel` on `soc`/`pu_idx` at this fidelity.
+    pub fn standalone(
+        &self,
+        soc: &SocConfig,
+        pu_idx: usize,
+        kernel: &KernelDesc,
+    ) -> StandaloneProfile {
+        CoRunSim::standalone_averaged(soc, pu_idx, kernel, self.horizon(), self.repeats())
+    }
+
+    /// Measured (simulated) relative speed, in percent, of `kernel` on
+    /// `pu_idx` under `external_gbps` of pressure from the paper's
+    /// pressure PU.
+    pub fn actual_rs_pct(
+        &self,
+        soc: &SocConfig,
+        pu_idx: usize,
+        kernel: &KernelDesc,
+        standalone: &StandaloneProfile,
+        external_gbps: f64,
+    ) -> f64 {
+        let pressure_pu = Self::pressure_pu_for(soc, pu_idx);
+        let mut sim = CoRunSim::new(soc);
+        sim.repeats(self.repeats());
+        sim.place(Placement::kernel(pu_idx, kernel.clone()));
+        sim.external_pressure(pressure_pu, external_gbps);
+        let out = sim.run(self.horizon());
+        out.relative_speed_pct(pu_idx, standalone).min(102.0)
+    }
+
+    /// The paper's external-pressure grid: 10 %…100 % of the SoC peak in
+    /// 10 % steps (§4.1.1); halved resolution in quick mode.
+    pub fn external_grid(&self, soc: &SocConfig) -> Vec<f64> {
+        let peak = soc.peak_bw_gbps();
+        let steps: Vec<usize> = match self.quality {
+            Quality::Quick => vec![2, 4, 6, 8, 10],
+            Quality::Full => (1..=10).collect(),
+        };
+        steps.into_iter().map(|i| peak * i as f64 / 10.0).collect()
+    }
+
+    /// Mean absolute error between two equally long series, in percentage
+    /// points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the series lengths differ or are empty.
+    pub fn mean_abs_error(a: &[f64], b: &[f64]) -> f64 {
+        assert_eq!(a.len(), b.len(), "series lengths differ");
+        assert!(!a.is_empty(), "empty series");
+        a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum::<f64>() / a.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pressure_pu_convention_matches_paper() {
+        let soc = SocConfig::xavier();
+        let cpu = soc.pu_index("CPU").unwrap();
+        let gpu = soc.pu_index("GPU").unwrap();
+        let dla = soc.pu_index("DLA").unwrap();
+        assert_eq!(Context::pressure_pu_for(&soc, cpu), gpu);
+        assert_eq!(Context::pressure_pu_for(&soc, gpu), cpu);
+        assert_eq!(Context::pressure_pu_for(&soc, dla), cpu);
+    }
+
+    #[test]
+    fn quality_scales_fidelity() {
+        let quick = Context::new(Quality::Quick);
+        let full = Context::new(Quality::Full);
+        assert!(quick.horizon() < full.horizon());
+        assert!(quick.repeats() <= full.repeats());
+        assert!(quick.external_grid(&quick.xavier).len() < full.external_grid(&full.xavier).len());
+    }
+
+    #[test]
+    fn mean_abs_error_basic() {
+        let e = Context::mean_abs_error(&[100.0, 90.0], &[95.0, 95.0]);
+        assert!((e - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "lengths differ")]
+    fn mean_abs_error_rejects_mismatch() {
+        Context::mean_abs_error(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,130 @@
+//! Figure 13: predicting the multi-phase CFD program with (a) its average
+//! bandwidth vs (b) per-phase bandwidths aggregated by standalone time
+//! share. The paper's finding: averaging underestimates the slowdown
+//! (19.4 % error) while the piecewise prediction tracks it (4.6 %).
+
+use crate::context::Context;
+use crate::table::TextTable;
+use pccs_core::PhasedWorkload;
+use pccs_soc::pu::PuKind;
+use pccs_workloads::rodinia::RodiniaBenchmark;
+use serde::{Deserialize, Serialize};
+
+/// The Figure 13 result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig13 {
+    /// Per-phase standalone demands (GB/s), K1–K4.
+    pub phase_demands: [f64; 4],
+    /// `(external, actual RS %, averaged prediction, piecewise prediction)`.
+    pub points: Vec<(f64, f64, f64, f64)>,
+}
+
+/// Runs CFD on the Xavier GPU: simulate each phase under pressure, combine
+/// by standalone time share for the "actual", and compare both prediction
+/// styles.
+pub fn run(ctx: &mut Context) -> Fig13 {
+    let soc = ctx.xavier.clone();
+    let gpu = soc.pu_index("GPU").expect("GPU");
+    let model = ctx.pccs_model(&soc, gpu);
+    let kernels = RodiniaBenchmark::cfd_phase_kernels(PuKind::Gpu);
+    let weights = RodiniaBenchmark::cfd_phase_weights();
+
+    let standalones: Vec<_> = kernels
+        .iter()
+        .map(|k| ctx.standalone(&soc, gpu, k))
+        .collect();
+    let demands: Vec<f64> = standalones.iter().map(|s| s.bw_gbps).collect();
+    let phased = PhasedWorkload::new(
+        "cfd",
+        &demands
+            .iter()
+            .zip(weights)
+            .map(|(&d, w)| (d, w))
+            .collect::<Vec<_>>(),
+    );
+
+    let grid = ctx.external_grid(&soc);
+    let mut points = Vec::new();
+    for &y in &grid {
+        // Actual: per-phase measured RS aggregated by standalone time share
+        // (the phases run back-to-back; total slowdown is the time-weighted
+        // harmonic combination).
+        let mut corun_time = 0.0;
+        for ((kernel, standalone), &w) in kernels.iter().zip(&standalones).zip(weights.iter()) {
+            let rs = ctx.actual_rs_pct(&soc, gpu, kernel, standalone, y).max(1.0);
+            corun_time += w / (rs / 100.0);
+        }
+        let actual = 100.0 / corun_time;
+        let averaged = phased.predict_average(&model, y);
+        let piecewise = phased.predict_piecewise(&model, y);
+        points.push((y, actual, averaged, piecewise));
+    }
+
+    Fig13 {
+        phase_demands: [demands[0], demands[1], demands[2], demands[3]],
+        points,
+    }
+}
+
+impl Fig13 {
+    /// Mean absolute error of the averaged prediction.
+    pub fn averaged_error(&self) -> f64 {
+        self.points
+            .iter()
+            .map(|&(_, a, avg, _)| (a - avg).abs())
+            .sum::<f64>()
+            / self.points.len() as f64
+    }
+
+    /// Mean absolute error of the piecewise prediction.
+    pub fn piecewise_error(&self) -> f64 {
+        self.points
+            .iter()
+            .map(|&(_, a, _, pw)| (a - pw).abs())
+            .sum::<f64>()
+            / self.points.len() as f64
+    }
+
+    /// Renders the comparison.
+    pub fn format(&self) -> String {
+        let mut t = TextTable::new(vec![
+            "external".into(),
+            "actual".into(),
+            "avg-BW pred".into(),
+            "piecewise pred".into(),
+        ]);
+        for &(y, a, avg, pw) in &self.points {
+            t.row(vec![
+                format!("{y:.0}"),
+                format!("{a:.1}"),
+                format!("{avg:.1}"),
+                format!("{pw:.1}"),
+            ]);
+        }
+        format!(
+            "Figure 13 — CFD phases K1..K4 demand {:.1}/{:.1}/{:.1}/{:.1} GB/s\n{t}\n\
+             avg-BW error {:.1}%  piecewise error {:.1}%\n",
+            self.phase_demands[0],
+            self.phase_demands[1],
+            self.phase_demands[2],
+            self.phase_demands[3],
+            self.averaged_error(),
+            self.piecewise_error()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::Quality;
+
+    #[test]
+    fn fig13_runs_and_k1_demands_most() {
+        let mut ctx = Context::new(Quality::Quick);
+        let fig = run(&mut ctx);
+        assert!(fig.phase_demands[0] > fig.phase_demands[1]);
+        assert!(!fig.points.is_empty());
+        assert!(fig.format().contains("Figure 13"));
+    }
+}

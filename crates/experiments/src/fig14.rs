@@ -1,0 +1,210 @@
+//! Figure 14 (with Table 8): the eleven real 3-PU co-run workloads —
+//! measured achieved relative speed per PU vs the PCCS and Gables
+//! predictions. The paper's headline accuracy numbers come from this
+//! experiment: PCCS 3.7 % / 8.7 % / 5.6 % average error on CPU / GPU / DLA
+//! against Gables' 13.4 % / 30.3 % / 20.6 %.
+
+use crate::context::Context;
+use crate::table::TextTable;
+use pccs_core::SlowdownModel;
+use pccs_soc::corun::{CoRunSim, Placement};
+use pccs_soc::pu::PuKind;
+use pccs_workloads::mixes::{WorkloadMix, TABLE8_MIXES};
+use serde::{Deserialize, Serialize};
+
+/// One PU's record within one workload mix.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MixPuResult {
+    /// PU name.
+    pub pu: String,
+    /// The benchmark or network on it.
+    pub workload: String,
+    /// Standalone demand (GB/s).
+    pub demand_gbps: f64,
+    /// External demand seen by this PU (sum of co-runners' demands).
+    pub external_gbps: f64,
+    /// Measured relative speed (%).
+    pub actual: f64,
+    /// PCCS prediction (%).
+    pub pccs: f64,
+    /// Gables prediction (%).
+    pub gables: f64,
+}
+
+/// One workload mix's results.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MixResult {
+    /// Workload letter (A–K).
+    pub id: char,
+    /// Per-PU records (CPU, GPU, DLA).
+    pub per_pu: Vec<MixPuResult>,
+}
+
+/// The Figure 14 result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig14 {
+    /// All workload mixes.
+    pub mixes: Vec<MixResult>,
+}
+
+/// Runs the co-run study on Xavier.
+pub fn run(ctx: &mut Context) -> Fig14 {
+    let soc = ctx.xavier.clone();
+    let cpu = soc.pu_index("CPU").expect("CPU");
+    let gpu = soc.pu_index("GPU").expect("GPU");
+    let dla = soc.pu_index("DLA").expect("DLA");
+    let models = [
+        (cpu, ctx.pccs_model(&soc, cpu)),
+        (gpu, ctx.pccs_model(&soc, gpu)),
+        (dla, ctx.pccs_model(&soc, dla)),
+    ];
+    let gables = ctx.gables(&soc);
+
+    let selected: Vec<WorkloadMix> = match ctx.quality {
+        crate::context::Quality::Quick => TABLE8_MIXES[..3].to_vec(),
+        crate::context::Quality::Full => TABLE8_MIXES.to_vec(),
+    };
+
+    let mut mixes = Vec::new();
+    for mix in selected {
+        let kernels = [
+            (
+                cpu,
+                "CPU",
+                mix.cpu.label().to_owned(),
+                mix.cpu.kernel(PuKind::Cpu),
+            ),
+            (
+                gpu,
+                "GPU",
+                mix.gpu.label().to_owned(),
+                mix.gpu.kernel(PuKind::Gpu),
+            ),
+            (dla, "DLA", mix.dla.label().to_owned(), mix.dla.kernel()),
+        ];
+        let standalones: Vec<_> = kernels
+            .iter()
+            .map(|(pu, _, _, k)| ctx.standalone(&soc, *pu, k))
+            .collect();
+
+        // The actual 3-PU co-run.
+        let mut sim = CoRunSim::new(&soc);
+        sim.repeats(ctx.repeats());
+        for (pu, _, _, k) in &kernels {
+            sim.place(Placement::kernel(*pu, k.clone()));
+        }
+        let out = sim.run(ctx.horizon());
+
+        let mut per_pu = Vec::new();
+        for (i, (pu, pu_name, workload, _)) in kernels.iter().enumerate() {
+            let x = standalones[i].bw_gbps;
+            let external: f64 = standalones
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .map(|(_, s)| s.bw_gbps)
+                .sum();
+            let actual = out.relative_speed_pct(*pu, &standalones[i]).min(102.0);
+            let pccs_model = &models.iter().find(|(p, _)| p == pu).expect("model").1;
+            per_pu.push(MixPuResult {
+                pu: (*pu_name).to_owned(),
+                workload: workload.clone(),
+                demand_gbps: x,
+                external_gbps: external,
+                actual,
+                pccs: pccs_model.relative_speed_pct(x, external),
+                gables: gables.relative_speed_pct(x, external),
+            });
+        }
+        mixes.push(MixResult { id: mix.id, per_pu });
+    }
+    Fig14 { mixes }
+}
+
+impl Fig14 {
+    /// Average absolute error of one model on one PU across mixes.
+    pub fn avg_error(&self, pu: &str, model: ModelChoice) -> f64 {
+        let mut total = 0.0;
+        let mut n = 0usize;
+        for m in &self.mixes {
+            for r in &m.per_pu {
+                if r.pu == pu {
+                    let pred = match model {
+                        ModelChoice::Pccs => r.pccs,
+                        ModelChoice::Gables => r.gables,
+                    };
+                    total += (r.actual - pred).abs();
+                    n += 1;
+                }
+            }
+        }
+        total / n.max(1) as f64
+    }
+
+    /// Renders the full per-mix table plus the headline error summary.
+    pub fn format(&self) -> String {
+        let mut t = TextTable::new(vec![
+            "mix".into(),
+            "PU".into(),
+            "workload".into(),
+            "x GB/s".into(),
+            "y GB/s".into(),
+            "actual %".into(),
+            "PCCS %".into(),
+            "Gables %".into(),
+        ]);
+        for m in &self.mixes {
+            for r in &m.per_pu {
+                t.row(vec![
+                    m.id.to_string(),
+                    r.pu.clone(),
+                    r.workload.clone(),
+                    format!("{:.1}", r.demand_gbps),
+                    format!("{:.1}", r.external_gbps),
+                    format!("{:.1}", r.actual),
+                    format!("{:.1}", r.pccs),
+                    format!("{:.1}", r.gables),
+                ]);
+            }
+        }
+        let mut s = format!("Figure 14 / Table 8 — three-PU co-run workloads on Xavier\n{t}\n");
+        for pu in ["CPU", "GPU", "DLA"] {
+            s.push_str(&format!(
+                "{pu}: avg error PCCS {:.1}%  Gables {:.1}%\n",
+                self.avg_error(pu, ModelChoice::Pccs),
+                self.avg_error(pu, ModelChoice::Gables)
+            ));
+        }
+        s
+    }
+}
+
+/// Selects which model's prediction to aggregate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelChoice {
+    /// The PCCS three-region model.
+    Pccs,
+    /// The Gables baseline.
+    Gables,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::Quality;
+
+    #[test]
+    fn fig14_quick_covers_three_pus_per_mix() {
+        let mut ctx = Context::new(Quality::Quick);
+        let fig = run(&mut ctx);
+        assert_eq!(fig.mixes.len(), 3);
+        for m in &fig.mixes {
+            assert_eq!(m.per_pu.len(), 3);
+            for r in &m.per_pu {
+                assert!(r.demand_gbps > 0.0);
+                assert!((0.0..=102.0).contains(&r.actual));
+            }
+        }
+        assert!(fig.format().contains("Figure 14"));
+    }
+}

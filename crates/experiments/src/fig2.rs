@@ -1,0 +1,124 @@
+//! Figure 2: the percentage of requested memory bandwidth that is met on a
+//! processor under various degrees of external memory pressure.
+//!
+//! The paper's setup: kernels requesting 30 GB/s on the DLA, 93 GB/s on the
+//! CPU and 127 GB/s on the GPU of Xavier, with external pressure swept from
+//! 0 to the DRAM peak. The headline observation — contention effects are
+//! visible *before* requested + external bandwidth reaches the DRAM peak —
+//! is the empirical motivation for PCCS.
+
+use crate::context::Context;
+use crate::table::TextTable;
+use pccs_soc::corun::{CoRunSim, Placement};
+use pccs_workloads::calibrate::calibrator_kernel;
+use serde::{Deserialize, Serialize};
+
+/// One PU's bandwidth-met curve.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BwMetCurve {
+    /// PU name.
+    pub pu: String,
+    /// The requested (standalone-achieved) bandwidth in GB/s.
+    pub requested_gbps: f64,
+    /// `(external demand GB/s, % of requested bandwidth met)` points.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// The Figure 2 result: one curve per PU.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig2 {
+    /// Curves in paper order (DLA, CPU, GPU).
+    pub curves: Vec<BwMetCurve>,
+    /// The SoC peak bandwidth (GB/s).
+    pub peak_gbps: f64,
+}
+
+/// Runs the experiment.
+pub fn run(ctx: &mut Context) -> Fig2 {
+    let soc = ctx.xavier.clone();
+    let peak = soc.peak_bw_gbps();
+    // Paper's requested levels, scaled by what each PU can actually demand.
+    let setups = [("DLA", 30.0), ("CPU", 93.0), ("GPU", 127.0)];
+    let grid = ctx.external_grid(&soc);
+
+    let mut curves = Vec::new();
+    for (pu_name, requested) in setups {
+        let pu = soc.pu_index(pu_name).expect("Xavier PU");
+        let pressure_pu = Context::pressure_pu_for(&soc, pu);
+        let kernel = calibrator_kernel(&soc, pu, requested);
+        let standalone = ctx.standalone(&soc, pu, &kernel);
+        let mut points = Vec::new();
+        for &y in &grid {
+            let mut sim = CoRunSim::new(&soc);
+            sim.repeats(ctx.repeats());
+            sim.place(Placement::kernel(pu, kernel.clone()));
+            sim.external_pressure(pressure_pu, y);
+            let out = sim.run(ctx.horizon());
+            let met = 100.0 * out.per_pu[&pu].bw_gbps / standalone.bw_gbps.max(1e-9);
+            points.push((y, met.min(102.0)));
+        }
+        curves.push(BwMetCurve {
+            pu: pu_name.to_owned(),
+            requested_gbps: standalone.bw_gbps,
+            points,
+        });
+    }
+    Fig2 {
+        curves,
+        peak_gbps: peak,
+    }
+}
+
+impl Fig2 {
+    /// Renders the result as a text table (rows = external pressure).
+    pub fn format(&self) -> String {
+        let mut header = vec!["external GB/s".to_owned()];
+        for c in &self.curves {
+            header.push(format!("{} (req {:.0})", c.pu, c.requested_gbps));
+        }
+        let mut t = TextTable::new(header);
+        let n = self.curves[0].points.len();
+        for i in 0..n {
+            let mut row = vec![format!("{:.0}", self.curves[0].points[i].0)];
+            for c in &self.curves {
+                row.push(format!("{:.1}%", c.points[i].1));
+            }
+            t.row(row);
+        }
+        format!(
+            "Figure 2 — % of requested BW met under external pressure \
+             (peak {:.1} GB/s)\n{t}",
+            self.peak_gbps
+        )
+    }
+
+    /// The paper's qualitative check: each PU already loses bandwidth while
+    /// `requested + external < peak` (contention before saturation).
+    pub fn contention_before_saturation(&self) -> bool {
+        self.curves.iter().any(|c| {
+            c.points
+                .iter()
+                .any(|&(y, met)| c.requested_gbps + y < self.peak_gbps && met < 97.0)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::Quality;
+
+    #[test]
+    fn fig2_quick_run_has_three_curves() {
+        let mut ctx = Context::new(Quality::Quick);
+        let fig = run(&mut ctx);
+        assert_eq!(fig.curves.len(), 3);
+        for c in &fig.curves {
+            assert_eq!(c.points.len(), ctx.external_grid(&ctx.xavier.clone()).len());
+            for &(_, met) in &c.points {
+                assert!((0.0..=102.0).contains(&met));
+            }
+        }
+        assert!(fig.format().contains("Figure 2"));
+    }
+}

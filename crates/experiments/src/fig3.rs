@@ -1,0 +1,116 @@
+//! Figure 3: achieved relative speed of synthetic kernels under external
+//! pressure, grouped into the three demand classes that motivate the
+//! three-region model — (a) low-demand kernels barely slow down, (b)
+//! medium-demand kernels show flat → near-linear drop → flat, (c)
+//! high-demand kernels drop immediately then flatten.
+
+use crate::context::Context;
+use crate::table::TextTable;
+use pccs_soc::corun::{CoRunSim, Placement};
+use pccs_workloads::calibrate::calibrator_kernel;
+use serde::{Deserialize, Serialize};
+
+/// One kernel's relative-speed curve.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RsCurve {
+    /// Requested calibrator demand (GB/s).
+    pub requested_gbps: f64,
+    /// Achieved standalone bandwidth (GB/s) — the model's `x`.
+    pub standalone_gbps: f64,
+    /// `(external demand, RS %)` points.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// The Figure 3 result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig3 {
+    /// All curves, ascending demand.
+    pub curves: Vec<RsCurve>,
+}
+
+/// Runs the sweep on the Xavier GPU (the paper uses the GPU and CPU; the
+/// GPU exhibits all three classes).
+pub fn run(ctx: &mut Context) -> Fig3 {
+    let soc = ctx.xavier.clone();
+    let gpu = soc.pu_index("GPU").expect("GPU");
+    let cpu = soc.pu_index("CPU").expect("CPU");
+    let demands: Vec<f64> = match ctx.quality {
+        crate::context::Quality::Quick => vec![10.0, 50.0, 100.0],
+        crate::context::Quality::Full => (1..=10).map(|i| i as f64 * 10.0).collect(),
+    };
+    let grid = ctx.external_grid(&soc);
+
+    let mut curves = Vec::new();
+    for &demand in &demands {
+        let kernel = calibrator_kernel(&soc, gpu, demand);
+        let standalone = ctx.standalone(&soc, gpu, &kernel);
+        let mut points = Vec::new();
+        for &y in &grid {
+            let mut sim = CoRunSim::new(&soc);
+            sim.repeats(ctx.repeats());
+            sim.place(Placement::kernel(gpu, kernel.clone()));
+            sim.external_pressure(cpu, y);
+            let out = sim.run(ctx.horizon());
+            points.push((y, out.relative_speed_pct(gpu, &standalone).min(102.0)));
+        }
+        curves.push(RsCurve {
+            requested_gbps: demand,
+            standalone_gbps: standalone.bw_gbps,
+            points,
+        });
+    }
+    Fig3 { curves }
+}
+
+impl Fig3 {
+    /// Renders the curves, one row per kernel.
+    pub fn format(&self) -> String {
+        let mut header = vec!["req GB/s".to_owned(), "x GB/s".to_owned()];
+        for &(y, _) in &self.curves[0].points {
+            header.push(format!("y={y:.0}"));
+        }
+        let mut t = TextTable::new(header);
+        for c in &self.curves {
+            let mut row = vec![
+                format!("{:.0}", c.requested_gbps),
+                format!("{:.1}", c.standalone_gbps),
+            ];
+            row.extend(c.points.iter().map(|&(_, rs)| format!("{rs:.1}")));
+            t.row(row);
+        }
+        format!("Figure 3 — achieved relative speed (%) vs external demand, Xavier GPU\n{t}")
+    }
+
+    /// Mean RS of the lowest-demand curve — should stay near 100 %.
+    pub fn low_class_mean_rs(&self) -> f64 {
+        let c = &self.curves[0];
+        c.points.iter().map(|&(_, rs)| rs).sum::<f64>() / c.points.len() as f64
+    }
+
+    /// Mean RS of the highest-demand curve — should sit well below the low
+    /// class.
+    pub fn high_class_mean_rs(&self) -> f64 {
+        let c = self.curves.last().expect("curves non-empty");
+        c.points.iter().map(|&(_, rs)| rs).sum::<f64>() / c.points.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::Quality;
+
+    #[test]
+    fn fig3_classes_are_ordered() {
+        let mut ctx = Context::new(Quality::Quick);
+        let fig = run(&mut ctx);
+        assert_eq!(fig.curves.len(), 3);
+        assert!(
+            fig.low_class_mean_rs() > fig.high_class_mean_rs(),
+            "low-demand kernels must retain more speed: {:.1} vs {:.1}",
+            fig.low_class_mean_rs(),
+            fig.high_class_mean_rs()
+        );
+        assert!(fig.low_class_mean_rs() > 90.0);
+    }
+}

@@ -1,0 +1,189 @@
+//! Figure 5 and Table 3: the memory-controller policy study on the 16-core
+//! CMP configuration of Table 1.
+//!
+//! Two core groups share a DDR4-3200 memory system (102.4 GB/s): a
+//! low-bandwidth group (8 cores) whose total demand sweeps upward, and a
+//! high-bandwidth group (8 cores) whose achieved relative speed is
+//! measured. The paper's observations: FCFS degrades proportionally,
+//! FR-FCFS lets memory-intensive co-runners crush the victim, and the three
+//! fairness-controlled policies (ATLAS, TCM, SMS) produce the
+//! flat → drop → flat curves that PCCS models. Table 3 reports each
+//! policy's row-buffer hit rate and effective bandwidth at saturation.
+
+use crate::context::{Context, Quality};
+use crate::table::TextTable;
+use pccs_dram::config::DramConfig;
+use pccs_dram::policy::PolicyKind;
+use pccs_dram::request::SourceId;
+use pccs_dram::sim::DramSystem;
+use pccs_dram::traffic::StreamTraffic;
+use serde::{Deserialize, Serialize};
+
+/// One policy's curves and Table 3 metrics.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PolicyStudy {
+    /// The policy.
+    pub policy: PolicyKind,
+    /// Per victim-demand-level curves: `(victim total GB/s, points)` where
+    /// points are `(external total GB/s, RS %)`.
+    pub curves: Vec<(f64, Vec<(f64, f64)>)>,
+    /// Table 3: aggregate row-buffer hit rate (%) at the saturating point.
+    pub row_hit_pct: f64,
+    /// Table 3: effective bandwidth as % of peak at the saturating point.
+    pub effective_bw_pct: f64,
+}
+
+/// The Figure 5 + Table 3 result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig5 {
+    /// One study per policy, in Table 2 order.
+    pub policies: Vec<PolicyStudy>,
+}
+
+const GROUP_CORES: usize = 8;
+
+fn group(
+    sys: &mut DramSystem,
+    base: usize,
+    total_gbps: f64,
+    window: usize,
+    locality: f64,
+    seed: u64,
+) {
+    for s in 0..GROUP_CORES {
+        sys.add_generator(
+            StreamTraffic::builder(SourceId(base + s))
+                .demand_gbps(total_gbps / GROUP_CORES as f64)
+                .row_locality(locality)
+                .window(window)
+                .seed(seed ^ (base + s) as u64)
+                .build(),
+        );
+    }
+}
+
+fn group_bw(out: &pccs_dram::sim::SimOutcome, base: usize) -> f64 {
+    (0..GROUP_CORES)
+        .map(|s| out.source_bw_gbps(SourceId(base + s)))
+        .sum()
+}
+
+/// Runs the study.
+pub fn run(ctx: &Context) -> Fig5 {
+    let config = DramConfig::cmp_study();
+    let horizon = ctx.horizon();
+    // Victim (high-BW group) total demands: three representative levels of
+    // the paper's 9–90 GB/s per-kernel sweep.
+    let victim_levels: Vec<f64> = match ctx.quality {
+        Quality::Quick => vec![24.0, 72.0],
+        Quality::Full => vec![24.0, 48.0, 72.0],
+    };
+    // External (low-BW group) totals: the paper's 6–60 GB/s sweep.
+    let external_levels: Vec<f64> = match ctx.quality {
+        Quality::Quick => vec![12.0, 36.0, 60.0],
+        Quality::Full => (1..=10).map(|i| i as f64 * 6.0).collect(),
+    };
+
+    let mut policies = Vec::new();
+    for kind in PolicyKind::all() {
+        let mut curves = Vec::new();
+        for &victim in &victim_levels {
+            let standalone = {
+                let mut sys = DramSystem::new(config.clone(), kind);
+                group(&mut sys, 0, victim, 24, 0.95, 0x51);
+                let out = sys.run(horizon);
+                group_bw(&out, 0)
+            };
+            let mut points = Vec::new();
+            for &ext in &external_levels {
+                let mut sys = DramSystem::new(config.clone(), kind);
+                group(&mut sys, 0, victim, 24, 0.95, 0x51);
+                group(&mut sys, GROUP_CORES, ext, 24, 0.9, 0xa7);
+                let out = sys.run(horizon);
+                let rs = 100.0 * group_bw(&out, 0) / standalone.max(1e-9);
+                points.push((ext, rs.min(102.0)));
+            }
+            curves.push((victim, points));
+        }
+
+        // Table 3 metrics: both groups demanding enough that the sum of
+        // standalone demands reaches the theoretical peak.
+        let (rbh, eff) = {
+            let mut sys = DramSystem::new(config.clone(), kind);
+            group(&mut sys, 0, 64.0, 24, 0.95, 0x51);
+            group(&mut sys, GROUP_CORES, 48.0, 24, 0.9, 0xa7);
+            let out = sys.run(horizon);
+            (out.row_hit_pct(), out.effective_bw_pct())
+        };
+        policies.push(PolicyStudy {
+            policy: kind,
+            curves,
+            row_hit_pct: rbh,
+            effective_bw_pct: eff,
+        });
+    }
+    Fig5 { policies }
+}
+
+impl Fig5 {
+    /// Renders the per-policy curves.
+    pub fn format(&self) -> String {
+        let mut out = String::from("Figure 5 — high-BW group relative speed (%) per policy\n");
+        for p in &self.policies {
+            out.push_str(&format!("\n[{}]\n", p.policy));
+            let mut header = vec!["victim GB/s".to_owned()];
+            for &(ext, _) in &p.curves[0].1 {
+                header.push(format!("y={ext:.0}"));
+            }
+            let mut t = TextTable::new(header);
+            for (victim, points) in &p.curves {
+                let mut row = vec![format!("{victim:.0}")];
+                row.extend(points.iter().map(|&(_, rs)| format!("{rs:.1}")));
+                t.row(row);
+            }
+            out.push_str(&t.to_string());
+        }
+        out.push_str("\nTable 3 — row-buffer hits and effective bandwidth at saturation\n");
+        let mut t = TextTable::new(vec![
+            "policy".into(),
+            "RBH (%)".into(),
+            "effective BW (% of peak)".into(),
+        ]);
+        for p in &self.policies {
+            t.row(vec![
+                p.policy.label().into(),
+                format!("{:.1}", p.row_hit_pct),
+                format!("{:.1}", p.effective_bw_pct),
+            ]);
+        }
+        out.push_str(&t.to_string());
+        out
+    }
+
+    /// Metrics of one policy.
+    pub fn study(&self, policy: PolicyKind) -> &PolicyStudy {
+        self.policies
+            .iter()
+            .find(|p| p.policy == policy)
+            .expect("all policies present")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig5_quick_run_covers_all_policies() {
+        let ctx = Context::new(Quality::Quick);
+        let fig = run(&ctx);
+        assert_eq!(fig.policies.len(), 5);
+        // FR-FCFS should beat FCFS on both Table 3 metrics, as in the paper
+        // (91.6 vs 47.7 RBH; 89.7 vs 65.6 effective BW).
+        let fcfs = fig.study(PolicyKind::Fcfs);
+        let fr = fig.study(PolicyKind::FrFcfs);
+        assert!(fr.row_hit_pct > fcfs.row_hit_pct);
+        assert!(fr.effective_bw_pct > fcfs.effective_bw_pct);
+        assert!(fig.format().contains("Table 3"));
+    }
+}

@@ -1,0 +1,88 @@
+//! Figure 6: the three-region interference-classification chart, rendered
+//! from a constructed model — one predicted curve per region.
+
+use crate::context::Context;
+use crate::table::TextTable;
+use pccs_core::{PccsModel, Region};
+use serde::{Deserialize, Serialize};
+
+/// One chart curve: the region, its representative demand `x`, and the
+/// `(y, RS %)` points.
+pub type RegionCurve = (Region, f64, Vec<(f64, f64)>);
+
+/// The Figure 6 result: model curves per region.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig6 {
+    /// The model the chart is drawn from (constructed Xavier GPU).
+    pub model: PccsModel,
+    /// One curve per region.
+    pub curves: Vec<RegionCurve>,
+}
+
+/// Builds the chart data from the constructed Xavier GPU model.
+pub fn run(ctx: &mut Context) -> Fig6 {
+    let soc = ctx.xavier.clone();
+    let gpu = soc.pu_index("GPU").expect("GPU");
+    let model = ctx.pccs_model(&soc, gpu);
+
+    // A representative demand inside each region.
+    let xs = [
+        (Region::Minor, (model.normal_bw * 0.5).max(1.0)),
+        (Region::Normal, 0.5 * (model.normal_bw + model.intensive_bw)),
+        (Region::Intensive, model.intensive_bw * 1.2),
+    ];
+    let ys: Vec<f64> = (0..=12).map(|i| model.peak_bw * i as f64 / 12.0).collect();
+    let curves = xs
+        .into_iter()
+        .map(|(region, x)| {
+            let pts = ys.iter().map(|&y| (y, model.predict(x, y))).collect();
+            (region, x, pts)
+        })
+        .collect();
+    Fig6 { model, curves }
+}
+
+impl Fig6 {
+    /// Renders the chart as a table.
+    pub fn format(&self) -> String {
+        let mut header = vec!["region".to_owned(), "x GB/s".to_owned()];
+        for &(y, _) in &self.curves[0].2 {
+            header.push(format!("y={y:.0}"));
+        }
+        let mut t = TextTable::new(header);
+        for (region, x, pts) in &self.curves {
+            let mut row = vec![region.to_string(), format!("{x:.1}")];
+            row.extend(pts.iter().map(|&(_, rs)| format!("{rs:.1}")));
+            t.row(row);
+        }
+        format!(
+            "Figure 6 — three-region model chart (constructed Xavier GPU: \
+             normalBW={:.1}, intensiveBW={:.1}, MRMC={}, CBP={:.1}, TBWDC={:.1}, rateN={:.2})\n{t}",
+            self.model.normal_bw,
+            self.model.intensive_bw,
+            self.model
+                .mrmc
+                .map_or("NA".to_owned(), |m| format!("{m:.1}%")),
+            self.model.cbp,
+            self.model.tbwdc,
+            self.model.rate_n,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::Quality;
+
+    #[test]
+    fn fig6_regions_order_correctly() {
+        let mut ctx = Context::new(Quality::Quick);
+        let fig = run(&mut ctx);
+        assert_eq!(fig.curves.len(), 3);
+        // At max pressure the minor curve must end above the intensive one.
+        let end_rs = |i: usize| fig.curves[i].2.last().unwrap().1;
+        assert!(end_rs(0) >= end_rs(2));
+        assert!(fig.format().contains("three-region"));
+    }
+}

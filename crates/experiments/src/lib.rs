@@ -1,0 +1,40 @@
+//! Regeneration of every table and figure in the PCCS paper's evaluation.
+//!
+//! Each `figN`/`tableN` module reproduces one artifact:
+//!
+//! | Module | Paper artifact |
+//! |---|---|
+//! | [`fig2`] | Fig. 2 — % of requested bandwidth met under external pressure |
+//! | [`fig3`] | Fig. 3 — synthetic kernels under pressure, three demand classes |
+//! | [`fig5`] | Fig. 5 + Tables 1–3 — five MC scheduling policies on the CMP config |
+//! | [`fig6`] | Fig. 6 — the three-region model chart |
+//! | [`table5`] | Table 5 — linear parameter scaling across memory clocks |
+//! | [`table7`] | Table 7 — constructed model parameters for all five PUs |
+//! | [`validate`] | Figs. 8–12 — per-benchmark prediction vs actual, PCCS vs Gables |
+//! | [`fig13`] | Fig. 13 — CFD with average vs piecewise bandwidth |
+//! | [`fig14`] | Fig. 14 + Table 8 — eleven 3-PU co-run workloads |
+//! | [`table9`] | Table 9 + Fig. 15 — GPU frequency selection use case |
+//! | [`table10`] | Table 10 — related-work model comparison (accuracy × cost) |
+//! | [`oblivious`] | §3.2 — source-obliviousness validation |
+//!
+//! All experiments run against the simulated SoCs of `pccs-soc` (see
+//! DESIGN.md for the hardware-substitution rationale). The `repro` binary
+//! drives them: `repro --quick fig3 table7`, or `repro all`.
+
+pub mod context;
+pub mod fig13;
+pub mod fig14;
+pub mod fig2;
+pub mod fig3;
+pub mod fig5;
+pub mod fig6;
+pub mod oblivious;
+pub mod table;
+pub mod table10;
+pub mod table5;
+pub mod table7;
+pub mod table9;
+pub mod validate;
+
+pub use context::{Context, Quality};
+pub use table::TextTable;

@@ -1,0 +1,287 @@
+//! Table 10: the related-work comparison, made quantitative.
+//!
+//! The paper's Table 10 qualitatively places memory-interference models on
+//! two axes — accuracy and suitability for architecture design exploration.
+//! This experiment measures both on the simulated Xavier GPU:
+//!
+//! * **accuracy**: mean absolute prediction error on held-out benchmark
+//!   co-runs;
+//! * **per-application co-run measurements**: how many co-run measurements
+//!   of the *target application* each model consumed before it could
+//!   predict. Models needing any (Bubble-up, the co-run lookup table, ESP)
+//!   cannot be used at SoC-design time for future workloads — PCCS and
+//!   Gables need none.
+
+use crate::context::Context;
+use crate::table::TextTable;
+use pccs_baselines::esp::CorunSample;
+use pccs_baselines::{BubbleUp, CorunTable, EspRegression};
+use pccs_core::SlowdownModel;
+use pccs_soc::pu::PuKind;
+use pccs_workloads::rodinia::RodiniaBenchmark;
+use serde::{Deserialize, Serialize};
+
+/// One model's row in the comparison.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ModelRow {
+    /// Model name.
+    pub model: String,
+    /// Mean absolute error on held-out points (percentage points).
+    pub error_pct: f64,
+    /// Co-run measurements of the target application consumed.
+    pub app_corun_measurements: usize,
+    /// Usable for pre-silicon design exploration (no per-app co-runs)?
+    pub design_time_usable: bool,
+}
+
+/// The Table 10 result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table10 {
+    /// Benchmarks evaluated.
+    pub benchmarks: Vec<String>,
+    /// One row per model.
+    pub rows: Vec<ModelRow>,
+}
+
+/// Runs the comparison on the Xavier GPU.
+///
+/// Training/curve pressures use the *even* grid points; evaluation uses the
+/// *odd* ones, so the empirical baselines never see the exact evaluation
+/// pressures.
+pub fn run(ctx: &mut Context) -> Table10 {
+    let soc = ctx.xavier.clone();
+    let gpu = soc.pu_index("GPU").expect("GPU");
+    let pccs = ctx.pccs_model(&soc, gpu);
+    let gables = ctx.gables(&soc);
+    let peak = soc.peak_bw_gbps();
+
+    let benches: Vec<RodiniaBenchmark> = match ctx.quality {
+        crate::context::Quality::Quick => {
+            vec![RodiniaBenchmark::Streamcluster, RodiniaBenchmark::Bfs]
+        }
+        crate::context::Quality::Full => vec![
+            RodiniaBenchmark::Hotspot,
+            RodiniaBenchmark::Streamcluster,
+            RodiniaBenchmark::Pathfinder,
+            RodiniaBenchmark::Kmeans,
+            RodiniaBenchmark::Bfs,
+        ],
+    };
+
+    let train_pressures: Vec<f64> = (1..=5).map(|i| peak * 0.18 * i as f64).collect();
+    let eval_pressures: Vec<f64> = (1..=4)
+        .map(|i| peak * 0.09 + peak * 0.18 * i as f64)
+        .collect();
+
+    // Measure everything we need per benchmark: standalone, train points,
+    // eval points.
+    struct BenchData {
+        name: String,
+        demand: f64,
+        train: Vec<(f64, f64)>,
+        eval: Vec<(f64, f64)>,
+    }
+    let mut data = Vec::new();
+    for b in &benches {
+        let kernel = b.kernel(PuKind::Gpu);
+        let standalone = ctx.standalone(&soc, gpu, &kernel);
+        let measure = |ys: &[f64]| -> Vec<(f64, f64)> {
+            ys.iter()
+                .map(|&y| (y, ctx.actual_rs_pct(&soc, gpu, &kernel, &standalone, y)))
+                .collect()
+        };
+        data.push(BenchData {
+            name: b.label().to_owned(),
+            demand: standalone.bw_gbps,
+            train: measure(&train_pressures),
+            eval: measure(&eval_pressures),
+        });
+    }
+
+    // Per-model evaluation.
+    let mut rows = Vec::new();
+    let eval_points: usize = data.iter().map(|d| d.eval.len()).sum();
+    let mae = |preds: &[f64]| -> f64 {
+        let actual: Vec<f64> = data
+            .iter()
+            .flat_map(|d| d.eval.iter().map(|&(_, a)| a))
+            .collect();
+        preds
+            .iter()
+            .zip(&actual)
+            .map(|(p, a)| (p - a).abs())
+            .sum::<f64>()
+            / eval_points as f64
+    };
+
+    // Bubble-up: one sensitivity curve per application.
+    let bubble_preds: Vec<f64> = data
+        .iter()
+        .flat_map(|d| {
+            let curve = BubbleUp::from_curve(&d.name, d.train.clone());
+            d.eval
+                .iter()
+                .map(|&(y, _)| curve.relative_speed_pct(d.demand, y))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    rows.push(ModelRow {
+        model: "Bubble-up".into(),
+        error_pct: mae(&bubble_preds),
+        app_corun_measurements: data.iter().map(|d| d.train.len()).sum(),
+        design_time_usable: false,
+    });
+
+    // Co-run lookup table: grid over (per-app demand rows, pressures).
+    let demands: Vec<f64> = {
+        let mut v: Vec<f64> = data.iter().map(|d| d.demand).collect();
+        v.sort_by(f64::total_cmp);
+        v.dedup_by(|a, b| (*a - *b).abs() < 0.5);
+        v
+    };
+    let grid_rs: Vec<Vec<f64>> = demands
+        .iter()
+        .map(|&dem| {
+            let d = data
+                .iter()
+                .min_by(|a, b| (a.demand - dem).abs().total_cmp(&(b.demand - dem).abs()))
+                .expect("non-empty");
+            d.train.iter().map(|&(_, rs)| rs).collect()
+        })
+        .collect();
+    let table = CorunTable::new(demands, train_pressures.clone(), grid_rs);
+    let table_preds: Vec<f64> = data
+        .iter()
+        .flat_map(|d| {
+            d.eval
+                .iter()
+                .map(|&(y, _)| table.relative_speed_pct(d.demand, y))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    rows.push(ModelRow {
+        model: "Co-run table".into(),
+        error_pct: mae(&table_preds),
+        app_corun_measurements: table.measurement_count(),
+        design_time_usable: false,
+    });
+
+    // ESP regression over all training samples.
+    let samples: Vec<CorunSample> = data
+        .iter()
+        .flat_map(|d| {
+            d.train.iter().map(|&(y, rs)| CorunSample {
+                demand_gbps: d.demand,
+                external_gbps: y,
+                rs_pct: rs,
+            })
+        })
+        .collect();
+    let esp = EspRegression::fit(&samples);
+    let esp_preds: Vec<f64> = data
+        .iter()
+        .flat_map(|d| {
+            d.eval
+                .iter()
+                .map(|&(y, _)| esp.relative_speed_pct(d.demand, y))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    rows.push(ModelRow {
+        model: "ESP regression".into(),
+        error_pct: mae(&esp_preds),
+        app_corun_measurements: esp.measurement_count(),
+        design_time_usable: false,
+    });
+
+    // Gables and PCCS: no per-app co-runs at all.
+    for (name, preds) in [
+        (
+            "Gables",
+            data.iter()
+                .flat_map(|d| {
+                    d.eval
+                        .iter()
+                        .map(|&(y, _)| gables.relative_speed_pct(d.demand, y))
+                        .collect::<Vec<_>>()
+                })
+                .collect::<Vec<f64>>(),
+        ),
+        (
+            "PCCS",
+            data.iter()
+                .flat_map(|d| {
+                    d.eval
+                        .iter()
+                        .map(|&(y, _)| pccs.relative_speed_pct(d.demand, y))
+                        .collect::<Vec<_>>()
+                })
+                .collect::<Vec<f64>>(),
+        ),
+    ] {
+        rows.push(ModelRow {
+            model: name.into(),
+            error_pct: mae(&preds),
+            app_corun_measurements: 0,
+            design_time_usable: true,
+        });
+    }
+
+    Table10 {
+        benchmarks: data.into_iter().map(|d| d.name).collect(),
+        rows,
+    }
+}
+
+impl Table10 {
+    /// One model's row.
+    pub fn row(&self, model: &str) -> &ModelRow {
+        self.rows
+            .iter()
+            .find(|r| r.model == model)
+            .unwrap_or_else(|| panic!("no row for {model}"))
+    }
+
+    /// Renders the comparison.
+    pub fn format(&self) -> String {
+        let mut t = TextTable::new(vec![
+            "model".into(),
+            "MAE %".into(),
+            "per-app co-runs".into(),
+            "design-time usable".into(),
+        ]);
+        for r in &self.rows {
+            t.row(vec![
+                r.model.clone(),
+                format!("{:.1}", r.error_pct),
+                r.app_corun_measurements.to_string(),
+                if r.design_time_usable { "yes" } else { "no" }.into(),
+            ]);
+        }
+        format!(
+            "Table 10 — related-work comparison on {} held-out benchmarks\n{t}",
+            self.benchmarks.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::Quality;
+
+    #[test]
+    fn table10_quick_produces_five_models() {
+        let mut ctx = Context::new(Quality::Quick);
+        let t = run(&mut ctx);
+        assert_eq!(t.rows.len(), 5);
+        // Only the design-time models report zero per-app measurements.
+        assert_eq!(t.row("PCCS").app_corun_measurements, 0);
+        assert_eq!(t.row("Gables").app_corun_measurements, 0);
+        assert!(t.row("Bubble-up").app_corun_measurements > 0);
+        // Bubble-up, with per-app curves, should be at least as accurate as
+        // Gables on held-out pressures of the same applications.
+        assert!(t.row("Bubble-up").error_pct <= t.row("Gables").error_pct + 2.0);
+        assert!(t.format().contains("Table 10"));
+    }
+}

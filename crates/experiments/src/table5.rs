@@ -1,0 +1,142 @@
+//! Table 5: linear bandwidth scaling of the PCCS parameters (Section 3.3).
+//!
+//! The model is constructed at the nominal memory clock, its five
+//! bandwidth-typed parameters are scaled linearly to lower clocks, and each
+//! scaled parameter is compared to the parameter obtained by *rebuilding*
+//! the model on the underclocked memory. The paper reports average errors
+//! below 3 %.
+
+use crate::context::Context;
+use crate::table::TextTable;
+use pccs_core::PccsModel;
+use pccs_workloads::calibrate::build_model;
+use serde::{Deserialize, Serialize};
+
+/// Error of one scaled parameter at one clock ratio.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScalingRow {
+    /// Parameter name.
+    pub parameter: String,
+    /// Relative error (%) per clock ratio, aligned with
+    /// [`Table5::ratios`].
+    pub errors_pct: Vec<f64>,
+    /// Average across ratios.
+    pub avg_error_pct: f64,
+}
+
+/// The Table 5 result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table5 {
+    /// Clock ratios evaluated (target / nominal), e.g. 0.5 for 1066 MHz.
+    pub ratios: Vec<f64>,
+    /// Per-parameter error rows.
+    pub rows: Vec<ScalingRow>,
+}
+
+fn rel_err_pct(scaled: f64, rebuilt: f64, scale_ref: f64) -> f64 {
+    // Relative to the reference magnitude so near-zero parameters (the
+    // DLA's Normal BW) do not blow the metric up.
+    100.0 * (scaled - rebuilt).abs() / scale_ref.abs().max(1.0)
+}
+
+/// Runs the scaling study on the Xavier GPU model.
+pub fn run(ctx: &mut Context) -> Table5 {
+    let soc = ctx.xavier.clone();
+    let gpu = soc.pu_index("GPU").expect("GPU");
+    let cpu = soc.pu_index("CPU").expect("CPU");
+    let nominal = ctx.pccs_model(&soc, gpu);
+
+    // Paper ratios: 1066, 1333, 1600 MHz over the nominal 2133 MHz.
+    let ratios: Vec<f64> = match ctx.quality {
+        crate::context::Quality::Quick => vec![0.625],
+        crate::context::Quality::Full => vec![0.5, 0.625, 0.75],
+    };
+
+    let mut per_ratio: Vec<(PccsModel, PccsModel)> = Vec::new(); // (scaled, rebuilt)
+    for &r in &ratios {
+        let scaled = nominal.scale_bandwidth(r);
+        let underclocked = soc.with_dram(soc.dram.with_clock_ratio(r));
+        let cfg = ctx.calibration_config();
+        let (rebuilt, _) =
+            build_model(&underclocked, gpu, cpu, &cfg).expect("underclocked construction succeeds");
+        per_ratio.push((scaled, rebuilt));
+    }
+
+    type Getter = Box<dyn Fn(&PccsModel) -> f64>;
+    let params: Vec<(&str, Getter)> = vec![
+        ("Normal BW (GB/s)", Box::new(|m: &PccsModel| m.normal_bw)),
+        (
+            "Intensive BW (GB/s)",
+            Box::new(|m: &PccsModel| m.intensive_bw),
+        ),
+        ("MRMC (%)", Box::new(|m: &PccsModel| m.mrmc.unwrap_or(0.0))),
+        ("CBP (GB/s)", Box::new(|m: &PccsModel| m.cbp)),
+        ("TBWDC (GB/s)", Box::new(|m: &PccsModel| m.tbwdc)),
+        ("Rate^N (%/GBps)", Box::new(|m: &PccsModel| m.rate_n)),
+        (
+            "Rate^I (%/GBps)",
+            Box::new(|m: &PccsModel| m.rate_i_representative()),
+        ),
+    ];
+
+    let mut rows = Vec::new();
+    for (name, get) in &params {
+        let mut errors = Vec::new();
+        for (scaled, rebuilt) in &per_ratio {
+            let reference = get(rebuilt).abs().max(get(scaled).abs());
+            errors.push(rel_err_pct(get(scaled), get(rebuilt), reference));
+        }
+        let avg = errors.iter().sum::<f64>() / errors.len() as f64;
+        rows.push(ScalingRow {
+            parameter: (*name).to_owned(),
+            errors_pct: errors,
+            avg_error_pct: avg,
+        });
+    }
+    Table5 { ratios, rows }
+}
+
+impl Table5 {
+    /// Average error across all parameters and ratios.
+    pub fn overall_avg_error(&self) -> f64 {
+        self.rows.iter().map(|r| r.avg_error_pct).sum::<f64>() / self.rows.len() as f64
+    }
+
+    /// Renders the table.
+    pub fn format(&self) -> String {
+        let mut header = vec!["Parameter".to_owned()];
+        for r in &self.ratios {
+            header.push(format!("x{r:.3}"));
+        }
+        header.push("avg err %".to_owned());
+        let mut t = TextTable::new(header);
+        for row in &self.rows {
+            let mut cells = vec![row.parameter.clone()];
+            cells.extend(row.errors_pct.iter().map(|e| format!("{e:.1}")));
+            cells.push(format!("{:.1}", row.avg_error_pct));
+            t.row(cells);
+        }
+        format!(
+            "Table 5 — linear parameter scaling, scaled vs rebuilt (overall avg {:.1}%)\n{t}",
+            self.overall_avg_error()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::Quality;
+
+    #[test]
+    fn table5_quick_produces_all_parameters() {
+        let mut ctx = Context::new(Quality::Quick);
+        let t = run(&mut ctx);
+        assert_eq!(t.rows.len(), 7);
+        assert_eq!(t.ratios.len(), 1);
+        for row in &t.rows {
+            assert!(row.avg_error_pct.is_finite());
+        }
+        assert!(t.format().contains("Table 5"));
+    }
+}

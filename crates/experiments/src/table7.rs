@@ -1,0 +1,119 @@
+//! Table 7: constructed PCCS model parameters for every PU of both SoCs.
+//!
+//! Absolute values differ from the paper's (our substrate is a simulator
+//! with its own effective bandwidths), but the qualitative relations the
+//! paper highlights should hold: different PUs on the same SoC get
+//! different parameters; GPUs tolerate more demand before contention but
+//! react more steeply; the DLA has no minor contention region
+//! (`Normal BW = 0`, `MRMC = NA`).
+
+use crate::context::Context;
+use crate::table::TextTable;
+use pccs_core::PccsModel;
+use serde::{Deserialize, Serialize};
+
+/// One PU's constructed parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PuParameters {
+    /// SoC name.
+    pub soc: String,
+    /// PU name.
+    pub pu: String,
+    /// The constructed model.
+    pub model: PccsModel,
+}
+
+/// The Table 7 result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table7 {
+    /// Parameters for Xavier CPU/GPU/DLA and Snapdragon CPU/GPU.
+    pub rows: Vec<PuParameters>,
+}
+
+/// Constructs all five models (cached in the context).
+pub fn run(ctx: &mut Context) -> Table7 {
+    let mut rows = Vec::new();
+    let xavier = ctx.xavier.clone();
+    for pu_name in ["CPU", "GPU", "DLA"] {
+        let pu = xavier.pu_index(pu_name).expect("Xavier PU");
+        rows.push(PuParameters {
+            soc: "Xavier".to_owned(),
+            pu: pu_name.to_owned(),
+            model: ctx.pccs_model(&xavier, pu),
+        });
+    }
+    let snapdragon = ctx.snapdragon.clone();
+    for pu_name in ["CPU", "GPU"] {
+        let pu = snapdragon.pu_index(pu_name).expect("Snapdragon PU");
+        rows.push(PuParameters {
+            soc: "Snapdragon".to_owned(),
+            pu: pu_name.to_owned(),
+            model: ctx.pccs_model(&snapdragon, pu),
+        });
+    }
+    Table7 { rows }
+}
+
+impl Table7 {
+    /// Renders the parameter table (paper layout: parameters × PUs).
+    pub fn format(&self) -> String {
+        let mut header = vec!["Parameter".to_owned()];
+        for r in &self.rows {
+            header.push(format!("{} {}", r.soc, r.pu));
+        }
+        let mut t = TextTable::new(header);
+        let param = |name: &str, f: &dyn Fn(&PccsModel) -> String| -> Vec<String> {
+            let mut row = vec![name.to_owned()];
+            row.extend(self.rows.iter().map(|r| f(&r.model)));
+            row
+        };
+        t.row(param("Normal BW (GB/s)", &|m| {
+            format!("{:.1}", m.normal_bw)
+        }));
+        t.row(param("Intensive BW (GB/s)", &|m| {
+            format!("{:.1}", m.intensive_bw)
+        }));
+        t.row(param("MRMC (%)", &|m| {
+            m.mrmc.map_or("NA".to_owned(), |v| format!("{v:.1}"))
+        }));
+        t.row(param("CBP (GB/s)", &|m| format!("{:.1}", m.cbp)));
+        t.row(param("TBWDC (GB/s)", &|m| format!("{:.1}", m.tbwdc)));
+        t.row(param("Rate^N (%/GBps)", &|m| format!("{:.2}", m.rate_n)));
+        t.row(param("Rate^I (%/GBps)", &|m| {
+            format!("{:.2}", m.rate_i_representative())
+        }));
+        format!("Table 7 — constructed PCCS model parameters\n{t}")
+    }
+
+    /// The model of one SoC/PU pair.
+    pub fn model(&self, soc: &str, pu: &str) -> &PccsModel {
+        &self
+            .rows
+            .iter()
+            .find(|r| r.soc == soc && r.pu == pu)
+            .unwrap_or_else(|| panic!("no parameters for {soc} {pu}"))
+            .model
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::Quality;
+
+    #[test]
+    fn table7_constructs_five_models() {
+        let mut ctx = Context::new(Quality::Quick);
+        let t = run(&mut ctx);
+        assert_eq!(t.rows.len(), 5);
+        // PU-specific parameters must differ within one SoC (the
+        // processor-centric claim).
+        let cpu = t.model("Xavier", "CPU");
+        let gpu = t.model("Xavier", "GPU");
+        assert!(
+            (cpu.tbwdc - gpu.tbwdc).abs() > 1e-6 || (cpu.rate_n - gpu.rate_n).abs() > 1e-6,
+            "CPU and GPU models should differ"
+        );
+        assert!(t.format().contains("Rate^I"));
+    }
+}

@@ -1,0 +1,227 @@
+//! Table 9 and Figure 15: the SoC-design use case — selecting the lowest
+//! GPU frequency whose co-run performance stays within an allowed slowdown,
+//! using PCCS vs Gables vs simulated ground truth (Section 4.3).
+//!
+//! The paper's signature result: Gables picks the same frequency regardless
+//! of external pressure (it predicts zero contention below the peak), while
+//! PCCS tracks the ground truth within a few percent.
+
+use crate::context::Context;
+use crate::table::TextTable;
+use pccs_dse::freq::{ground_truth_frequency, profile_frequencies, select_frequency};
+use pccs_soc::pu::PuKind;
+use pccs_workloads::rodinia::RodiniaBenchmark;
+use serde::{Deserialize, Serialize};
+
+/// One (budget, pressure) cell of Table 9.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SelectionCell {
+    /// Allowed slowdown (fraction).
+    pub budget: f64,
+    /// External demand (GB/s).
+    pub external_gbps: f64,
+    /// Ground-truth frequency (MHz).
+    pub truth_mhz: f64,
+    /// PCCS-selected frequency (MHz).
+    pub pccs_mhz: f64,
+    /// Gables-selected frequency (MHz).
+    pub gables_mhz: f64,
+}
+
+impl SelectionCell {
+    /// PCCS frequency error vs ground truth (%).
+    pub fn pccs_error_pct(&self) -> f64 {
+        100.0 * (self.pccs_mhz - self.truth_mhz).abs() / self.truth_mhz
+    }
+
+    /// Gables frequency error vs ground truth (%).
+    pub fn gables_error_pct(&self) -> f64 {
+        100.0 * (self.gables_mhz - self.truth_mhz).abs() / self.truth_mhz
+    }
+}
+
+/// The Table 9 + Figure 15 result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table9 {
+    /// All selection cells.
+    pub cells: Vec<SelectionCell>,
+    /// Figure 15 data: `(freq MHz, [(external, perf_rel)])` ground-truth
+    /// co-run performance curves at representative frequencies.
+    pub fig15_curves: Vec<(f64, Vec<(f64, f64)>)>,
+}
+
+/// Runs the use case: streamcluster on the Xavier GPU.
+pub fn run(ctx: &mut Context) -> Table9 {
+    let soc = ctx.xavier.clone();
+    let gpu = soc.pu_index("GPU").expect("GPU");
+    let cpu = soc.pu_index("CPU").expect("CPU");
+    let kernel = RodiniaBenchmark::Streamcluster.kernel(PuKind::Gpu);
+    let pccs = ctx.pccs_model(&soc, gpu);
+    let gables = ctx.gables(&soc);
+
+    let freqs: Vec<f64> = match ctx.quality {
+        crate::context::Quality::Quick => vec![500.0, 900.0, 1377.0],
+        crate::context::Quality::Full => {
+            vec![
+                400.0, 500.0, 600.0, 700.0, 800.0, 900.0, 1000.0, 1100.0, 1377.0,
+            ]
+        }
+    };
+    // The paper uses 20/40/60 GB/s on silicon whose contention bites early;
+    // our substrate's fairness control absorbs mild pressure, so the same
+    // *regime* (light / medium / heavy contention) sits at higher absolute
+    // levels here.
+    let externals: Vec<f64> = vec![40.0, 80.0, 120.0];
+    let budgets = [0.05, 0.20];
+
+    let points = profile_frequencies(&soc, gpu, &kernel, &freqs, ctx.horizon());
+
+    let mut cells = Vec::new();
+    for &budget in &budgets {
+        for &y in &externals {
+            let truth =
+                ground_truth_frequency(&soc, gpu, cpu, &kernel, &freqs, y, budget, ctx.horizon());
+            let p = select_frequency(&points, &pccs, y, budget);
+            let g = select_frequency(&points, &gables, y, budget);
+            cells.push(SelectionCell {
+                budget,
+                external_gbps: y,
+                truth_mhz: truth.chosen_mhz,
+                pccs_mhz: p.chosen_mhz,
+                gables_mhz: g.chosen_mhz,
+            });
+        }
+    }
+
+    // Figure 15: measured co-run performance vs pressure at the top
+    // frequency and a mid frequency, normalized to the top frequency's
+    // standalone rate. The paper's observation — a memory-bound kernel's
+    // curve at the top clock nearly coincides with the one at a much lower
+    // clock — appears as overlapping rows here.
+    let fig_freqs = [freqs[freqs.len() - 1], freqs[freqs.len() / 2]];
+    let sweep: Vec<f64> = vec![10.0, 30.0, 50.0, 70.0, 90.0];
+    let top = soc.with_pu(gpu, soc.pus[gpu].with_frequency(fig_freqs[0]));
+    let base_rate = pccs_soc::corun::CoRunSim::standalone_averaged(
+        &top,
+        gpu,
+        &kernel,
+        ctx.horizon(),
+        ctx.repeats(),
+    )
+    .lines_per_cycle
+    .max(f64::MIN_POSITIVE);
+    let mut fig15_curves = Vec::new();
+    for &f in &fig_freqs {
+        let reclocked = soc.with_pu(gpu, soc.pus[gpu].with_frequency(f));
+        let mut curve = Vec::new();
+        for &y in &sweep {
+            let mut sim = pccs_soc::corun::CoRunSim::new(&reclocked);
+            sim.repeats(ctx.repeats());
+            sim.place(pccs_soc::corun::Placement::kernel(gpu, kernel.clone()));
+            sim.external_pressure(cpu, y);
+            let out = sim.run(ctx.horizon());
+            curve.push((y, out.per_pu[&gpu].lines_per_cycle / base_rate));
+        }
+        fig15_curves.push((f, curve));
+    }
+
+    Table9 {
+        cells,
+        fig15_curves,
+    }
+}
+
+impl Table9 {
+    /// Average PCCS frequency error across cells (%).
+    pub fn avg_pccs_error(&self) -> f64 {
+        self.cells
+            .iter()
+            .map(SelectionCell::pccs_error_pct)
+            .sum::<f64>()
+            / self.cells.len() as f64
+    }
+
+    /// Average Gables frequency error across cells (%).
+    pub fn avg_gables_error(&self) -> f64 {
+        self.cells
+            .iter()
+            .map(SelectionCell::gables_error_pct)
+            .sum::<f64>()
+            / self.cells.len() as f64
+    }
+
+    /// Whether Gables picks one frequency independent of pressure (the
+    /// paper's 880/880/880 pathology).
+    pub fn gables_is_pressure_blind(&self) -> bool {
+        self.cells
+            .windows(2)
+            .filter(|w| w[0].budget == w[1].budget)
+            .all(|w| (w[0].gables_mhz - w[1].gables_mhz).abs() < 1e-9)
+    }
+
+    /// Renders the table.
+    pub fn format(&self) -> String {
+        let mut t = TextTable::new(vec![
+            "budget".into(),
+            "external GB/s".into(),
+            "truth MHz".into(),
+            "PCCS MHz".into(),
+            "Gables MHz".into(),
+            "PCCS err %".into(),
+            "Gables err %".into(),
+        ]);
+        for c in &self.cells {
+            t.row(vec![
+                format!("{:.0}%", c.budget * 100.0),
+                format!("{:.0}", c.external_gbps),
+                format!("{:.0}", c.truth_mhz),
+                format!("{:.0}", c.pccs_mhz),
+                format!("{:.0}", c.gables_mhz),
+                format!("{:.1}", c.pccs_error_pct()),
+                format!("{:.1}", c.gables_error_pct()),
+            ]);
+        }
+        let mut s = format!(
+            "Table 9 — GPU frequency selection (streamcluster)\n{t}\n\
+             avg error: PCCS {:.1}%  Gables {:.1}%\n",
+            self.avg_pccs_error(),
+            self.avg_gables_error()
+        );
+        s.push_str("\nFigure 15 — measured co-run performance vs pressure (rel. to best)\n");
+        let mut t = TextTable::new({
+            let mut h = vec!["freq MHz".to_owned()];
+            h.extend(
+                self.fig15_curves[0]
+                    .1
+                    .iter()
+                    .map(|&(y, _)| format!("y={y:.0}")),
+            );
+            h
+        });
+        for (f, curve) in &self.fig15_curves {
+            let mut row = vec![format!("{f:.0}")];
+            row.extend(curve.iter().map(|&(_, p)| format!("{p:.2}")));
+            t.row(row);
+        }
+        s.push_str(&t.to_string());
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::Quality;
+
+    #[test]
+    fn table9_quick_produces_six_cells() {
+        let mut ctx = Context::new(Quality::Quick);
+        let t = run(&mut ctx);
+        assert_eq!(t.cells.len(), 6);
+        for c in &t.cells {
+            assert!(c.truth_mhz > 0.0 && c.pccs_mhz > 0.0 && c.gables_mhz > 0.0);
+        }
+        assert_eq!(t.fig15_curves.len(), 2);
+        assert!(t.format().contains("Table 9"));
+    }
+}

@@ -1,0 +1,66 @@
+//! Property-based tests of the Gables baseline.
+
+use pccs_core::SlowdownModel;
+use pccs_gables::GablesModel;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn relative_speed_is_bounded(
+        peak in 1.0f64..500.0,
+        x in 0.0f64..500.0,
+        y in 0.0f64..500.0,
+    ) {
+        let g = GablesModel::new(peak);
+        let rs = g.relative_speed_pct(x, y);
+        prop_assert!((0.0..=100.0).contains(&rs));
+    }
+
+    #[test]
+    fn no_slowdown_below_peak(
+        peak in 10.0f64..500.0,
+        frac_x in 0.01f64..0.99,
+        frac_y in 0.0f64..0.99,
+    ) {
+        let x = peak * frac_x;
+        let y = (peak - x) * frac_y;
+        let g = GablesModel::new(peak);
+        // Floating arithmetic can land x + y a few ulps over the peak.
+        prop_assert!(g.relative_speed_pct(x, y) > 99.999);
+    }
+
+    #[test]
+    fn granted_bandwidth_conserves_peak(
+        peak in 10.0f64..500.0,
+        x in 0.0f64..1000.0,
+        y in 0.0f64..1000.0,
+    ) {
+        let g = GablesModel::new(peak);
+        let granted = g.granted_bw_gbps(x, y);
+        prop_assert!(granted <= x + 1e-9, "never granted more than requested");
+        prop_assert!(granted <= peak + 1e-9, "never granted more than peak");
+    }
+
+    #[test]
+    fn monotone_non_increasing_in_pressure(
+        peak in 10.0f64..500.0,
+        x in 0.1f64..500.0,
+        y in 0.0f64..500.0,
+        dy in 0.0f64..100.0,
+    ) {
+        let g = GablesModel::new(peak);
+        prop_assert!(g.relative_speed_pct(x, y + dy) <= g.relative_speed_pct(x, y) + 1e-9);
+    }
+
+    #[test]
+    fn proportional_share_at_saturation(
+        peak in 10.0f64..500.0,
+        x in 1.0f64..500.0,
+        y in 1.0f64..500.0,
+    ) {
+        prop_assume!(x + y > peak);
+        let g = GablesModel::new(peak);
+        let expected = 100.0 * peak / (x + y);
+        prop_assert!((g.relative_speed_pct(x, y) - expected).abs() < 1e-6);
+    }
+}

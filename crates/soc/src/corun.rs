@@ -1,0 +1,412 @@
+//! Co-run simulation and achieved-relative-speed measurement.
+//!
+//! This module provides the measurement layer the paper obtains from real
+//! hardware: standalone profiling of one kernel on one PU, and co-runs of
+//! multiple kernels (or raw external pressure) across PUs sharing the
+//! memory controller. Achieved relative speed (`RS`) is the ratio of work
+//! rates: `(co-run lines / cycle) / (standalone lines / cycle)`.
+
+use crate::executor::PuExecutor;
+use crate::kernel::KernelDesc;
+use crate::pressure::pressure_streams_seeded;
+use crate::soc::SocConfig;
+use pccs_dram::policy::PolicyKind;
+use pccs_dram::request::SourceId;
+use pccs_dram::sim::{DramSystem, SimOutcome};
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Default simulation horizon in memory cycles; ~30 µs at 2133 MHz, enough
+/// for tens of thousands of lines per PU.
+pub const DEFAULT_HORIZON: u64 = 60_000;
+
+/// Fraction of the horizon discarded as warmup before rates are measured.
+pub const WARMUP_FRACTION: f64 = 0.25;
+
+/// What runs on one PU during a co-run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Placement {
+    /// Index of the PU in [`SocConfig::pus`].
+    pub pu_idx: usize,
+    /// The work placed on it.
+    pub work: PlacementWork,
+}
+
+/// The work assigned to a PU.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PlacementWork {
+    /// A kernel executed by the PU's compute model.
+    Kernel(KernelDesc),
+    /// Raw bandwidth pressure of the given total GB/s demand (a calibrator
+    /// run open-loop, used when only the traffic matters).
+    Pressure(f64),
+}
+
+impl Placement {
+    /// Places `kernel` on PU `pu_idx`.
+    pub fn kernel(pu_idx: usize, kernel: KernelDesc) -> Self {
+        Self {
+            pu_idx,
+            work: PlacementWork::Kernel(kernel),
+        }
+    }
+
+    /// Places a pure bandwidth demand on PU `pu_idx`.
+    pub fn pressure(pu_idx: usize, gbps: f64) -> Self {
+        Self {
+            pu_idx,
+            work: PlacementWork::Pressure(gbps),
+        }
+    }
+}
+
+/// The standalone execution profile of a kernel on a PU — the quantity the
+/// paper obtains with NVperf/perf/Valgrind.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StandaloneProfile {
+    /// PU the kernel was profiled on.
+    pub pu_idx: usize,
+    /// Work rate in lines per memory cycle.
+    pub lines_per_cycle: f64,
+    /// Standalone achieved bandwidth — the kernel's *bandwidth demand* in
+    /// the paper's terminology (GB/s).
+    pub bw_gbps: f64,
+    /// Horizon used for profiling.
+    pub horizon: u64,
+}
+
+/// Per-PU measurements from one co-run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PuRunResult {
+    /// Lines fully processed during the run.
+    pub lines: u64,
+    /// Work rate in lines per memory cycle.
+    pub lines_per_cycle: f64,
+    /// Achieved bandwidth in GB/s.
+    pub bw_gbps: f64,
+}
+
+/// The result of a co-run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CoRunOutcome {
+    /// Measurements per placed PU index.
+    pub per_pu: BTreeMap<usize, PuRunResult>,
+    /// Cycles simulated.
+    pub horizon: u64,
+    /// Raw memory-system outcome (row-hit rates, latencies, …).
+    pub memory: SimOutcome,
+}
+
+impl CoRunOutcome {
+    /// Achieved relative speed of PU `pu_idx` against its standalone
+    /// profile, as a fraction (1.0 = no slowdown).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pu_idx` was not placed in this co-run or the profile is
+    /// for a different PU.
+    pub fn relative_speed(&self, pu_idx: usize, standalone: &StandaloneProfile) -> f64 {
+        assert_eq!(
+            standalone.pu_idx, pu_idx,
+            "profile belongs to PU {} but asked about PU {}",
+            standalone.pu_idx, pu_idx
+        );
+        let r = self
+            .per_pu
+            .get(&pu_idx)
+            .unwrap_or_else(|| panic!("PU {pu_idx} was not placed in this co-run"));
+        if standalone.lines_per_cycle <= 0.0 {
+            return 1.0;
+        }
+        r.lines_per_cycle / standalone.lines_per_cycle
+    }
+
+    /// Achieved relative speed as a percentage (the paper's `RS`).
+    pub fn relative_speed_pct(&self, pu_idx: usize, standalone: &StandaloneProfile) -> f64 {
+        100.0 * self.relative_speed(pu_idx, standalone)
+    }
+}
+
+/// A co-run simulation under construction.
+#[derive(Debug)]
+pub struct CoRunSim {
+    soc: SocConfig,
+    policy: PolicyKind,
+    placements: Vec<Placement>,
+    repeats: u32,
+}
+
+impl CoRunSim {
+    /// Starts a co-run on `soc` with the default fairness-controlled
+    /// memory-scheduling policy (ATLAS — whose effective-bandwidth profile
+    /// is closest to the paper's Xavier measurement in Table 3).
+    pub fn new(soc: &SocConfig) -> Self {
+        Self {
+            soc: soc.clone(),
+            policy: PolicyKind::Atlas,
+            placements: Vec::new(),
+            repeats: 1,
+        }
+    }
+
+    /// Overrides the memory-controller scheduling policy.
+    pub fn policy(&mut self, policy: PolicyKind) -> &mut Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Number of differently seeded repetitions whose rates are averaged
+    /// (default 1). Averaging damps the address-phase sensitivity of short
+    /// simulations.
+    pub fn repeats(&mut self, repeats: u32) -> &mut Self {
+        assert!(repeats >= 1, "at least one repetition required");
+        self.repeats = repeats;
+        self
+    }
+
+    /// Adds a placement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the PU index is out of range or already occupied (the
+    /// paper's scope: "a PU runs only one kernel at a given time").
+    pub fn place(&mut self, placement: Placement) -> &mut Self {
+        assert!(
+            placement.pu_idx < self.soc.pus.len(),
+            "PU index {} out of range",
+            placement.pu_idx
+        );
+        assert!(
+            self.placements.iter().all(|p| p.pu_idx != placement.pu_idx),
+            "PU {} already has work placed",
+            placement.pu_idx
+        );
+        self.placements.push(placement);
+        self
+    }
+
+    /// Convenience: place raw external bandwidth pressure on a PU.
+    pub fn external_pressure(&mut self, pu_idx: usize, gbps: f64) -> &mut Self {
+        self.place(Placement::pressure(pu_idx, gbps))
+    }
+
+    /// Runs the co-run for `horizon` memory cycles. The first
+    /// [`WARMUP_FRACTION`] of the horizon is excluded from the measured
+    /// rates; when [`CoRunSim::repeats`] is above one, rates are averaged
+    /// over differently seeded repetitions (the returned raw
+    /// [`CoRunOutcome::memory`] is from the last repetition).
+    pub fn run(&self, horizon: u64) -> CoRunOutcome {
+        assert!(horizon > 0, "horizon must be positive");
+        let warmup = (horizon as f64 * WARMUP_FRACTION) as u64;
+        let mut acc: BTreeMap<usize, (f64, f64, u64)> = BTreeMap::new();
+        let mut last_memory = None;
+        for rep in 0..self.repeats {
+            let memory = self.run_once(horizon, warmup, u64::from(rep));
+            for placement in &self.placements {
+                let range = self.soc.source_range(placement.pu_idx);
+                let lines: u64 = range
+                    .clone()
+                    .map(|s| {
+                        memory
+                            .measured
+                            .progress
+                            .get(&SourceId(s))
+                            .copied()
+                            .unwrap_or(0)
+                    })
+                    .sum();
+                let bpc: f64 = range
+                    .map(|s| memory.measured.bytes_per_cycle(SourceId(s)))
+                    .sum();
+                let bw = self.soc.dram.bytes_per_cycle_to_gbps(bpc);
+                let rate = lines as f64 / memory.measured.cycles.max(1) as f64;
+                let e = acc.entry(placement.pu_idx).or_insert((0.0, 0.0, 0));
+                e.0 += rate;
+                e.1 += bw;
+                e.2 += lines;
+            }
+            last_memory = Some(memory);
+        }
+        let n = f64::from(self.repeats);
+        let per_pu = acc
+            .into_iter()
+            .map(|(pu, (rate, bw, lines))| {
+                (
+                    pu,
+                    PuRunResult {
+                        lines: lines / u64::from(self.repeats),
+                        lines_per_cycle: rate / n,
+                        bw_gbps: bw / n,
+                    },
+                )
+            })
+            .collect();
+        CoRunOutcome {
+            per_pu,
+            horizon,
+            memory: last_memory.expect("at least one repetition"),
+        }
+    }
+
+    fn run_once(&self, horizon: u64, warmup: u64, run_seed: u64) -> SimOutcome {
+        let mut sys = DramSystem::new(self.soc.dram.clone(), self.policy);
+        for placement in &self.placements {
+            let pu = &self.soc.pus[placement.pu_idx];
+            let base = self.soc.source_base(placement.pu_idx);
+            match &placement.work {
+                PlacementWork::Kernel(kernel) => {
+                    let per_stream =
+                        pu.flops_per_mem_cycle(self.soc.dram.clock_mhz) / pu.streams.max(1) as f64;
+                    let mut execs = PuExecutor::streams_for_seeded(pu, kernel, base, run_seed);
+                    for e in &mut execs {
+                        e.set_compute_rate(per_stream);
+                    }
+                    for e in execs {
+                        sys.add_generator(e);
+                    }
+                }
+                PlacementWork::Pressure(gbps) => {
+                    for s in pressure_streams_seeded(pu, *gbps, base, run_seed) {
+                        sys.add_generator(s);
+                    }
+                }
+            }
+        }
+        sys.run_with_warmup(warmup, horizon)
+    }
+
+    /// Profiles `kernel` standalone on PU `pu_idx` of `soc` — the paper's
+    /// standalone bandwidth-demand measurement.
+    pub fn standalone(
+        soc: &SocConfig,
+        pu_idx: usize,
+        kernel: &KernelDesc,
+        horizon: u64,
+    ) -> StandaloneProfile {
+        Self::standalone_averaged(soc, pu_idx, kernel, horizon, 1)
+    }
+
+    /// Standalone profiling averaged over `repeats` differently seeded runs.
+    pub fn standalone_averaged(
+        soc: &SocConfig,
+        pu_idx: usize,
+        kernel: &KernelDesc,
+        horizon: u64,
+        repeats: u32,
+    ) -> StandaloneProfile {
+        let mut sim = CoRunSim::new(soc);
+        sim.repeats(repeats);
+        sim.place(Placement::kernel(pu_idx, kernel.clone()));
+        let out = sim.run(horizon);
+        let r = out.per_pu[&pu_idx];
+        StandaloneProfile {
+            pu_idx,
+            lines_per_cycle: r.lines_per_cycle,
+            bw_gbps: r.bw_gbps,
+            horizon,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xavier() -> SocConfig {
+        SocConfig::xavier()
+    }
+
+    #[test]
+    fn standalone_profile_reports_bandwidth() {
+        let soc = xavier();
+        let gpu = soc.pu_index("GPU").unwrap();
+        let kernel = KernelDesc::memory_streaming("stream", 0.5);
+        let p = CoRunSim::standalone(&soc, gpu, &kernel, 30_000);
+        assert!(p.bw_gbps > 20.0, "got {}", p.bw_gbps);
+        assert!(p.lines_per_cycle > 0.0);
+    }
+
+    #[test]
+    fn corun_slows_down_a_memory_bound_kernel() {
+        let soc = xavier();
+        let gpu = soc.pu_index("GPU").unwrap();
+        let cpu = soc.pu_index("CPU").unwrap();
+        let kernel = KernelDesc::memory_streaming("stream", 0.5);
+        let standalone = CoRunSim::standalone(&soc, gpu, &kernel, 40_000);
+
+        let mut sim = CoRunSim::new(&soc);
+        sim.place(Placement::kernel(gpu, kernel));
+        sim.external_pressure(cpu, 80.0);
+        let out = sim.run(40_000);
+        let rs = out.relative_speed(gpu, &standalone);
+        assert!(rs < 0.97, "expected a slowdown, rs = {rs:.3}");
+        assert!(rs > 0.2, "slowdown implausibly large, rs = {rs:.3}");
+    }
+
+    #[test]
+    fn compute_bound_kernel_barely_slows() {
+        let soc = xavier();
+        let gpu = soc.pu_index("GPU").unwrap();
+        let cpu = soc.pu_index("CPU").unwrap();
+        let kernel = KernelDesc::compute_bound("hot", 200.0);
+        let standalone = CoRunSim::standalone(&soc, gpu, &kernel, 40_000);
+
+        let mut sim = CoRunSim::new(&soc);
+        sim.place(Placement::kernel(gpu, kernel));
+        sim.external_pressure(cpu, 60.0);
+        let out = sim.run(40_000);
+        let rs = out.relative_speed(gpu, &standalone);
+        assert!(rs > 0.85, "compute-bound kernel slowed to {rs:.3}");
+    }
+
+    #[test]
+    fn more_pressure_means_more_slowdown() {
+        let soc = xavier();
+        let gpu = soc.pu_index("GPU").unwrap();
+        let cpu = soc.pu_index("CPU").unwrap();
+        let kernel = KernelDesc::memory_streaming("stream", 1.0);
+        let standalone = CoRunSim::standalone(&soc, gpu, &kernel, 30_000);
+        let rs_at = |gbps: f64| {
+            let mut sim = CoRunSim::new(&soc);
+            sim.place(Placement::kernel(gpu, kernel.clone()));
+            sim.external_pressure(cpu, gbps);
+            sim.run(30_000).relative_speed(gpu, &standalone)
+        };
+        let low = rs_at(20.0);
+        let high = rs_at(100.0);
+        assert!(
+            high <= low + 0.03,
+            "rs should not increase with pressure: low={low:.3} high={high:.3}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "already has work")]
+    fn double_placement_panics() {
+        let soc = xavier();
+        let mut sim = CoRunSim::new(&soc);
+        sim.place(Placement::pressure(0, 10.0));
+        sim.place(Placement::pressure(0, 10.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_pu_index_panics() {
+        let soc = xavier();
+        CoRunSim::new(&soc).place(Placement::pressure(9, 10.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "not placed")]
+    fn relative_speed_requires_placement() {
+        let soc = xavier();
+        let gpu = soc.pu_index("GPU").unwrap();
+        let kernel = KernelDesc::memory_streaming("k", 1.0);
+        let standalone = CoRunSim::standalone(&soc, gpu, &kernel, 5_000);
+        let mut sim = CoRunSim::new(&soc);
+        sim.external_pressure(0, 10.0);
+        let out = sim.run(5_000);
+        let _ = out.relative_speed(gpu, &standalone);
+    }
+}

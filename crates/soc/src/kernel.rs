@@ -1,0 +1,182 @@
+//! Kernel descriptors.
+//!
+//! A kernel is characterized the way the paper's calibrators are
+//! (Section 3.2): a stream of work items, each loading one cache line and
+//! performing `ops_per_byte × line` arithmetic operations. Operational
+//! intensity is the single knob that moves a kernel between memory-bound
+//! and compute-bound, and thereby sets its standalone bandwidth demand on a
+//! given PU.
+
+use serde::{Deserialize, Serialize};
+
+/// A kernel's execution characteristics, independent of any PU.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelDesc {
+    /// Display name.
+    pub name: String,
+    /// Operational intensity: arithmetic operations per byte of memory
+    /// traffic.
+    pub ops_per_byte: f64,
+    /// Probability of successive accesses staying in the same DRAM row
+    /// region (stream-like kernels ≈ 0.9+, pointer-chasing ≈ 0.2).
+    pub row_locality: f64,
+    /// Fraction of traffic that is writes.
+    pub write_fraction: f64,
+    /// Fraction of the PU's compute lanes the kernel can keep busy
+    /// (1.0 = perfectly vectorized/parallel).
+    pub parallel_efficiency: f64,
+}
+
+impl KernelDesc {
+    /// Creates a kernel with explicit parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ops_per_byte` is negative, or if `row_locality`,
+    /// `write_fraction` or `parallel_efficiency` fall outside `[0, 1]`
+    /// (`parallel_efficiency` must be positive).
+    pub fn new(
+        name: impl Into<String>,
+        ops_per_byte: f64,
+        row_locality: f64,
+        write_fraction: f64,
+        parallel_efficiency: f64,
+    ) -> Self {
+        assert!(ops_per_byte >= 0.0, "intensity must be non-negative");
+        assert!(
+            (0.0..=1.0).contains(&row_locality),
+            "row locality must be a probability"
+        );
+        assert!(
+            (0.0..=1.0).contains(&write_fraction),
+            "write fraction must be a probability"
+        );
+        assert!(
+            parallel_efficiency > 0.0 && parallel_efficiency <= 1.0,
+            "parallel efficiency must be in (0, 1]"
+        );
+        Self {
+            name: name.into(),
+            ops_per_byte,
+            row_locality,
+            write_fraction,
+            parallel_efficiency,
+        }
+    }
+
+    /// A streaming, memory-bound kernel (vector-add-like) with the given
+    /// operational intensity and high row locality.
+    pub fn memory_streaming(name: impl Into<String>, ops_per_byte: f64) -> Self {
+        Self::new(name, ops_per_byte, 0.92, 0.3, 1.0)
+    }
+
+    /// A compute-bound kernel: high intensity, modest traffic.
+    pub fn compute_bound(name: impl Into<String>, ops_per_byte: f64) -> Self {
+        assert!(
+            ops_per_byte >= 8.0,
+            "compute-bound kernels need high intensity"
+        );
+        Self::new(name, ops_per_byte, 0.9, 0.1, 1.0)
+    }
+
+    /// A calibrator kernel in the style of the roofline toolkit: streaming
+    /// access with `ops_per_word` operations per 8-byte word.
+    pub fn calibrator(ops_per_word: f64) -> Self {
+        Self::new(
+            format!("calibrator-{ops_per_word:.2}"),
+            ops_per_word / 8.0,
+            0.95,
+            0.34, // vector add writes one stream out of three
+            1.0,
+        )
+    }
+
+    /// The compute cycles one 64-byte line costs a PU that retires
+    /// `flops_per_mem_cycle` operations per memory cycle.
+    pub fn cycles_per_line(&self, flops_per_mem_cycle: f64, line_bytes: u32) -> f64 {
+        assert!(flops_per_mem_cycle > 0.0);
+        self.ops_per_byte * f64::from(line_bytes) / (flops_per_mem_cycle * self.parallel_efficiency)
+    }
+
+    /// The standalone bandwidth demand this kernel would generate on a PU
+    /// whose compute retires `flops_per_mem_cycle` per memory cycle, if
+    /// memory were infinitely fast: `line / compute_time` per line, capped
+    /// by nothing. Returned in bytes per memory cycle; zero intensity means
+    /// the demand is unbounded (`f64::INFINITY`).
+    pub fn compute_limited_demand(&self, flops_per_mem_cycle: f64, line_bytes: u32) -> f64 {
+        let cycles = self.cycles_per_line(flops_per_mem_cycle, line_bytes);
+        if cycles <= 0.0 {
+            f64::INFINITY
+        } else {
+            f64::from(line_bytes) / cycles
+        }
+    }
+
+    /// Solves for the operational intensity that makes this kernel demand
+    /// `bytes_per_cycle` of bandwidth on the given PU compute rate. Used to
+    /// build calibrators with prescribed demands.
+    pub fn intensity_for_demand(
+        flops_per_mem_cycle: f64,
+        bytes_per_cycle: f64,
+        parallel_efficiency: f64,
+    ) -> f64 {
+        assert!(bytes_per_cycle > 0.0, "demand must be positive");
+        flops_per_mem_cycle * parallel_efficiency / bytes_per_cycle
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycles_per_line_scales_with_intensity() {
+        let low = KernelDesc::memory_streaming("a", 0.5);
+        let high = KernelDesc::memory_streaming("b", 2.0);
+        let flops = 100.0;
+        assert!(high.cycles_per_line(flops, 64) > low.cycles_per_line(flops, 64));
+    }
+
+    #[test]
+    fn demand_is_inverse_of_intensity() {
+        let k = KernelDesc::memory_streaming("k", 1.0);
+        // 64 ops per line at 128 flops/cycle = 0.5 cycles/line → 128 B/cycle.
+        let d = k.compute_limited_demand(128.0, 64);
+        assert!((d - 128.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn intensity_for_demand_round_trips() {
+        let flops = 321.0;
+        let target = 48.0;
+        let intensity = KernelDesc::intensity_for_demand(flops, target, 1.0);
+        let k = KernelDesc::new("cal", intensity, 0.9, 0.0, 1.0);
+        let demand = k.compute_limited_demand(flops, 64);
+        assert!((demand - target).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_intensity_demand_is_unbounded() {
+        let k = KernelDesc::new("pure-copy", 0.0, 0.9, 0.5, 1.0);
+        assert!(k.compute_limited_demand(10.0, 64).is_infinite());
+    }
+
+    #[test]
+    fn calibrator_names_include_ops() {
+        let k = KernelDesc::calibrator(4.0);
+        assert!(k.name.contains("4.00"));
+        assert!((k.ops_per_byte - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn rejects_bad_locality() {
+        KernelDesc::new("x", 1.0, 2.0, 0.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel efficiency")]
+    fn rejects_zero_efficiency() {
+        KernelDesc::new("x", 1.0, 0.5, 0.0, 0.0);
+    }
+}

@@ -1,0 +1,146 @@
+//! Whole-SoC configuration: a set of PUs sharing one memory subsystem.
+
+use crate::pu::PuConfig;
+use pccs_dram::config::DramConfig;
+use serde::{Deserialize, Serialize};
+
+/// A heterogeneous shared-memory SoC: several PUs behind one memory
+/// controller (Figure 4 of the paper).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SocConfig {
+    /// Display name.
+    pub name: String,
+    /// Shared memory subsystem.
+    pub dram: DramConfig,
+    /// Processing units, in declaration order.
+    pub pus: Vec<PuConfig>,
+}
+
+impl SocConfig {
+    /// NVIDIA Jetson AGX Xavier: 8-core Carmel CPU + Volta GPU + DLA over
+    /// 137 GB/s LPDDR4X (Table 6).
+    pub fn xavier() -> Self {
+        Self {
+            name: "NVIDIA Jetson AGX Xavier".to_owned(),
+            dram: DramConfig::xavier(),
+            pus: vec![
+                PuConfig::xavier_cpu(),
+                PuConfig::xavier_gpu(),
+                PuConfig::xavier_dla(),
+            ],
+        }
+    }
+
+    /// Qualcomm Snapdragon 855: 8-core Kryo CPU + Adreno 640 GPU over
+    /// 34 GB/s LPDDR4X (Table 6).
+    pub fn snapdragon855() -> Self {
+        Self {
+            name: "Qualcomm Snapdragon 855".to_owned(),
+            dram: DramConfig::snapdragon855(),
+            pus: vec![PuConfig::snapdragon_cpu(), PuConfig::snapdragon_gpu()],
+        }
+    }
+
+    /// Index of the PU named `name`, if present.
+    pub fn pu_index(&self, name: &str) -> Option<usize> {
+        self.pus.iter().position(|p| p.name == name)
+    }
+
+    /// The PU named `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no PU carries that name; use [`SocConfig::pu_index`] for a
+    /// fallible lookup.
+    pub fn pu(&self, name: &str) -> &PuConfig {
+        let idx = self
+            .pu_index(name)
+            .unwrap_or_else(|| panic!("SoC {} has no PU named {name}", self.name));
+        &self.pus[idx]
+    }
+
+    /// Theoretical peak memory bandwidth in GB/s.
+    pub fn peak_bw_gbps(&self) -> f64 {
+        self.dram.peak_bw_gbps()
+    }
+
+    /// The first source id assigned to PU `pu_idx`'s streams; PUs occupy
+    /// contiguous, disjoint source-id ranges in declaration order.
+    pub fn source_base(&self, pu_idx: usize) -> usize {
+        assert!(pu_idx < self.pus.len(), "PU index out of range");
+        self.pus[..pu_idx].iter().map(|p| p.streams.max(1)).sum()
+    }
+
+    /// The source-id range of PU `pu_idx`.
+    pub fn source_range(&self, pu_idx: usize) -> std::ops::Range<usize> {
+        let base = self.source_base(pu_idx);
+        base..base + self.pus[pu_idx].streams.max(1)
+    }
+
+    /// Returns a copy with PU `pu_idx` replaced (e.g. re-clocked for DVFS
+    /// exploration).
+    pub fn with_pu(&self, pu_idx: usize, pu: PuConfig) -> Self {
+        assert!(pu_idx < self.pus.len(), "PU index out of range");
+        let mut s = self.clone();
+        s.pus[pu_idx] = pu;
+        s
+    }
+
+    /// Returns a copy with the memory subsystem replaced (memory design
+    /// exploration, Section 3.4).
+    pub fn with_dram(&self, dram: DramConfig) -> Self {
+        let mut s = self.clone();
+        s.dram = dram;
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xavier_has_three_pus() {
+        let soc = SocConfig::xavier();
+        assert_eq!(soc.pus.len(), 3);
+        assert!(soc.pu_index("CPU").is_some());
+        assert!(soc.pu_index("GPU").is_some());
+        assert!(soc.pu_index("DLA").is_some());
+        assert!((soc.peak_bw_gbps() - 136.5).abs() < 0.5);
+    }
+
+    #[test]
+    fn snapdragon_has_two_pus() {
+        let soc = SocConfig::snapdragon855();
+        assert_eq!(soc.pus.len(), 2);
+        assert!(soc.pu_index("DLA").is_none());
+    }
+
+    #[test]
+    fn source_ranges_are_disjoint_and_contiguous() {
+        let soc = SocConfig::xavier();
+        let r_cpu = soc.source_range(0);
+        let r_gpu = soc.source_range(1);
+        let r_dla = soc.source_range(2);
+        assert_eq!(r_cpu.start, 0);
+        assert_eq!(r_cpu.end, r_gpu.start);
+        assert_eq!(r_gpu.end, r_dla.start);
+        assert_eq!(r_dla.len(), soc.pus[2].streams);
+    }
+
+    #[test]
+    fn with_pu_swaps_configuration() {
+        let soc = SocConfig::xavier();
+        let gpu_idx = soc.pu_index("GPU").unwrap();
+        let slow = soc.pus[gpu_idx].with_frequency(670.0);
+        let modified = soc.with_pu(gpu_idx, slow);
+        assert!((modified.pus[gpu_idx].freq_mhz - 670.0).abs() < 1e-9);
+        assert!((soc.pus[gpu_idx].freq_mhz - 1377.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "no PU named")]
+    fn unknown_pu_panics() {
+        SocConfig::snapdragon855().pu("DLA");
+    }
+}

@@ -1,0 +1,42 @@
+use pccs_dram::request::SourceId;
+use pccs_soc::corun::{CoRunSim, Placement};
+use pccs_soc::pu::PuKind;
+use pccs_soc::soc::SocConfig;
+use pccs_workloads::dnn::DnnModel;
+use pccs_workloads::rodinia::RodiniaBenchmark;
+fn main() {
+    let soc = SocConfig::xavier();
+    let cpu = soc.pu_index("CPU").unwrap();
+    let gpu = soc.pu_index("GPU").unwrap();
+    let dla = soc.pu_index("DLA").unwrap();
+    // CPU victim vs GPU pressure
+    let k = RodiniaBenchmark::Streamcluster.kernel(PuKind::Cpu);
+    let prof = CoRunSim::standalone_averaged(&soc, cpu, &k, 30_000, 2);
+    print!("CPU streamcluster x={:.1}: ", prof.bw_gbps);
+    for y in [14.0, 27.0, 55.0, 82.0, 110.0, 137.0] {
+        let mut sim = CoRunSim::new(&soc);
+        sim.repeats(2);
+        sim.place(Placement::kernel(cpu, k.clone()));
+        sim.external_pressure(gpu, y);
+        let out = sim.run(30_000);
+        let act: f64 = soc
+            .source_range(gpu)
+            .map(|s| out.memory.source_bw_gbps(SourceId(s)))
+            .sum();
+        print!("{:5.1}({:4.0})", out.relative_speed_pct(cpu, &prof), act);
+    }
+    println!();
+    // DLA victim vs CPU pressure
+    let k = DnnModel::Resnet50.kernel();
+    let prof = CoRunSim::standalone_averaged(&soc, dla, &k, 30_000, 2);
+    print!("DLA resnet x={:.1}:        ", prof.bw_gbps);
+    for y in [14.0, 27.0, 55.0, 82.0, 110.0, 137.0] {
+        let mut sim = CoRunSim::new(&soc);
+        sim.repeats(2);
+        sim.place(Placement::kernel(dla, k.clone()));
+        sim.external_pressure(cpu, y);
+        let out = sim.run(30_000);
+        print!("{:5.1}      ", out.relative_speed_pct(dla, &prof));
+    }
+    println!();
+}

@@ -1,0 +1,36 @@
+use pccs_soc::corun::{CoRunSim, Placement};
+use pccs_soc::soc::SocConfig;
+use pccs_workloads::calibrate::calibrator_kernel;
+fn main() {
+    let soc = SocConfig::xavier();
+    for pu_name in ["CPU", "GPU", "DLA"] {
+        let pu = soc.pu_index(pu_name).unwrap();
+        for d in [10.0, 30.0, 50.0, 70.0, 90.0, 110.0, 130.0] {
+            let k = calibrator_kernel(&soc, pu, d);
+            let p = CoRunSim::standalone_averaged(&soc, pu, &k, 40_000, 2);
+            println!(
+                "{pu_name} demand {d:6.1} -> achieved {:7.2} GB/s",
+                p.bw_gbps
+            );
+        }
+    }
+    // co-run curve: GPU 60GB/s kernel vs CPU pressure sweep
+    let gpu = soc.pu_index("GPU").unwrap();
+    let cpu = soc.pu_index("CPU").unwrap();
+    for (xd, label) in [(20.0, "low"), (60.0, "med"), (110.0, "high")] {
+        let k = calibrator_kernel(&soc, gpu, xd);
+        let prof = CoRunSim::standalone_averaged(&soc, gpu, &k, 40_000, 2);
+        print!("GPU {label} x={:5.1}: ", prof.bw_gbps);
+        for y in [
+            10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0, 100.0, 110.0, 120.0,
+        ] {
+            let mut sim = CoRunSim::new(&soc);
+            sim.repeats(2);
+            sim.place(Placement::kernel(gpu, k.clone()));
+            sim.external_pressure(cpu, y);
+            let out = sim.run(40_000);
+            print!("{:5.1}", out.relative_speed_pct(gpu, &prof));
+        }
+        println!();
+    }
+}

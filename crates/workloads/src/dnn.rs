@@ -1,0 +1,177 @@
+//! DNN inference traffic proxies for the DLA.
+//!
+//! The paper runs ImageNet inference (ResNet-50, VGG-19, AlexNet) and MNIST
+//! on Xavier's DLA, observing that "the DLA can only achieve 20–30 GB/s
+//! bandwidth in most standalone runs" (§4.1.2). The proxies here assign
+//! each network an aggregate arithmetic intensity that lands its standalone
+//! demand in that range, and the DLA calibrators vary the convolution
+//! filter size to sweep operational intensity — exactly the paper's model
+//! construction knob ("for DLA, we use MNIST neural network and control its
+//! operational intensities by varying convolution filter sizes", §4.1.1).
+
+use crate::layers::LayerGraph;
+use pccs_soc::kernel::KernelDesc;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The neural networks used in the paper's DLA experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DnnModel {
+    /// ResNet-50 on ImageNet.
+    Resnet50,
+    /// VGG-19 on ImageNet.
+    Vgg19,
+    /// AlexNet on ImageNet.
+    Alexnet,
+    /// The small MNIST CNN used for calibration.
+    Mnist,
+}
+
+impl DnnModel {
+    /// The three ImageNet networks of Table 8 / Figure 12.
+    pub fn imagenet() -> [DnnModel; 3] {
+        [DnnModel::Resnet50, DnnModel::Vgg19, DnnModel::Alexnet]
+    }
+
+    /// Paper-style label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DnnModel::Resnet50 => "Resnet-50",
+            DnnModel::Vgg19 => "VGG-19",
+            DnnModel::Alexnet => "Alexnet",
+            DnnModel::Mnist => "MNIST",
+        }
+    }
+
+    /// Parses a paper label (case- and punctuation-insensitive).
+    pub fn from_label(label: &str) -> Option<DnnModel> {
+        let l: String = label
+            .chars()
+            .filter(|c| c.is_ascii_alphanumeric())
+            .collect::<String>()
+            .to_ascii_lowercase();
+        match l.as_str() {
+            "resnet50" => Some(DnnModel::Resnet50),
+            "vgg19" => Some(DnnModel::Vgg19),
+            "alexnet" => Some(DnnModel::Alexnet),
+            "mnist" => Some(DnnModel::Mnist),
+            _ => None,
+        }
+    }
+
+    /// Aggregate operational intensity of the network's inference pass on a
+    /// DLA-class engine (ops per byte of DRAM traffic). Dense convolutional
+    /// networks (VGG) stream more activations per weight-reuse than
+    /// residual networks; AlexNet's large early filters give it the highest
+    /// reuse of this set.
+    pub fn ops_per_byte(&self) -> f64 {
+        match self {
+            DnnModel::Resnet50 => 108.0,
+            DnnModel::Vgg19 => 88.0,
+            DnnModel::Alexnet => 140.0,
+            DnnModel::Mnist => 300.0,
+        }
+    }
+
+    /// The proxy kernel of this network on the DLA.
+    pub fn kernel(&self) -> KernelDesc {
+        // Inference streams activations/weights with regular layout: high
+        // row locality, a modest write stream (output activations).
+        KernelDesc::new(self.label(), self.ops_per_byte(), 0.9, 0.25, 1.0)
+    }
+
+    /// The network's layer graph (per-layer flops/bytes accounting; see
+    /// [`crate::layers`]).
+    pub fn layer_graph(&self) -> LayerGraph {
+        match self {
+            DnnModel::Resnet50 => LayerGraph::resnet50(),
+            DnnModel::Vgg19 => LayerGraph::vgg19(),
+            DnnModel::Alexnet => LayerGraph::alexnet(),
+            DnnModel::Mnist => LayerGraph::mnist(),
+        }
+    }
+
+    /// A DLA calibrator built from the MNIST network with an adjusted
+    /// convolution filter size: intensity grows with the filter area
+    /// (`k × k` multiply–accumulates per loaded input element).
+    pub fn mnist_calibrator(filter_size: u32) -> KernelDesc {
+        assert!(
+            (1..=16).contains(&filter_size),
+            "filter size must be in 1..=16"
+        );
+        let ops_per_byte = 4.0 * f64::from(filter_size * filter_size);
+        KernelDesc::new(
+            format!("mnist-conv{filter_size}x{filter_size}"),
+            ops_per_byte,
+            0.9,
+            0.25,
+            1.0,
+        )
+    }
+}
+
+impl fmt::Display for DnnModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pccs_soc::pu::PuConfig;
+
+    #[test]
+    fn labels_round_trip() {
+        for m in [
+            DnnModel::Resnet50,
+            DnnModel::Vgg19,
+            DnnModel::Alexnet,
+            DnnModel::Mnist,
+        ] {
+            assert_eq!(DnnModel::from_label(m.label()), Some(m));
+        }
+        assert_eq!(DnnModel::from_label("VGG-19"), Some(DnnModel::Vgg19));
+        assert_eq!(DnnModel::from_label("bert"), None);
+    }
+
+    #[test]
+    fn dla_demands_land_in_paper_range() {
+        // Compute-limited demand of each ImageNet network on the Xavier DLA
+        // should fall in the paper's observed 10–35 GB/s band.
+        let dla = PuConfig::xavier_dla();
+        let mem_clock = 2133.0;
+        for m in DnnModel::imagenet() {
+            let k = m.kernel();
+            let bpc = k.compute_limited_demand(dla.flops_per_mem_cycle(mem_clock), 64);
+            let gbps = bpc * mem_clock * 1e6 / 1e9;
+            assert!(
+                (8.0..40.0).contains(&gbps),
+                "{m}: compute-limited demand {gbps:.1} GB/s"
+            );
+        }
+    }
+
+    #[test]
+    fn layer_graphs_resolve_per_network() {
+        for m in DnnModel::imagenet() {
+            let g = m.layer_graph();
+            assert_eq!(g.name, m.label());
+            assert!(g.total_flops() > 1e9);
+        }
+        assert!(DnnModel::Mnist.layer_graph().total_flops() < 1e9);
+    }
+
+    #[test]
+    fn filter_size_sweeps_intensity() {
+        let small = DnnModel::mnist_calibrator(1);
+        let large = DnnModel::mnist_calibrator(8);
+        assert!(large.ops_per_byte > 30.0 * small.ops_per_byte);
+    }
+
+    #[test]
+    #[should_panic(expected = "filter size")]
+    fn zero_filter_panics() {
+        DnnModel::mnist_calibrator(0);
+    }
+}

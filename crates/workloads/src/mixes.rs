@@ -1,0 +1,137 @@
+//! The eleven three-PU co-run workloads of Table 8.
+
+use crate::dnn::DnnModel;
+use crate::rodinia::RodiniaBenchmark;
+use serde::{Deserialize, Serialize};
+
+/// One co-run workload: a Rodinia benchmark on the CPU and GPU plus a DNN
+/// on the DLA (Table 8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkloadMix {
+    /// Workload letter (A–K).
+    pub id: char,
+    /// Benchmark on the CPU.
+    pub cpu: RodiniaBenchmark,
+    /// Benchmark on the GPU.
+    pub gpu: RodiniaBenchmark,
+    /// Network on the DLA.
+    pub dla: DnnModel,
+}
+
+/// Table 8's eleven representative workloads.
+pub const TABLE8_MIXES: [WorkloadMix; 11] = {
+    use DnnModel::*;
+    use RodiniaBenchmark::*;
+    [
+        WorkloadMix {
+            id: 'A',
+            cpu: Streamcluster,
+            gpu: Pathfinder,
+            dla: Resnet50,
+        },
+        WorkloadMix {
+            id: 'B',
+            cpu: Streamcluster,
+            gpu: Pathfinder,
+            dla: Vgg19,
+        },
+        WorkloadMix {
+            id: 'C',
+            cpu: Streamcluster,
+            gpu: Leukocyte,
+            dla: Alexnet,
+        },
+        WorkloadMix {
+            id: 'D',
+            cpu: Streamcluster,
+            gpu: Srad,
+            dla: Resnet50,
+        },
+        WorkloadMix {
+            id: 'E',
+            cpu: Pathfinder,
+            gpu: Streamcluster,
+            dla: Vgg19,
+        },
+        WorkloadMix {
+            id: 'F',
+            cpu: Pathfinder,
+            gpu: Heartwall,
+            dla: Alexnet,
+        },
+        WorkloadMix {
+            id: 'G',
+            cpu: Kmeans,
+            gpu: Btree,
+            dla: Resnet50,
+        },
+        WorkloadMix {
+            id: 'H',
+            cpu: Kmeans,
+            gpu: Srad,
+            dla: Vgg19,
+        },
+        WorkloadMix {
+            id: 'I',
+            cpu: Hotspot,
+            gpu: Bfs,
+            dla: Alexnet,
+        },
+        WorkloadMix {
+            id: 'J',
+            cpu: Srad,
+            gpu: Pathfinder,
+            dla: Resnet50,
+        },
+        WorkloadMix {
+            id: 'K',
+            cpu: Srad,
+            gpu: Leukocyte,
+            dla: Vgg19,
+        },
+    ]
+};
+
+impl WorkloadMix {
+    /// Looks a mix up by its letter.
+    pub fn by_id(id: char) -> Option<WorkloadMix> {
+        TABLE8_MIXES
+            .iter()
+            .copied()
+            .find(|m| m.id == id.to_ascii_uppercase())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eleven_mixes_with_unique_ids() {
+        assert_eq!(TABLE8_MIXES.len(), 11);
+        let ids: std::collections::HashSet<_> = TABLE8_MIXES.iter().map(|m| m.id).collect();
+        assert_eq!(ids.len(), 11);
+        assert!(ids.contains(&'A') && ids.contains(&'K'));
+    }
+
+    #[test]
+    fn lookup_by_id_is_case_insensitive() {
+        let a = WorkloadMix::by_id('a').unwrap();
+        assert_eq!(a.cpu, RodiniaBenchmark::Streamcluster);
+        assert_eq!(a.gpu, RodiniaBenchmark::Pathfinder);
+        assert_eq!(a.dla, DnnModel::Resnet50);
+        assert!(WorkloadMix::by_id('z').is_none());
+    }
+
+    #[test]
+    fn table8_matches_paper_rows() {
+        // Spot-check a few table entries against the paper.
+        let e = WorkloadMix::by_id('E').unwrap();
+        assert_eq!(e.cpu, RodiniaBenchmark::Pathfinder);
+        assert_eq!(e.gpu, RodiniaBenchmark::Streamcluster);
+        let i = WorkloadMix::by_id('I').unwrap();
+        assert_eq!(i.cpu, RodiniaBenchmark::Hotspot);
+        assert_eq!(i.gpu, RodiniaBenchmark::Bfs);
+        assert_eq!(i.dla, DnnModel::Alexnet);
+    }
+}

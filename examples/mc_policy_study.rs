@@ -1,0 +1,79 @@
+//! The memory-controller scheduling-policy study (Section 2.3): co-locate a
+//! victim core group with a growing aggressor group on the Table 1 CMP
+//! configuration and watch how each policy shapes the victim's slowdown
+//! curve — proportional decay (FCFS), throughput-first starvation
+//! (FR-FCFS), or the flat → drop → flat shape of the fairness-controlled
+//! schedulers that PCCS models.
+//!
+//! ```text
+//! cargo run --release --example mc_policy_study
+//! ```
+
+use pccs_dram::config::DramConfig;
+use pccs_dram::policy::PolicyKind;
+use pccs_dram::request::SourceId;
+use pccs_dram::sim::DramSystem;
+use pccs_dram::traffic::StreamTraffic;
+
+fn group_bw(out: &pccs_dram::sim::SimOutcome, base: usize, n: usize) -> f64 {
+    (0..n).map(|s| out.source_bw_gbps(SourceId(base + s))).sum()
+}
+
+fn run(policy: PolicyKind, victim_gbps: f64, aggressor_gbps: f64) -> (f64, f64, f64) {
+    let config = DramConfig::cmp_study();
+    let mut sys = DramSystem::new(config, policy);
+    for s in 0..8 {
+        sys.add_generator(
+            StreamTraffic::builder(SourceId(s))
+                .demand_gbps(victim_gbps / 8.0)
+                .row_locality(0.95)
+                .window(24)
+                .seed(3 + s as u64)
+                .build(),
+        );
+    }
+    if aggressor_gbps > 0.0 {
+        for s in 8..16 {
+            sys.add_generator(
+                StreamTraffic::builder(SourceId(s))
+                    .demand_gbps(aggressor_gbps / 8.0)
+                    .row_locality(0.92)
+                    .window(24)
+                    .seed(71 + s as u64)
+                    .build(),
+            );
+        }
+    }
+    let out = sys.run(30_000);
+    (
+        group_bw(&out, 0, 8),
+        out.row_hit_pct(),
+        out.effective_bw_pct(),
+    )
+}
+
+fn main() {
+    let victim = 48.0;
+    let pressures = [0.0, 12.0, 24.0, 36.0, 48.0, 60.0, 80.0, 100.0];
+
+    println!("victim group demand {victim:.0} GB/s on DDR4-3200 (102.4 GB/s peak)\n");
+    print!("{:<10}", "policy");
+    for p in &pressures[1..] {
+        print!("{:>8}", format!("y={p:.0}"));
+    }
+    println!("{:>8}{:>8}", "RBH%", "eff%");
+
+    for policy in PolicyKind::all() {
+        let (standalone, _, _) = run(policy, victim, 0.0);
+        print!("{:<10}", policy.label());
+        let mut last = (0.0, 0.0);
+        for &p in &pressures[1..] {
+            let (bw, rbh, eff) = run(policy, victim, p);
+            print!("{:>8.1}", 100.0 * bw / standalone.max(1e-9));
+            last = (rbh, eff);
+        }
+        println!("{:>8.1}{:>8.1}", last.0, last.1);
+    }
+    println!("\nvalues are the victim group's achieved relative speed (%)");
+    println!("RBH/eff measured at the highest pressure point (Table 3 metrics)");
+}

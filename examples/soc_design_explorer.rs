@@ -1,0 +1,108 @@
+//! Pre-silicon design exploration (Sections 3.4 / 4.3): find the lowest GPU
+//! frequency and the smallest CPU core count that keep a workload's co-run
+//! slowdown within budget, and report the power/area saved versus what the
+//! contention-blind Gables model would provision.
+//!
+//! ```text
+//! cargo run --release --example soc_design_explorer
+//! ```
+
+use pccs_dse::cost::{area_rel, dynamic_power_rel, savings_pct};
+use pccs_dse::explore::{explore_core_counts, select_core_count};
+use pccs_dse::freq::{ground_truth_frequency, profile_frequencies, select_frequency};
+use pccs_dse::memory::{explore_memory_configs, select_memory_config};
+use pccs_gables::GablesModel;
+use pccs_soc::pu::PuKind;
+use pccs_soc::soc::SocConfig;
+use pccs_workloads::calibrate::{build_model, CalibrationConfig};
+use pccs_workloads::rodinia::RodiniaBenchmark;
+
+fn main() {
+    let soc = SocConfig::xavier();
+    let gpu = soc.pu_index("GPU").unwrap();
+    let cpu = soc.pu_index("CPU").unwrap();
+    let horizon = 24_000;
+    let external = 50.0; // expected co-runner demand, GB/s
+    let budget = 0.10; // allowed co-run slowdown
+
+    println!("constructing the GPU PCCS model...");
+    let cfg = CalibrationConfig {
+        horizon,
+        repeats: 2,
+        ..CalibrationConfig::default()
+    };
+    let (pccs, _) = build_model(&soc, gpu, cpu, &cfg).expect("model builds");
+    let gables = GablesModel::new(soc.peak_bw_gbps());
+
+    // --- GPU frequency selection for streamcluster -------------------------
+    let kernel = RodiniaBenchmark::Streamcluster.kernel(PuKind::Gpu);
+    let freqs = [500.0, 700.0, 900.0, 1100.0, 1377.0];
+    let points = profile_frequencies(&soc, gpu, &kernel, &freqs, horizon);
+
+    let by_pccs = select_frequency(&points, &pccs, external, budget);
+    let by_gables = select_frequency(&points, &gables, external, budget);
+    let truth = ground_truth_frequency(&soc, gpu, cpu, &kernel, &freqs, external, budget, horizon);
+
+    println!(
+        "\nGPU frequency for streamcluster @ {external:.0} GB/s external, {:.0}% budget:",
+        budget * 100.0
+    );
+    println!("  ground truth : {:>6.0} MHz", truth.chosen_mhz);
+    println!("  PCCS         : {:>6.0} MHz", by_pccs.chosen_mhz);
+    println!("  Gables       : {:>6.0} MHz", by_gables.chosen_mhz);
+    let power_saved = savings_pct(
+        dynamic_power_rel(by_pccs.chosen_mhz, 1377.0),
+        dynamic_power_rel(by_gables.chosen_mhz, 1377.0),
+    );
+    println!("  dynamic power saved by PCCS vs Gables: {power_saved:.1}%");
+
+    // --- CPU core count for a memory-bound kernel --------------------------
+    let cpu_kernel = RodiniaBenchmark::Kmeans.kernel(PuKind::Cpu);
+    let cpu_points = explore_core_counts(
+        &soc,
+        cpu,
+        &cpu_kernel,
+        &[2, 4, 6, 8],
+        &pccs,
+        external,
+        horizon,
+    );
+    let chosen = select_core_count(&cpu_points, budget);
+    println!("\nCPU cores for k-means under the same budget: {chosen} of 8");
+    println!(
+        "  area saved vs full provisioning: {:.1}%",
+        savings_pct(area_rel(chosen, 8), 1.0)
+    );
+    println!("\nper-core-count predicted co-run performance (rel. to best):");
+    for p in &cpu_points {
+        println!(
+            "  {} cores: demand {:>5.1} GB/s  predicted RS {:>5.1}%  perf {:.2}",
+            p.cores, p.demand_gbps, p.predicted_rs_pct, p.corun_perf_rel
+        );
+    }
+
+    // --- Memory subsystem: how many channels does this workload need? ------
+    let candidates = [(4usize, 1.0f64), (6, 1.0), (8, 0.75), (8, 1.0)];
+    let mem_points = explore_memory_configs(
+        &soc,
+        gpu,
+        &kernel,
+        &pccs,
+        external,
+        &candidates,
+        horizon,
+        false,
+    );
+    println!("\nmemory-subsystem exploration (scaled PCCS, no re-calibration):");
+    for p in &mem_points {
+        println!(
+            "  {} ch @ x{:.2} clock -> peak {:>6.1} GB/s  predicted RS {:>5.1}%",
+            p.channels, p.clock_ratio, p.peak_gbps, p.predicted_rs_pct
+        );
+    }
+    let chosen_mem = select_memory_config(&mem_points, 90.0);
+    println!(
+        "  cheapest config keeping RS >= 90%: {} channels @ x{:.2} ({:.1} GB/s peak)",
+        chosen_mem.channels, chosen_mem.clock_ratio, chosen_mem.peak_gbps
+    );
+}

@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# The full pre-merge gate: format, lints, docs, tests.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo fmt --all -- --check
+cargo clippy --workspace --all-targets -- -D warnings
+cargo doc --no-deps --workspace
+cargo test --release --workspace

@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Regenerates the reference outputs stored under results/.
+# Full fidelity: expect ~20 minutes on a 16-core machine.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p pccs-experiments
+./target/release/repro --curves --json results/json all | tee results/repro-output.txt
+echo "results written to results/"

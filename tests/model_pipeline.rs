@@ -1,0 +1,83 @@
+//! End-to-end construction pipeline: calibrators → sweep matrix → extracted
+//! model, on the simulated Xavier — the paper's Section 3.2 methodology.
+
+use pccs_core::{ModelBuilder, Region};
+use pccs_soc::soc::SocConfig;
+use pccs_workloads::calibrate::{build_model, sweep, CalibrationConfig};
+
+fn quick_cfg() -> CalibrationConfig {
+    CalibrationConfig {
+        demands_gbps: vec![15.0, 40.0, 70.0, 100.0, 130.0],
+        external_gbps: vec![20.0, 45.0, 70.0, 95.0, 120.0],
+        horizon: 20_000,
+        repeats: 1,
+        threads: 0,
+    }
+}
+
+#[test]
+fn sweep_matrix_is_valid_and_orderly() {
+    let soc = SocConfig::xavier();
+    let gpu = soc.pu_index("GPU").unwrap();
+    let cpu = soc.pu_index("CPU").unwrap();
+    let data = sweep(&soc, gpu, cpu, &quick_cfg()).expect("sweep validates");
+    assert!(data.rows() >= 3, "enough distinct demand levels");
+    assert_eq!(data.cols(), 5);
+    // The standalone axis is strictly increasing by construction.
+    assert!(data.std_bw.windows(2).all(|w| w[1] > w[0]));
+    // Each sample is a valid relative speed.
+    for row in &data.rela {
+        for &v in row {
+            assert!(v > 0.0 && v <= 100.0);
+        }
+    }
+    // The extraction accepts the measured matrix.
+    let model = ModelBuilder::new(data)
+        .build()
+        .expect("extraction succeeds");
+    assert!(model.normal_bw <= model.intensive_bw);
+    assert!(model.peak_bw > 100.0);
+}
+
+#[test]
+fn constructed_model_classifies_and_predicts_sanely() {
+    let soc = SocConfig::xavier();
+    let gpu = soc.pu_index("GPU").unwrap();
+    let cpu = soc.pu_index("CPU").unwrap();
+    let (model, data) = build_model(&soc, gpu, cpu, &quick_cfg()).expect("model builds");
+
+    // Low-demand kernels are minor-region; the largest measured demand is
+    // further toward intensive.
+    let lowest = data.std_bw[0];
+    assert_eq!(model.region(lowest.min(model.normal_bw)), Region::Minor);
+
+    // Predictions: bounded, and monotone non-increasing in pressure.
+    for x in [10.0, 40.0, 80.0] {
+        let mut prev = f64::INFINITY;
+        for i in 0..12 {
+            let y = i as f64 * 12.0;
+            let rs = model.predict(x, y);
+            assert!((0.0..=100.0).contains(&rs));
+            assert!(rs <= prev + 1e-9, "x={x} y={y}");
+            prev = rs;
+        }
+    }
+}
+
+#[test]
+fn construction_is_processor_centric() {
+    // Different PUs of the same SoC produce different models from the same
+    // methodology — the paper's processor-centric claim.
+    let soc = SocConfig::xavier();
+    let gpu = soc.pu_index("GPU").unwrap();
+    let cpu = soc.pu_index("CPU").unwrap();
+    let (gpu_model, _) = build_model(&soc, gpu, cpu, &quick_cfg()).unwrap();
+    let (cpu_model, _) = build_model(&soc, cpu, gpu, &quick_cfg()).unwrap();
+    let differs = (gpu_model.tbwdc - cpu_model.tbwdc).abs() > 1.0
+        || (gpu_model.rate_n - cpu_model.rate_n).abs() > 0.05
+        || (gpu_model.intensive_bw - cpu_model.intensive_bw).abs() > 1.0;
+    assert!(
+        differs,
+        "GPU and CPU models should not coincide: {gpu_model:?} vs {cpu_model:?}"
+    );
+}

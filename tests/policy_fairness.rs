@@ -1,0 +1,93 @@
+//! Cross-crate checks of the Section 2.3 mechanism story: fairness-aware
+//! memory scheduling is what produces the flattening slowdown curves, and
+//! locality-aware scheduling is what keeps effective bandwidth high.
+
+use pccs_dram::config::DramConfig;
+use pccs_dram::policy::PolicyKind;
+use pccs_dram::request::SourceId;
+use pccs_dram::sim::DramSystem;
+use pccs_dram::traffic::StreamTraffic;
+
+const HORIZON: u64 = 30_000;
+
+fn two_groups(policy: PolicyKind, victim_gbps: f64, aggressor_gbps: f64) -> (f64, f64) {
+    let config = DramConfig::cmp_study();
+    let mut sys = DramSystem::new(config, policy);
+    for s in 0..8 {
+        sys.add_generator(
+            StreamTraffic::builder(SourceId(s))
+                .demand_gbps(victim_gbps / 8.0)
+                .row_locality(0.95)
+                .window(24)
+                .seed(11 + s as u64)
+                .build(),
+        );
+    }
+    for s in 8..16 {
+        sys.add_generator(
+            StreamTraffic::builder(SourceId(s))
+                .demand_gbps(aggressor_gbps / 8.0)
+                .row_locality(0.92)
+                .window(24)
+                .seed(97 + s as u64)
+                .build(),
+        );
+    }
+    let out = sys.run(HORIZON);
+    let victim: f64 = (0..8).map(|s| out.source_bw_gbps(SourceId(s))).sum();
+    let aggressor: f64 = (8..16).map(|s| out.source_bw_gbps(SourceId(s))).sum();
+    (victim, aggressor)
+}
+
+#[test]
+fn fairness_policies_protect_the_light_group() {
+    // A light 12 GB/s group against a saturating aggressor: fairness-aware
+    // policies should deliver (nearly) the light group's demand.
+    for policy in PolicyKind::fairness_aware() {
+        let (victim, _) = two_groups(policy, 12.0, 150.0);
+        assert!(
+            victim > 8.0,
+            "{policy}: light group got only {victim:.1} GB/s of its 12"
+        );
+    }
+}
+
+#[test]
+fn frfcfs_favors_throughput_fairness_policies_split_more_evenly() {
+    let (v_fr, a_fr) = two_groups(PolicyKind::FrFcfs, 40.0, 150.0);
+    let (v_at, a_at) = two_groups(PolicyKind::Atlas, 40.0, 150.0);
+    // ATLAS should give the moderate group at least as large a share of the
+    // total as FR-FCFS does.
+    let share_fr = v_fr / (v_fr + a_fr);
+    let share_at = v_at / (v_at + a_at);
+    assert!(
+        share_at >= share_fr - 0.05,
+        "ATLAS victim share {share_at:.2} vs FR-FCFS {share_fr:.2}"
+    );
+}
+
+#[test]
+fn external_pressure_effect_saturates_under_fairness_control() {
+    // The flat tail (the paper's contention balance point): once the
+    // aggressor demand is far beyond its fair share, further demand must
+    // not keep eroding the victim.
+    let (v_mid, _) = two_groups(PolicyKind::Atlas, 48.0, 90.0);
+    let (v_high, _) = two_groups(PolicyKind::Atlas, 48.0, 160.0);
+    assert!(
+        v_high > v_mid * 0.82,
+        "victim kept dropping past saturation: {v_mid:.1} -> {v_high:.1} GB/s"
+    );
+}
+
+#[test]
+fn all_policies_preserve_total_bytes_conservation() {
+    for policy in PolicyKind::all() {
+        let (victim, aggressor) = two_groups(policy, 40.0, 80.0);
+        let total = victim + aggressor;
+        assert!(
+            total <= 102.4 + 1.0,
+            "{policy}: total {total:.1} exceeds peak"
+        );
+        assert!(total > 30.0, "{policy}: implausibly low total {total:.1}");
+    }
+}
