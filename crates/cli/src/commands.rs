@@ -9,12 +9,17 @@ use pccs_dram::sim::DramSystem;
 use pccs_dram::traffic::StreamTraffic;
 use pccs_dse::freq::{ground_truth_frequency, profile_frequencies, select_frequency};
 use pccs_gables::GablesModel;
-use pccs_soc::corun::CoRunSim;
+use pccs_soc::corun::{CoRunSim, Placement, DEFAULT_HORIZON};
 use pccs_soc::pu::PuKind;
 use pccs_soc::soc::SocConfig;
+use pccs_telemetry::export::{self, SummaryRow};
+use pccs_telemetry::{RunManifest, TraceLog};
 use pccs_workloads::calibrate::{build_model, CalibrationConfig};
 use pccs_workloads::rodinia::RodiniaBenchmark;
+use serde_json::{Number, Value};
+use std::collections::BTreeMap;
 use std::fs;
+use std::path::Path;
 
 fn soc_by_name(name: &str) -> Result<SocConfig, ArgError> {
     match name.to_ascii_lowercase().as_str() {
@@ -42,6 +47,17 @@ fn pu_index(soc: &SocConfig, name: &str) -> Result<usize, ArgError> {
 
 fn pu_kind(soc: &SocConfig, pu: usize) -> PuKind {
     soc.pus[pu].kind
+}
+
+/// The PU that generates external pressure against `pu`: the CPU, unless
+/// the target *is* the CPU, in which case the GPU.
+fn pressure_pu(soc: &SocConfig, pu: usize) -> Result<usize, ArgError> {
+    let cpu = pu_index(soc, "CPU")?;
+    if pu == cpu {
+        pu_index(soc, "GPU")
+    } else {
+        Ok(cpu)
+    }
 }
 
 fn bench_kernel(
@@ -72,14 +88,7 @@ pub fn socs() -> Result<(), ArgError> {
 pub fn calibrate(args: &Args) -> Result<(), ArgError> {
     let soc = soc_by_name(args.require("soc")?)?;
     let pu = pu_index(&soc, args.require("pu")?)?;
-    let pressure = {
-        let cpu = pu_index(&soc, "CPU")?;
-        if pu == cpu {
-            pu_index(&soc, "GPU")?
-        } else {
-            cpu
-        }
-    };
+    let pressure = pressure_pu(&soc, pu)?;
     let cfg = if args.has("quick") {
         CalibrationConfig::quick()
     } else {
@@ -181,18 +190,119 @@ pub fn explore_freq(args: &Args) -> Result<(), ArgError> {
         println!("  {f:>6.0} MHz: predicted co-run perf {rel:.2} of best");
     }
     if args.has("truth") {
-        let pressure = {
-            let cpu = pu_index(&soc, "CPU")?;
-            if pu == cpu {
-                pu_index(&soc, "GPU")?
-            } else {
-                cpu
-            }
-        };
+        let pressure = pressure_pu(&soc, pu)?;
         let truth = ground_truth_frequency(
             &soc, pu, pressure, &kernel, &freqs, external, budget, horizon,
         );
         println!("simulated ground truth picks {:.0} MHz", truth.chosen_mhz);
+    }
+    Ok(())
+}
+
+/// `pccs corun` — co-runs a benchmark against external pressure, printing
+/// the per-source latency/back-pressure summary and optionally writing the
+/// epoch time-series as JSONL (plus a CSV sibling) via `--metrics-out`.
+pub fn corun(args: &Args) -> Result<(), ArgError> {
+    let started = std::time::Instant::now();
+    let soc = soc_by_name(args.require("soc")?)?;
+    let pu = pu_index(&soc, args.require("pu")?)?;
+    let bench = args.require("bench")?;
+    let kernel = bench_kernel(&soc, pu, bench)?;
+    let external = args.get_f64("external", 40.0)?;
+    let horizon = args.get_f64("horizon", DEFAULT_HORIZON as f64)? as u64;
+    if horizon == 0 {
+        return Err(ArgError("--horizon must be positive".into()));
+    }
+    let epoch = args.get_f64("epoch", 1_000.0)? as u64;
+    if epoch == 0 {
+        return Err(ArgError("--epoch must be positive".into()));
+    }
+    let metrics_out = args.get("metrics-out");
+    if metrics_out.is_some() {
+        TraceLog::enable();
+    }
+
+    let mut sim = CoRunSim::new(&soc);
+    sim.place(Placement::kernel(pu, kernel));
+    let pressure = if external > 0.0 {
+        let p = pressure_pu(&soc, pu)?;
+        sim.external_pressure(p, external);
+        Some(p)
+    } else {
+        None
+    };
+    // Record epochs whenever they will be exported or explicitly asked for.
+    if metrics_out.is_some() || args.get("epoch").is_some() {
+        sim.record_epochs(epoch);
+    }
+    let out = sim.run(horizon);
+
+    for (idx, r) in &out.per_pu {
+        let role = if Some(*idx) == pressure {
+            format!("pressure {external:.0} GB/s")
+        } else {
+            bench.to_owned()
+        };
+        println!(
+            "{:<4} {role}: {:.1} GB/s, {} lines ({:.4} lines/cycle)",
+            soc.pus[*idx].name, r.bw_gbps, r.lines, r.lines_per_cycle
+        );
+    }
+
+    let label_of = |s: usize| {
+        (0..soc.pus.len())
+            .find(|&i| soc.source_range(i).contains(&s))
+            .map_or_else(|| format!("src{s}"), |i| format!("{}:{s}", soc.pus[i].name))
+    };
+    let stats = &out.memory.stats;
+    let rows: Vec<SummaryRow> = stats
+        .per_source
+        .iter()
+        .map(|(src, s)| SummaryRow {
+            label: label_of(src.0),
+            served: s.served,
+            bytes: s.bytes,
+            bw_gbps: stats.source_bw_gbps(*src, &soc.dram),
+            avg_latency: s.avg_latency(),
+            p50: s.latency_percentile(50.0),
+            p95: s.latency_percentile(95.0),
+            p99: s.latency_percentile(99.0),
+            max_latency: s.max_latency,
+            enqueued: s.enqueued,
+            rejected: s.rejected,
+        })
+        .collect();
+    print!("{}", export::render_summary(&rows));
+
+    if let Some(path) = metrics_out {
+        let mut config = BTreeMap::new();
+        let mut put = |k: &str, v: Value| {
+            config.insert(k.to_owned(), v);
+        };
+        put("soc", Value::String(soc.name.clone()));
+        put("pu", Value::String(soc.pus[pu].name.clone()));
+        put("bench", Value::String(bench.to_owned()));
+        put("external_gbps", Value::Number(Number::F(external)));
+        put("horizon", Value::Number(Number::U(horizon)));
+        put("epoch_cycles", Value::Number(Number::U(epoch)));
+        put("policy", Value::String("atlas".to_owned()));
+        let mut manifest = RunManifest::new("pccs-cli", env!("CARGO_PKG_VERSION"), "corun")
+            .with_config(Value::Object(config));
+        manifest.set_wall_secs(started.elapsed().as_secs_f64());
+        let spans = TraceLog::drain();
+        let report = out.memory.telemetry.as_ref();
+        let jsonl = export::jsonl_events(Some(&manifest), report, &spans);
+        fs::write(path, jsonl).map_err(|e| ArgError(format!("writing {path}: {e}")))?;
+        let csv_path = Path::new(path).with_extension("csv");
+        if let Some(report) = report {
+            let csv = export::csv_timeseries(report);
+            fs::write(&csv_path, csv)
+                .map_err(|e| ArgError(format!("writing {}: {e}", csv_path.display())))?;
+        }
+        println!(
+            "telemetry written to {path} (events) and {} (time-series)",
+            csv_path.display()
+        );
     }
     Ok(())
 }

@@ -7,13 +7,17 @@
 //! pccs predict     --model model.json --soc xavier --pu GPU --bench streamcluster --external 40
 //! pccs explore-freq --soc xavier --pu GPU --bench streamcluster
 //!                   --external 40 --budget 0.05 [--model model.json]
+//! pccs corun       --soc xavier --pu GPU --bench streamcluster
+//!                  [--external 40] [--metrics-out out.jsonl] [--epoch 1000]
 //! pccs policies    [--victim 48]
 //! ```
 //!
 //! `calibrate` runs the paper's processor-centric construction on the
 //! simulated SoC and stores the model as JSON; `predict` evaluates a stored
 //! model; `explore-freq` runs the Section 4.3 frequency-selection use case;
-//! `policies` reproduces the Section 2.3 scheduling-policy comparison.
+//! `corun` co-runs a benchmark against external pressure and can export the
+//! epoch telemetry (`--metrics-out`/`--epoch`); `policies` reproduces the
+//! Section 2.3 scheduling-policy comparison.
 
 mod args;
 mod commands;
@@ -32,6 +36,9 @@ USAGE:
                     --bench <rodinia-name>) [--external <GB/s>]
   pccs explore-freq --soc <s> --pu GPU --bench <name> [--external <GB/s>]
                     [--budget <fraction>] [--model <model.json>]
+  pccs corun        --soc <s> --pu <p> --bench <name> [--external <GB/s>]
+                    [--horizon <cycles>] [--metrics-out <events.jsonl>]
+                    [--epoch <cycles>]
   pccs policies     [--victim <GB/s>]
 
 Run `pccs <command> --help` equivalents by reading the crate docs.";
@@ -49,6 +56,7 @@ fn main() -> ExitCode {
         Some("calibrate") => commands::calibrate(&args),
         Some("predict") => commands::predict(&args),
         Some("explore-freq") => commands::explore_freq(&args),
+        Some("corun") => commands::corun(&args),
         Some("policies") => commands::policies(&args),
         Some(other) => Err(args::ArgError(format!("unknown command '{other}'"))),
         None => {

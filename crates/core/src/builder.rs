@@ -169,6 +169,9 @@ impl ModelBuilder {
         let n = d.rows();
         let m = d.cols();
         let last = m - 1;
+        let mut span = pccs_telemetry::TraceLog::span("builder.build");
+        span.counter("rows", n as f64);
+        span.counter("cols", m as f64);
 
         // Step 1 — normal-region boundary and MRMC: the first row whose
         // worst-case reduction is notable relative to row 0's starts the
@@ -236,10 +239,14 @@ impl ModelBuilder {
 
         // Steps 2, 4, 5 — piecewise fit of every normal-region row.
         let mut fits: Vec<(f64, RowFit)> = Vec::new(); // (std_bw, fit)
-        for i in k_norm..k_int.max(k_norm + 1).min(n) {
-            if let Some(fit) = self.fit_row(i) {
-                fits.push((d.std_bw[i], fit));
+        {
+            let mut fit_span = pccs_telemetry::TraceLog::span("builder.fit_rows");
+            for i in k_norm..k_int.max(k_norm + 1).min(n) {
+                if let Some(fit) = self.fit_row(i) {
+                    fits.push((d.std_bw[i], fit));
+                }
             }
+            fit_span.counter("fitted_rows", fits.len() as f64);
         }
 
         let (tbwdc, cbp, rate_n) = if fits.is_empty() {
@@ -585,7 +592,7 @@ mod tests {
         // the built model still predicts within a loose envelope.
         let truth = PccsModel::xavier_gpu_paper();
         let mut data = synthetic_sweep(&truth);
-        let mut state = 0x2545f491_4f6c_dd1du64;
+        let mut state = 0x2545_f491_4f6c_dd1d_u64;
         for row in &mut data.rela {
             for v in row.iter_mut() {
                 state ^= state << 13;

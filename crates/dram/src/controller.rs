@@ -18,6 +18,8 @@ use crate::mapping::AddressMapping;
 use crate::policy::{Candidate, ScheduleInput, SchedulingPolicy};
 use crate::request::{DecodedAddr, MemoryRequest, SourceId};
 use crate::stats::MemoryStats;
+use crate::timing::RowOutcome;
+use pccs_telemetry::{Recorder, RowEvent, StallEvent, TelemetryReport};
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap};
 
@@ -62,6 +64,8 @@ pub struct MemoryController {
     stats: MemoryStats,
     pending_per_source: BTreeMap<SourceId, usize>,
     completions: BinaryHeap<Reverse<(u64, u64, usize)>>,
+    /// Optional telemetry sink; `None` costs one branch per hook site.
+    recorder: Option<Box<dyn Recorder>>,
 }
 
 impl MemoryController {
@@ -97,7 +101,27 @@ impl MemoryController {
             stats: MemoryStats::new(),
             pending_per_source: BTreeMap::new(),
             completions: BinaryHeap::new(),
+            recorder: None,
         }
+    }
+
+    /// Attaches a telemetry recorder that will receive per-cycle queue
+    /// depth, per-serve, and scheduler-stall events.
+    pub fn set_recorder(&mut self, recorder: Box<dyn Recorder>) {
+        self.recorder = Some(recorder);
+    }
+
+    /// Whether a recorder is attached.
+    pub fn has_recorder(&self) -> bool {
+        self.recorder.is_some()
+    }
+
+    /// Flushes the attached recorder at `cycle` and returns its report,
+    /// if it produces one.
+    pub fn take_report(&mut self, cycle: u64) -> Option<TelemetryReport> {
+        let r = self.recorder.as_mut()?;
+        r.finish(cycle);
+        r.report()
     }
 
     /// The memory geometry this controller drives.
@@ -157,6 +181,12 @@ impl MemoryController {
     pub fn tick(&mut self, cycle: u64) -> Vec<Completion> {
         self.policy.on_cycle(cycle);
         self.stats.elapsed_cycles = self.stats.elapsed_cycles.max(cycle + 1);
+        if self.recorder.is_some() {
+            let depth = self.pending();
+            if let Some(r) = self.recorder.as_mut() {
+                r.on_tick(cycle, depth);
+            }
+        }
 
         for ch_idx in 0..self.channels.len() {
             self.schedule_channel(ch_idx, cycle);
@@ -203,10 +233,16 @@ impl MemoryController {
             let channel = &self.channels[ch_idx];
             if channel.queue.is_empty() {
                 self.stats.scheduler.idle += 1;
+                if let Some(r) = self.recorder.as_mut() {
+                    r.on_stall(cycle, StallEvent::Idle);
+                }
                 return;
             }
             if cycle < channel.next_issue_at {
                 self.stats.scheduler.bus_blocked += 1;
+                if let Some(r) = self.recorder.as_mut() {
+                    r.on_stall(cycle, StallEvent::BusBlocked);
+                }
                 return;
             }
         }
@@ -259,6 +295,9 @@ impl MemoryController {
         };
         if candidates.is_empty() {
             self.stats.scheduler.no_candidate += 1;
+            if let Some(r) = self.recorder.as_mut() {
+                r.on_stall(cycle, StallEvent::NoCandidate);
+            }
             return;
         }
 
@@ -288,13 +327,19 @@ impl MemoryController {
             *n = n.saturating_sub(1);
         }
         self.policy.on_served(q.req.source, u64::from(q.req.bytes));
-        self.stats.record_served(
-            q.req.source,
-            u64::from(q.req.bytes),
-            issue.outcome,
-            finish.saturating_sub(q.req.arrival),
-        );
+        let latency = finish.saturating_sub(q.req.arrival);
+        self.stats
+            .record_served(q.req.source, u64::from(q.req.bytes), issue.outcome, latency);
         self.stats.scheduler.issued += 1;
+        if let Some(r) = self.recorder.as_mut() {
+            r.on_stall(cycle, StallEvent::Issued);
+            let row = match issue.outcome {
+                RowOutcome::Hit => RowEvent::Hit,
+                RowOutcome::Miss => RowEvent::Miss,
+                RowOutcome::Conflict => RowEvent::Conflict,
+            };
+            r.on_serve(cycle, q.req.source.0, u64::from(q.req.bytes), latency, row);
+        }
         self.completions
             .push(Reverse((finish, q.req.id, q.req.source.0)));
     }
@@ -424,6 +469,35 @@ mod tests {
             let done = run_until_complete(&mut mc, 64, 100_000);
             assert_eq!(done.len(), 64, "{kind} failed to drain");
         }
+    }
+
+    #[test]
+    fn recorder_reconciles_with_aggregate_stats() {
+        use pccs_telemetry::EpochRecorder;
+        let mut mc = controller(PolicyKind::FrFcfs);
+        mc.set_recorder(Box::new(EpochRecorder::new(64)));
+        for i in 0..32u64 {
+            mc.try_enqueue(MemoryRequest::read(
+                i,
+                SourceId((i % 2) as usize),
+                i * 64 * 131,
+                0,
+            ))
+            .unwrap();
+        }
+        run_until_complete(&mut mc, 32, 10_000);
+        let last = mc.stats().elapsed_cycles;
+        let report = mc.take_report(last).expect("epoch recorder reports");
+        assert_eq!(report.total_bytes(), mc.stats().total_bytes());
+        let sched = &mc.stats().scheduler;
+        let issued: u64 = report.epochs.iter().map(|e| e.issued).sum();
+        let idle: u64 = report.epochs.iter().map(|e| e.idle).sum();
+        assert_eq!(issued, sched.issued);
+        assert_eq!(idle, sched.idle);
+        let hits: u64 = report.epochs.iter().map(|e| e.row_hits).sum();
+        let all_hits: u64 = mc.stats().per_source.values().map(|s| s.row_hits).sum();
+        assert_eq!(hits, all_hits);
+        assert_eq!(report.sources(), vec![0, 1]);
     }
 
     #[test]

@@ -17,6 +17,7 @@ use crate::request::{MemoryRequest, SourceId};
 use crate::sim::{MeasureWindow, SimOutcome};
 use crate::stats::MemoryStats;
 use crate::traffic::TrafficSource;
+use pccs_telemetry::{EpochRecorder, TelemetryReport};
 use std::collections::BTreeMap;
 
 /// A memory system composed of several independent controllers.
@@ -68,6 +69,14 @@ impl MultiMcSystem {
         self.generators.push(Box::new(generator));
     }
 
+    /// Attaches an epoch recorder to every controller; their reports are
+    /// merged by epoch index into [`SimOutcome::telemetry`].
+    pub fn record_epochs(&mut self, epoch_cycles: u64) {
+        for mc in &mut self.mcs {
+            mc.set_recorder(Box::new(EpochRecorder::new(epoch_cycles)));
+        }
+    }
+
     /// Routes a global address: which MC, and the translated address whose
     /// *local* decode lands on the right local channel with unchanged
     /// bank/row/column coordinates. Lines interleave across MCs first, so
@@ -108,10 +117,17 @@ impl MultiMcSystem {
             }
         }
 
-        // Merge statistics across controllers.
+        // Merge statistics (and telemetry reports) across controllers.
         let mut stats = MemoryStats::new();
         stats.elapsed_cycles = horizon;
-        for mc in self.mcs {
+        let mut telemetry: Option<TelemetryReport> = None;
+        for mut mc in self.mcs {
+            if let Some(report) = mc.take_report(horizon) {
+                match &mut telemetry {
+                    Some(merged) => merged.merge(&report),
+                    None => telemetry = Some(report),
+                }
+            }
             let s = mc.into_stats();
             for (src, per) in s.per_source {
                 let agg = stats.source_mut(src);
@@ -124,6 +140,7 @@ impl MultiMcSystem {
                 agg.max_latency = agg.max_latency.max(per.max_latency);
                 agg.enqueued += per.enqueued;
                 agg.rejected += per.rejected;
+                agg.latency.merge(&per.latency);
             }
             stats.scheduler.issued += s.scheduler.issued;
             stats.scheduler.bus_blocked += s.scheduler.bus_blocked;
@@ -157,6 +174,7 @@ impl MultiMcSystem {
             completed,
             progress,
             measured,
+            telemetry,
         }
     }
 
@@ -257,6 +275,24 @@ mod tests {
             "outcome counts partition served requests"
         );
         assert_eq!(out.completed[&SourceId(0)], out.progress[&SourceId(0)]);
+    }
+
+    #[test]
+    fn per_mc_reports_merge_and_reconcile() {
+        let mut sys = MultiMcSystem::new(DramConfig::xavier(), 2, PolicyKind::FrFcfs);
+        sys.add_generator(stream(0, 40.0));
+        sys.add_generator(stream(1, 20.0));
+        sys.record_epochs(2_000);
+        let out = sys.run(20_000);
+        let report = out.telemetry.as_ref().expect("recorders attached");
+        assert_eq!(report.total_bytes(), out.stats.total_bytes());
+        let sources = report.sources();
+        assert!(sources.contains(&0) && sources.contains(&1));
+        // Each epoch index appears once after merging.
+        let mut epochs: Vec<u64> = report.epochs.iter().map(|e| e.epoch).collect();
+        let before = epochs.len();
+        epochs.dedup();
+        assert_eq!(epochs.len(), before);
     }
 
     #[test]

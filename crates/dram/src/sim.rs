@@ -7,6 +7,7 @@ use crate::policy::PolicyKind;
 use crate::request::SourceId;
 use crate::stats::MemoryStats;
 use crate::traffic::TrafficSource;
+use pccs_telemetry::{Recorder, TelemetryReport};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -44,6 +45,12 @@ impl DramSystem {
     pub fn add_generator<T: TrafficSource + 'static>(&mut self, mut generator: T) {
         generator.bind(self.controller.config());
         self.generators.push(Box::new(generator));
+    }
+
+    /// Attaches a telemetry recorder to the controller; its report lands
+    /// in [`SimOutcome::telemetry`].
+    pub fn set_recorder(&mut self, recorder: Box<dyn Recorder>) {
+        self.controller.set_recorder(recorder);
     }
 
     /// Runs the simulation for `horizon` memory-controller cycles and
@@ -105,6 +112,7 @@ impl DramSystem {
             .iter()
             .map(|g| (g.source_id(), g.progress()))
             .collect();
+        let telemetry = self.controller.take_report(horizon);
         let stats = self.controller.into_stats();
         let measured = MeasureWindow {
             cycles: horizon - warmup,
@@ -125,6 +133,7 @@ impl DramSystem {
             completed,
             progress,
             measured,
+            telemetry,
         }
     }
 }
@@ -146,6 +155,8 @@ pub struct SimOutcome {
     /// Post-warmup measurement window (equals the whole run when no warmup
     /// was requested).
     pub measured: MeasureWindow,
+    /// Epoch time-series, when a recorder was attached before the run.
+    pub telemetry: Option<TelemetryReport>,
 }
 
 /// Per-source counts accumulated after the warmup cut-off.
@@ -364,6 +375,39 @@ mod tests {
         let share_off = a_off / total_off;
         let share_on = a_on / total_on;
         assert!((share_off - share_on).abs() < 0.05);
+    }
+
+    #[test]
+    fn epoch_telemetry_reconciles_with_stats() {
+        use pccs_telemetry::EpochRecorder;
+        let mut sys = system(PolicyKind::FrFcfs);
+        sys.add_generator(
+            StreamTraffic::builder(SourceId(0))
+                .demand_gbps(40.0)
+                .row_locality(0.9)
+                .window(64)
+                .build(),
+        );
+        sys.set_recorder(Box::new(EpochRecorder::new(1000)));
+        let out = sys.run(20_000);
+        let report = out.telemetry.as_ref().expect("recorder attached");
+        assert_eq!(report.epoch_cycles, 1000);
+        assert_eq!(report.total_bytes(), out.stats.total_bytes());
+        assert!(report.epochs.len() <= 20);
+        // Mid-run epochs should be busy on a 40 GB/s stream.
+        assert!(report.epochs.iter().any(|e| e.total_bytes() > 0));
+    }
+
+    #[test]
+    fn runs_without_recorder_have_no_telemetry() {
+        let mut sys = system(PolicyKind::Fcfs);
+        sys.add_generator(
+            StreamTraffic::builder(SourceId(0))
+                .demand_gbps(10.0)
+                .build(),
+        );
+        let out = sys.run(5_000);
+        assert!(out.telemetry.is_none());
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use crate::config::DramConfig;
 use crate::request::SourceId;
 use crate::timing::RowOutcome;
+use pccs_telemetry::LatencyHistogram;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -28,6 +29,9 @@ pub struct SourceStats {
     /// Requests the source wanted to enqueue but could not because the
     /// controller queue was full (back-pressure).
     pub rejected: u64,
+    /// Log-binned distribution of per-request latencies; `total_latency`
+    /// and `max_latency` summarize the same samples.
+    pub latency: LatencyHistogram,
 }
 
 impl SourceStats {
@@ -47,6 +51,12 @@ impl SourceStats {
         } else {
             self.row_hits as f64 / self.served as f64
         }
+    }
+
+    /// Latency at or below which `p` percent of requests completed
+    /// (log-binned; see [`LatencyHistogram::percentile`]).
+    pub fn latency_percentile(&self, p: f64) -> u64 {
+        self.latency.percentile(p)
     }
 }
 
@@ -104,6 +114,7 @@ impl MemoryStats {
         }
         s.total_latency += latency;
         s.max_latency = s.max_latency.max(latency);
+        s.latency.record(latency);
     }
 
     /// Total bytes served across all sources.
@@ -169,6 +180,21 @@ mod tests {
         assert!((s0.avg_latency() - 60.0).abs() < 1e-12);
         assert_eq!(m.total_bytes(), 192);
         assert_eq!(m.total_served(), 3);
+    }
+
+    #[test]
+    fn latency_histogram_tracks_served_requests() {
+        let mut m = MemoryStats::new();
+        for latency in [10u64, 20, 30, 40, 400] {
+            m.record_served(SourceId(0), 64, RowOutcome::Hit, latency);
+        }
+        let s = &m.per_source[&SourceId(0)];
+        assert_eq!(s.latency.count(), s.served);
+        assert_eq!(s.latency.max(), s.max_latency);
+        assert!((s.latency.mean() - s.avg_latency()).abs() < 1e-9);
+        let p50 = s.latency_percentile(50.0);
+        assert!((20..=40).contains(&p50), "p50 = {p50}");
+        assert_eq!(s.latency_percentile(100.0), 400);
     }
 
     #[test]

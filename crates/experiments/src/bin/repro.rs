@@ -11,13 +11,18 @@
 //! fidelity for speed (short horizons, coarse grids) and is what the test
 //! suite uses; `--curves` dumps the full per-benchmark curves for the
 //! validation figures; `--json <dir>` additionally writes each
-//! experiment's raw result as `<dir>/<name>.json` for downstream tooling.
+//! experiment's result as `<dir>/<name>.json` — a `{manifest, result}`
+//! object whose manifest records the configuration, crate version, start
+//! time, and wall time — plus the phase spans as `<dir>/trace.jsonl`.
 
 use pccs_experiments::context::{Context, Quality};
 use pccs_experiments::validate::Figure;
 use pccs_experiments::{
     fig13, fig14, fig2, fig3, fig5, fig6, oblivious, table10, table5, table7, table9, validate,
 };
+use pccs_telemetry::{export, RunManifest, TraceLog};
+use serde_json::{Number, Value};
+use std::collections::BTreeMap;
 use std::time::Instant;
 
 const ALL: &[&str] = &[
@@ -78,10 +83,32 @@ fn main() {
         ctx.horizon(),
         ctx.repeats()
     );
+    if json_dir.is_some() {
+        // Phase spans (model construction, sweeps) end up in trace.jsonl.
+        TraceLog::enable();
+    }
+    let config_snapshot = {
+        let mut c = BTreeMap::new();
+        c.insert(
+            "quality".to_owned(),
+            Value::String(if quick { "quick" } else { "full" }.to_owned()),
+        );
+        c.insert(
+            "horizon".to_owned(),
+            Value::Number(Number::U(ctx.horizon())),
+        );
+        c.insert(
+            "repeats".to_owned(),
+            Value::Number(Number::U(u64::from(ctx.repeats()))),
+        );
+        Value::Object(c)
+    };
 
     let t0 = Instant::now();
     for name in &selected {
         let t = Instant::now();
+        let span_name = format!("repro.{name}");
+        let _span = TraceLog::span(&span_name);
         let (report, json) = match name.as_str() {
             "fig2" => jsonify(fig2::run(&mut ctx), fig2::Fig2::format),
             "fig3" => jsonify(fig3::run(&mut ctx), fig3::Fig3::format),
@@ -103,30 +130,49 @@ fn main() {
         };
         println!("{report}");
         if let Some(dir) = &json_dir {
+            let mut manifest =
+                RunManifest::new("repro", env!("CARGO_PKG_VERSION"), &format!("repro {name}"))
+                    .with_config(config_snapshot.clone());
+            manifest.set_wall_secs(t.elapsed().as_secs_f64());
+            let mut wrapped = BTreeMap::new();
+            wrapped.insert(
+                "manifest".to_owned(),
+                serde_json::to_value(&manifest).expect("manifest serializes"),
+            );
+            wrapped.insert("result".to_owned(), json);
+            let text =
+                serde_json::to_string_pretty(&Value::Object(wrapped)).expect("results serialize");
             let path = format!("{dir}/{name}.json");
-            if let Err(e) = std::fs::write(&path, json) {
+            if let Err(e) = std::fs::write(&path, text) {
                 eprintln!("warning: could not write {path}: {e}");
             }
         }
         println!("[{name} took {:.1?}]\n", t.elapsed());
     }
+    if let Some(dir) = &json_dir {
+        let spans = TraceLog::drain();
+        let path = format!("{dir}/trace.jsonl");
+        if let Err(e) = std::fs::write(&path, export::jsonl_events(None, None, &spans)) {
+            eprintln!("warning: could not write {path}: {e}");
+        }
+    }
     println!("total: {:.1?}", t0.elapsed());
 }
 
-/// Formats a result and serializes it to JSON in one pass.
-fn jsonify<T: serde::Serialize>(value: T, fmt: impl Fn(&T) -> String) -> (String, String) {
+/// Formats a result and serializes it to a JSON value in one pass.
+fn jsonify<T: serde::Serialize>(value: T, fmt: impl Fn(&T) -> String) -> (String, Value) {
     let report = fmt(&value);
-    let json = serde_json::to_string_pretty(&value).expect("results serialize");
+    let json = serde_json::to_value(&value).expect("results serialize");
     (report, json)
 }
 
-fn json_validation(ctx: &mut Context, figure: Figure, verbose: bool) -> (String, String) {
+fn json_validation(ctx: &mut Context, figure: Figure, verbose: bool) -> (String, Value) {
     let v = validate::run(ctx, figure);
     let report = if verbose {
         format!("{}{}", v.format(), v.format_curves())
     } else {
         v.format()
     };
-    let json = serde_json::to_string_pretty(&v).expect("results serialize");
+    let json = serde_json::to_value(&v).expect("results serialize");
     (report, json)
 }

@@ -31,6 +31,23 @@ pub struct PolicyStudy {
     pub row_hit_pct: f64,
     /// Table 3: effective bandwidth as % of peak at the saturating point.
     pub effective_bw_pct: f64,
+    /// Requests accepted into controller queues at the saturating point.
+    pub enqueued: u64,
+    /// Requests refused at full controller queues (back-pressure) at the
+    /// saturating point.
+    pub rejected: u64,
+}
+
+impl PolicyStudy {
+    /// Back-pressure as a percentage of enqueue attempts.
+    pub fn rejected_pct(&self) -> f64 {
+        let attempts = self.enqueued + self.rejected;
+        if attempts == 0 {
+            0.0
+        } else {
+            100.0 * self.rejected as f64 / attempts as f64
+        }
+    }
 }
 
 /// The Figure 5 + Table 3 result.
@@ -108,18 +125,22 @@ pub fn run(ctx: &Context) -> Fig5 {
 
         // Table 3 metrics: both groups demanding enough that the sum of
         // standalone demands reaches the theoretical peak.
-        let (rbh, eff) = {
+        let (rbh, eff, enq, rej) = {
             let mut sys = DramSystem::new(config.clone(), kind);
             group(&mut sys, 0, 64.0, 24, 0.95, 0x51);
             group(&mut sys, GROUP_CORES, 48.0, 24, 0.9, 0xa7);
             let out = sys.run(horizon);
-            (out.row_hit_pct(), out.effective_bw_pct())
+            let enq: u64 = out.stats.per_source.values().map(|s| s.enqueued).sum();
+            let rej: u64 = out.stats.per_source.values().map(|s| s.rejected).sum();
+            (out.row_hit_pct(), out.effective_bw_pct(), enq, rej)
         };
         policies.push(PolicyStudy {
             policy: kind,
             curves,
             row_hit_pct: rbh,
             effective_bw_pct: eff,
+            enqueued: enq,
+            rejected: rej,
         });
     }
     Fig5 { policies }
@@ -143,17 +164,21 @@ impl Fig5 {
             }
             out.push_str(&t.to_string());
         }
-        out.push_str("\nTable 3 — row-buffer hits and effective bandwidth at saturation\n");
+        out.push_str("\nTable 3 — row-buffer hits, effective bandwidth, and queue back-pressure at saturation\n");
         let mut t = TextTable::new(vec![
             "policy".into(),
             "RBH (%)".into(),
             "effective BW (% of peak)".into(),
+            "enqueued".into(),
+            "rejected (%)".into(),
         ]);
         for p in &self.policies {
             t.row(vec![
                 p.policy.label().into(),
                 format!("{:.1}", p.row_hit_pct),
                 format!("{:.1}", p.effective_bw_pct),
+                p.enqueued.to_string(),
+                format!("{} ({:.1})", p.rejected, p.rejected_pct()),
             ]);
         }
         out.push_str(&t.to_string());

@@ -13,6 +13,7 @@ use crate::soc::SocConfig;
 use pccs_dram::policy::PolicyKind;
 use pccs_dram::request::SourceId;
 use pccs_dram::sim::{DramSystem, SimOutcome};
+use pccs_telemetry::{EpochRecorder, TraceLog};
 
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -135,6 +136,7 @@ pub struct CoRunSim {
     policy: PolicyKind,
     placements: Vec<Placement>,
     repeats: u32,
+    epoch: Option<u64>,
 }
 
 impl CoRunSim {
@@ -147,7 +149,19 @@ impl CoRunSim {
             policy: PolicyKind::Atlas,
             placements: Vec::new(),
             repeats: 1,
+            epoch: None,
         }
+    }
+
+    /// Enables epoch telemetry: the memory controller samples per-source
+    /// bandwidth, queue depth, row mix, and stall breakdown every
+    /// `epoch_cycles` cycles into
+    /// [`SimOutcome::telemetry`](pccs_dram::sim::SimOutcome). With repeats
+    /// above one, the report covers the last repetition (matching
+    /// [`CoRunOutcome::memory`]).
+    pub fn record_epochs(&mut self, epoch_cycles: u64) -> &mut Self {
+        self.epoch = Some(epoch_cycles.max(1));
+        self
     }
 
     /// Overrides the memory-controller scheduling policy.
@@ -198,6 +212,10 @@ impl CoRunSim {
     /// [`CoRunOutcome::memory`] is from the last repetition).
     pub fn run(&self, horizon: u64) -> CoRunOutcome {
         assert!(horizon > 0, "horizon must be positive");
+        let mut span = TraceLog::span("corun.run");
+        span.counter("placements", self.placements.len() as f64);
+        span.counter("repeats", f64::from(self.repeats));
+        span.counter("horizon", horizon as f64);
         let warmup = (horizon as f64 * WARMUP_FRACTION) as u64;
         let mut acc: BTreeMap<usize, (f64, f64, u64)> = BTreeMap::new();
         let mut last_memory = None;
@@ -251,6 +269,9 @@ impl CoRunSim {
 
     fn run_once(&self, horizon: u64, warmup: u64, run_seed: u64) -> SimOutcome {
         let mut sys = DramSystem::new(self.soc.dram.clone(), self.policy);
+        if let Some(epoch) = self.epoch {
+            sys.set_recorder(Box::new(EpochRecorder::new(epoch)));
+        }
         for placement in &self.placements {
             let pu = &self.soc.pus[placement.pu_idx];
             let base = self.soc.source_base(placement.pu_idx);
@@ -379,6 +400,25 @@ mod tests {
             high <= low + 0.03,
             "rs should not increase with pressure: low={low:.3} high={high:.3}"
         );
+    }
+
+    #[test]
+    fn epoch_telemetry_flows_through_corun() {
+        let soc = xavier();
+        let gpu = soc.pu_index("GPU").unwrap();
+        let cpu = soc.pu_index("CPU").unwrap();
+        let mut sim = CoRunSim::new(&soc);
+        sim.place(Placement::kernel(
+            gpu,
+            KernelDesc::memory_streaming("stream", 0.5),
+        ));
+        sim.external_pressure(cpu, 40.0);
+        sim.record_epochs(2_000);
+        let out = sim.run(20_000);
+        let report = out.memory.telemetry.as_ref().expect("epochs recorded");
+        assert_eq!(report.epoch_cycles, 2_000);
+        assert_eq!(report.total_bytes(), out.memory.stats.total_bytes());
+        assert!(!report.sources().is_empty());
     }
 
     #[test]

@@ -1,0 +1,29 @@
+//! Telemetry layer for the PCCS simulators.
+//!
+//! Four pieces, all optional and allocation-free on the hot path when
+//! disabled:
+//!
+//! - [`Recorder`] — the hook trait the DRAM controller drives. The default
+//!   [`NoopRecorder`] compiles to nothing; [`EpochRecorder`] samples
+//!   per-source bandwidth, queue depth, row-buffer outcome mix, and the
+//!   scheduler stall breakdown every N cycles into a [`TelemetryReport`].
+//! - [`LatencyHistogram`] — log-binned latency distribution with
+//!   p50/p95/p99/max, embedded in the DRAM per-source stats.
+//! - [`TraceLog`] — process-global scoped-span event log (begin/end wall
+//!   time plus counters) for model-construction and experiment phases.
+//! - [`export`] — JSONL event stream, CSV time-series, and human-readable
+//!   summary-table renderers, plus the [`RunManifest`] provenance record.
+
+mod histogram;
+mod manifest;
+mod recorder;
+mod trace;
+
+pub mod export;
+
+pub use histogram::LatencyHistogram;
+pub use manifest::RunManifest;
+pub use recorder::{
+    EpochRecorder, EpochSample, NoopRecorder, Recorder, RowEvent, StallEvent, TelemetryReport,
+};
+pub use trace::{SpanGuard, TraceEvent, TraceLog};

@@ -1,0 +1,78 @@
+//! Run-provenance manifest attached to exported results.
+
+use serde::{Deserialize, Serialize, Value};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// What produced a result file: enough to re-run it and to tell two
+/// runs apart.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunManifest {
+    /// Producing binary (e.g. "pccs-cli" or "repro").
+    pub tool: String,
+    /// Crate version of the producing binary.
+    pub version: String,
+    /// The command line or subcommand that ran.
+    pub command: String,
+    /// RNG seed, when the run used one.
+    pub seed: Option<u64>,
+    /// Snapshot of the effective configuration, as a JSON value.
+    pub config: Value,
+    /// Unix time in milliseconds when the run started.
+    pub started_unix_ms: u64,
+    /// Wall-clock duration of the run in seconds.
+    pub wall_secs: f64,
+}
+
+impl RunManifest {
+    /// A manifest stamped with the current wall-clock time; call
+    /// [`RunManifest::set_wall_secs`] once the run finishes.
+    pub fn new(tool: &str, version: &str, command: &str) -> Self {
+        let started_unix_ms = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_millis().min(u128::from(u64::MAX)) as u64)
+            .unwrap_or(0);
+        RunManifest {
+            tool: tool.to_owned(),
+            version: version.to_owned(),
+            command: command.to_owned(),
+            seed: None,
+            config: Value::Null,
+            started_unix_ms,
+            wall_secs: 0.0,
+        }
+    }
+
+    /// Sets the seed, chaining.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Sets the config snapshot, chaining.
+    pub fn with_config(mut self, config: Value) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Records the run's wall-clock duration.
+    pub fn set_wall_secs(&mut self, secs: f64) {
+        self.wall_secs = secs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifest_round_trips() {
+        let mut m = RunManifest::new("pccs-cli", "0.1.0", "corun --soc parker")
+            .with_seed(42)
+            .with_config(serde_json::to_value(&vec![1u64, 2, 3]).unwrap());
+        m.set_wall_secs(1.25);
+        let text = serde_json::to_string_pretty(&m).unwrap();
+        let back: RunManifest = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, m);
+        assert!(back.started_unix_ms > 0);
+    }
+}

@@ -1,0 +1,152 @@
+//! Process-global scoped-span event log.
+//!
+//! Disabled by default: [`TraceLog::span`] costs one relaxed atomic load
+//! and allocates nothing until tracing is enabled. When enabled, a span
+//! guard records its name, start offset, duration, and any counters
+//! attached via [`SpanGuard::counter`] when it drops.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+fn events() -> &'static Mutex<Vec<TraceEvent>> {
+    static EVENTS: OnceLock<Mutex<Vec<TraceEvent>>> = OnceLock::new();
+    EVENTS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// One completed span.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Span name.
+    pub name: String,
+    /// Microseconds from trace start to span begin.
+    pub start_us: u64,
+    /// Span duration in microseconds.
+    pub duration_us: u64,
+    /// Counters attached during the span.
+    pub counters: Vec<(String, f64)>,
+}
+
+/// The global trace log.
+pub struct TraceLog;
+
+impl TraceLog {
+    /// Turns tracing on.
+    pub fn enable() {
+        epoch();
+        ENABLED.store(true, Ordering::Relaxed);
+    }
+
+    /// Turns tracing off (already-recorded events are kept).
+    pub fn disable() {
+        ENABLED.store(false, Ordering::Relaxed);
+    }
+
+    /// Whether spans are currently recorded.
+    pub fn is_enabled() -> bool {
+        ENABLED.load(Ordering::Relaxed)
+    }
+
+    /// Opens a span; it records itself when dropped. Free when tracing
+    /// is disabled.
+    pub fn span(name: &str) -> SpanGuard {
+        if !Self::is_enabled() {
+            return SpanGuard { inner: None };
+        }
+        SpanGuard {
+            inner: Some(SpanInner {
+                name: name.to_owned(),
+                started: Instant::now(),
+                counters: Vec::new(),
+            }),
+        }
+    }
+
+    /// Takes all recorded events, leaving the log empty.
+    pub fn drain() -> Vec<TraceEvent> {
+        std::mem::take(&mut *events().lock().expect("trace log poisoned"))
+    }
+}
+
+struct SpanInner {
+    name: String,
+    started: Instant,
+    counters: Vec<(String, f64)>,
+}
+
+/// Guard returned by [`TraceLog::span`]; records the span on drop.
+pub struct SpanGuard {
+    inner: Option<SpanInner>,
+}
+
+impl SpanGuard {
+    /// Attaches a named counter to the span (no-op when disabled).
+    pub fn counter(&mut self, name: &str, value: f64) {
+        if let Some(inner) = &mut self.inner {
+            inner.counters.push((name.to_owned(), value));
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(inner) = self.inner.take() else {
+            return;
+        };
+        let start_us = inner
+            .started
+            .duration_since(epoch())
+            .as_micros()
+            .min(u128::from(u64::MAX)) as u64;
+        let duration_us = inner
+            .started
+            .elapsed()
+            .as_micros()
+            .min(u128::from(u64::MAX)) as u64;
+        let event = TraceEvent {
+            name: inner.name,
+            start_us,
+            duration_us,
+            counters: inner.counters,
+        };
+        events().lock().expect("trace log poisoned").push(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // A single test covers the whole lifecycle because the log is
+    // process-global and tests run concurrently.
+    #[test]
+    fn span_lifecycle() {
+        assert!(!TraceLog::is_enabled());
+        {
+            let _off = TraceLog::span("ignored-while-disabled");
+        }
+        TraceLog::enable();
+        {
+            let mut span = TraceLog::span("fit");
+            span.counter("points", 12.0);
+        }
+        TraceLog::disable();
+        {
+            let _off = TraceLog::span("ignored-again");
+        }
+        let recorded = TraceLog::drain();
+        let fit: Vec<_> = recorded.iter().filter(|e| e.name == "fit").collect();
+        assert_eq!(fit.len(), 1);
+        assert_eq!(fit[0].counters, vec![("points".to_owned(), 12.0)]);
+        assert!(!recorded.iter().any(|e| e.name.starts_with("ignored")));
+        assert!(TraceLog::drain().is_empty());
+    }
+}

@@ -1,9 +1,28 @@
 #!/usr/bin/env bash
-# The full pre-merge gate: format, lints, docs, tests.
-set -euo pipefail
+# The full pre-merge gate: format, lints, build, docs, tests.
+# Runs every step even after a failure and reports all failures at the end,
+# so one iteration surfaces everything that needs fixing.
+set -uo pipefail
 cd "$(dirname "$0")/.."
 
-cargo fmt --all -- --check
-cargo clippy --workspace --all-targets -- -D warnings
-cargo doc --no-deps --workspace
-cargo test --release --workspace
+failed=()
+step() {
+  local name=$1
+  shift
+  echo "==> ${name}: $*"
+  if ! "$@"; then
+    failed+=("${name}")
+  fi
+}
+
+step fmt    cargo fmt --all -- --check
+step clippy cargo clippy --workspace --all-targets -- -D warnings
+step build  cargo build --release --workspace
+step doc    cargo doc --no-deps --workspace
+step test   cargo test --release --workspace
+
+if ((${#failed[@]})); then
+  echo "FAILED: ${failed[*]}" >&2
+  exit 1
+fi
+echo "all checks passed"

@@ -51,8 +51,10 @@ fn multi_mc_contention_still_shows_three_region_flavour() {
     let high = run(140.0);
     assert!(alone > 40.0, "standalone victim too slow: {alone:.1}");
     assert!(mid <= alone + 2.0);
+    // The exact ratio depends on the generators' RNG stream; 0.5 checks
+    // "falls then levels off" without pinning a particular sequence.
     assert!(
-        high > mid * 0.6,
+        high > mid * 0.5,
         "no stabilization: mid {mid:.1} -> high {high:.1}"
     );
 }

@@ -1,0 +1,218 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset this workspace's benches use: `black_box`,
+//! `Criterion::bench_function`, `benchmark_group` with
+//! `sample_size`/`measurement_time` chaining, `Bencher::iter`, and the
+//! `criterion_group!`/`criterion_main!` macros. Measurement is a simple
+//! warmup-then-timed-batches loop reporting mean/min wall time per
+//! iteration — good enough for coarse regression checks, with none of the
+//! real crate's statistics, plotting, or baseline storage.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const DEFAULT_SAMPLE_SIZE: usize = 20;
+const DEFAULT_MEASUREMENT_TIME: Duration = Duration::from_secs(3);
+const WARMUP_FRACTION: f64 = 0.2;
+
+/// Benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs one benchmark with default settings.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_bench(name, DEFAULT_SAMPLE_SIZE, DEFAULT_MEASUREMENT_TIME, &mut f);
+        self
+    }
+
+    /// Starts a named group whose settings apply to its benches.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_owned(),
+            sample_size: DEFAULT_SAMPLE_SIZE,
+            measurement_time: DEFAULT_MEASUREMENT_TIME,
+        }
+    }
+}
+
+/// A group of benchmarks sharing sample-size and time settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples to take per bench.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the total time budget for the timed samples.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        run_bench(&full, self.sample_size, self.measurement_time, &mut f);
+        self
+    }
+
+    /// Ends the group (no-op beyond API parity).
+    pub fn finish(self) {}
+}
+
+/// Passed to the bench closure; call [`Bencher::iter`] with the code under
+/// measurement.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Bencher {
+    /// Times `f`, first calibrating how many iterations fit a sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate: how many iterations take ~1ms, so short closures are
+        // batched and Instant overhead stays negligible.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(1) || iters >= 1 << 20 {
+                break;
+            }
+            iters *= 2;
+        }
+
+        // Warmup.
+        let warmup = self.measurement_time.mul_f64(WARMUP_FRACTION);
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < warmup {
+            for _ in 0..iters {
+                black_box(f());
+            }
+        }
+
+        // Timed samples within the measurement budget.
+        let budget_start = Instant::now();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            self.samples.push(start.elapsed());
+            if budget_start.elapsed() > self.measurement_time {
+                break;
+            }
+        }
+        self.iters_per_sample = iters;
+    }
+}
+
+fn run_bench(
+    name: &str,
+    sample_size: usize,
+    measurement_time: Duration,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let mut b = Bencher {
+        samples: Vec::new(),
+        iters_per_sample: 1,
+        sample_size,
+        measurement_time,
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{name}: no samples recorded");
+        return;
+    }
+    let per_iter = |d: &Duration| d.as_secs_f64() / b.iters_per_sample as f64;
+    let mean = b.samples.iter().map(per_iter).sum::<f64>() / b.samples.len() as f64;
+    let min = b.samples.iter().map(per_iter).fold(f64::INFINITY, f64::min);
+    println!(
+        "{name}: mean {} / iter, best {} / iter ({} samples x {} iters)",
+        fmt_seconds(mean),
+        fmt_seconds(min),
+        b.samples.len(),
+        b.iters_per_sample
+    );
+}
+
+fn fmt_seconds(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} us", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_records() {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            iters_per_sample: 1,
+            sample_size: 3,
+            measurement_time: Duration::from_millis(30),
+        };
+        let mut count = 0u64;
+        b.iter(|| {
+            count += 1;
+            black_box(count)
+        });
+        assert!(!b.samples.is_empty());
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn group_settings_chain() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(2).measurement_time(Duration::from_millis(20));
+        g.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        g.finish();
+    }
+}

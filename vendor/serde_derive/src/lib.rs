@@ -1,0 +1,405 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against
+//! the vendored `serde` shim's `to_value`/`from_value` traits. The parser
+//! works directly on `proc_macro` token trees (no `syn`/`quote` available
+//! offline) and supports the shapes this workspace uses:
+//!
+//! * structs with named fields, tuple structs (newtype and wider), unit
+//!   structs;
+//! * enums with unit, newtype, tuple, and struct variants;
+//! * no generics and no `#[serde(...)]` field attributes.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Clone)]
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+#[derive(Debug, Clone)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+enum ItemKind {
+    Struct(Fields),
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Item {
+    name: String,
+    kind: ItemKind,
+}
+
+/// Skips leading attributes (`#[...]`) and a visibility modifier.
+fn skip_attrs_and_vis(iter: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                // The bracket group of the attribute.
+                iter.next();
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Splits a field-list group body on top-level commas.
+fn split_top_level(body: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur: Vec<TokenTree> = Vec::new();
+    let mut depth = 0i32;
+    for tt in body {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                if !cur.is_empty() {
+                    out.push(std::mem::take(&mut cur));
+                }
+                continue;
+            }
+            _ => {}
+        }
+        cur.push(tt);
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Extracts the field name from one named-field token run
+/// (`[attrs] [vis] name : Type`).
+fn named_field(tokens: &[TokenTree]) -> Option<String> {
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            TokenTree::Ident(id) => return Some(id.to_string()),
+            _ => return None,
+        }
+    }
+    None
+}
+
+fn parse_fields_group(g: &proc_macro::Group) -> Fields {
+    match g.delimiter() {
+        Delimiter::Brace => {
+            let names = split_top_level(g.stream())
+                .iter()
+                .filter_map(|run| named_field(run))
+                .collect();
+            Fields::Named(names)
+        }
+        Delimiter::Parenthesis => Fields::Tuple(split_top_level(g.stream()).len()),
+        _ => Fields::Unit,
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut iter = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut iter);
+    let kind_kw = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, got {other:?}")),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, got {other:?}")),
+    };
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "the vendored serde derive does not support generics (type `{name}`)"
+            ));
+        }
+    }
+    match kind_kw.as_str() {
+        "struct" => {
+            // Either `{ fields }`, `( fields );`, or `;`.
+            match iter.peek() {
+                Some(TokenTree::Group(_)) => {
+                    let Some(TokenTree::Group(g)) = iter.next() else {
+                        unreachable!()
+                    };
+                    Ok(Item {
+                        name,
+                        kind: ItemKind::Struct(parse_fields_group(&g)),
+                    })
+                }
+                _ => Ok(Item {
+                    name,
+                    kind: ItemKind::Struct(Fields::Unit),
+                }),
+            }
+        }
+        "enum" => {
+            let Some(TokenTree::Group(body)) = iter.next() else {
+                return Err(format!("enum `{name}` has no body"));
+            };
+            let mut variants = Vec::new();
+            for run in split_top_level(body.stream()) {
+                let mut vi = run.iter().peekable();
+                // Skip attributes on the variant.
+                let mut name_tok = None;
+                while let Some(tt) = vi.next() {
+                    match tt {
+                        TokenTree::Punct(p) if p.as_char() == '#' => {
+                            vi.next();
+                        }
+                        TokenTree::Ident(id) => {
+                            name_tok = Some(id.to_string());
+                            break;
+                        }
+                        _ => break,
+                    }
+                }
+                let Some(vname) = name_tok else { continue };
+                let fields = match vi.next() {
+                    Some(TokenTree::Group(g)) => parse_fields_group(g),
+                    _ => Fields::Unit,
+                };
+                variants.push(Variant {
+                    name: vname,
+                    fields,
+                });
+            }
+            Ok(Item {
+                name,
+                kind: ItemKind::Enum(variants),
+            })
+        }
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(Fields::Named(fields)) => {
+            let mut s = String::from("let mut m = ::std::collections::BTreeMap::new();\n");
+            for f in fields {
+                s.push_str(&format!(
+                    "m.insert(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f}));\n"
+                ));
+            }
+            s.push_str("::serde::Value::Object(m)");
+            s
+        }
+        ItemKind::Struct(Fields::Tuple(1)) => "::serde::Serialize::to_value(&self.0)".to_owned(),
+        ItemKind::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        ItemKind::Struct(Fields::Unit) => "::serde::Value::Null".to_owned(),
+        ItemKind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::String(::std::string::String::from(\"{vn}\")),\n"
+                    )),
+                    Fields::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vn}(x0) => {{\n\
+                         let mut m = ::std::collections::BTreeMap::new();\n\
+                         m.insert(::std::string::String::from(\"{vn}\"), ::serde::Serialize::to_value(x0));\n\
+                         ::serde::Value::Object(m)\n}}\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => {{\n\
+                             let mut m = ::std::collections::BTreeMap::new();\n\
+                             m.insert(::std::string::String::from(\"{vn}\"), ::serde::Value::Array(vec![{}]));\n\
+                             ::serde::Value::Object(m)\n}}\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let binds = fields.join(", ");
+                        let mut inner = String::from(
+                            "let mut fm = ::std::collections::BTreeMap::new();\n",
+                        );
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "fm.insert(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value({f}));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => {{\n{inner}\
+                             let mut m = ::std::collections::BTreeMap::new();\n\
+                             m.insert(::std::string::String::from(\"{vn}\"), ::serde::Value::Object(fm));\n\
+                             ::serde::Value::Object(m)\n}}\n"
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn named_struct_ctor(path: &str, fields: &[String], src: &str) -> String {
+    let mut s = format!("{path} {{\n");
+    for f in fields {
+        s.push_str(&format!(
+            "{f}: match {src}.get(\"{f}\") {{\n\
+             Some(x) => ::serde::Deserialize::from_value(x)?,\n\
+             None => ::serde::Deserialize::from_value(&::serde::Value::Null)\n\
+             .map_err(|_| ::serde::DeError(::std::format!(\"missing field `{f}`\")))?,\n\
+             }},\n"
+        ));
+    }
+    s.push('}');
+    s
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(Fields::Named(fields)) => {
+            let ctor = named_struct_ctor(name, fields, "obj");
+            format!(
+                "let obj = v.as_object().ok_or_else(|| ::serde::DeError::expected(\"object\", v))?;\n\
+                 ::std::result::Result::Ok({ctor})"
+            )
+        }
+        ItemKind::Struct(Fields::Tuple(1)) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        ItemKind::Struct(Fields::Tuple(n)) => {
+            let gets: Vec<String> = (0..*n)
+                .map(|i| {
+                    format!(
+                        "::serde::Deserialize::from_value(arr.get({i}).ok_or_else(|| ::serde::DeError::expected(\"array of {n}\", v))?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "let arr = v.as_array().ok_or_else(|| ::serde::DeError::expected(\"array\", v))?;\n\
+                 ::std::result::Result::Ok({name}({}))",
+                gets.join(", ")
+            )
+        }
+        ItemKind::Struct(Fields::Unit) => {
+            format!("::std::result::Result::Ok({name})")
+        }
+        ItemKind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            for v in variants {
+                if matches!(v.fields, Fields::Unit) {
+                    let vn = &v.name;
+                    unit_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                    ));
+                }
+            }
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => {}
+                    Fields::Tuple(1) => tagged_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(::serde::Deserialize::from_value(payload)?)),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let gets: Vec<String> = (0..*n)
+                            .map(|i| {
+                                format!(
+                                    "::serde::Deserialize::from_value(parr.get({i}).ok_or_else(|| ::serde::DeError::expected(\"array of {n}\", payload))?)?"
+                                )
+                            })
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let parr = payload.as_array().ok_or_else(|| ::serde::DeError::expected(\"array\", payload))?;\n\
+                             ::std::result::Result::Ok({name}::{vn}({}))\n}}\n",
+                            gets.join(", ")
+                        ));
+                    }
+                    Fields::Named(fields) => {
+                        let ctor = named_struct_ctor(&format!("{name}::{vn}"), fields, "pobj");
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let pobj = payload.as_object().ok_or_else(|| ::serde::DeError::expected(\"object\", payload))?;\n\
+                             ::std::result::Result::Ok({ctor})\n}}\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match v {{\n\
+                 ::serde::Value::String(s) => match s.as_str() {{\n{unit_arms}\
+                 other => ::std::result::Result::Err(::serde::DeError(::std::format!(\"unknown variant `{{other}}` of {name}\"))),\n}},\n\
+                 ::serde::Value::Object(o) if o.len() == 1 => {{\n\
+                 let (tag, payload) = o.iter().next().unwrap();\n\
+                 match tag.as_str() {{\n{tagged_arms}\
+                 other => ::std::result::Result::Err(::serde::DeError(::std::format!(\"unknown variant `{{other}}` of {name}\"))),\n}}\n}}\n\
+                 _ => ::std::result::Result::Err(::serde::DeError::expected(\"enum tag\", v)),\n}}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn derive(input: TokenStream, gen: fn(&Item) -> String) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen(&item)
+            .parse()
+            .unwrap_or_else(|e| panic!("vendored serde derive generated invalid code: {e}")),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+/// Derives the shim's `serde::Serialize` (`to_value`).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    derive(input, gen_serialize)
+}
+
+/// Derives the shim's `serde::Deserialize` (`from_value`).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    derive(input, gen_deserialize)
+}
