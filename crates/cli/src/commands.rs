@@ -9,6 +9,9 @@ use pccs_dram::sim::DramSystem;
 use pccs_dram::traffic::StreamTraffic;
 use pccs_dse::freq::{ground_truth_frequency, profile_frequencies, select_frequency};
 use pccs_gables::GablesModel;
+use pccs_sched::engine::{run_schedule, SchedConfig};
+use pccs_sched::policy::{policy_by_name, PccsPolicy, Policy};
+use pccs_sched::{mixes, JobOutcome};
 use pccs_soc::corun::{CoRunSim, Placement, DEFAULT_HORIZON};
 use pccs_soc::pu::PuKind;
 use pccs_soc::soc::SocConfig;
@@ -302,6 +305,115 @@ pub fn corun(args: &Args) -> Result<(), ArgError> {
         println!(
             "telemetry written to {path} (events) and {} (time-series)",
             csv_path.display()
+        );
+    }
+    Ok(())
+}
+
+/// `pccs sched` — replays a job mix under a placement policy on the co-run
+/// simulator and reports per-job outcomes plus schedule metrics. With
+/// `--metrics-out`, every placement decision is appended to the JSONL
+/// event stream alongside the run manifest and trace spans.
+pub fn sched(args: &Args) -> Result<(), ArgError> {
+    let started = std::time::Instant::now();
+    let quick = args.has("quick");
+    let soc = soc_by_name(args.get("soc").unwrap_or("xavier"))?;
+    let mix_name = args.get("mix").unwrap_or("contended");
+    let mix = mixes::mix(mix_name).ok_or_else(|| {
+        ArgError(format!(
+            "unknown mix '{mix_name}' (known: {})",
+            mixes::names().join(", ")
+        ))
+    })?;
+    let scale = args.get_f64("scale", 1.0)?;
+    if scale <= 0.0 {
+        return Err(ArgError("--scale must be positive".into()));
+    }
+    let mix = if (scale - 1.0).abs() > f64::EPSILON {
+        mix.scaled(scale)
+    } else {
+        mix
+    };
+    let policy_name = args.get("policy").unwrap_or("pccs");
+    // The PCCS policy calibrates one model per PU against the simulator
+    // before scheduling; `--quick` swaps in the coarse calibration grid.
+    let mut policy: Box<dyn Policy> = if policy_name.eq_ignore_ascii_case("pccs") && quick {
+        Box::new(PccsPolicy::calibrated(&soc, &CalibrationConfig::quick()))
+    } else {
+        policy_by_name(&soc, policy_name).ok_or_else(|| {
+            ArgError(format!(
+                "unknown policy '{policy_name}' (known: round-robin, greedy, pccs, oracle)"
+            ))
+        })?
+    };
+    let cfg = if quick {
+        SchedConfig::quick()
+    } else {
+        SchedConfig::default()
+    };
+    let metrics_out = args.get("metrics-out");
+    if metrics_out.is_some() {
+        TraceLog::enable();
+    }
+
+    eprintln!(
+        "scheduling mix '{}' ({} jobs) on {} under policy '{}' ...",
+        mix.name,
+        mix.jobs.len(),
+        soc.name,
+        policy.name()
+    );
+    let report = run_schedule(&soc, &mix.name, &mix.jobs, policy.as_mut(), &cfg);
+
+    println!(
+        "{:<12} {:<5} {:>10} {:>10} {:>8} {:>9}",
+        "job", "PU", "start", "finish", "RS %", "deadline"
+    );
+    for j in &report.jobs {
+        let deadline = match (j.deadline, j.missed_deadline) {
+            (None, _) => "-".to_owned(),
+            (Some(_), false) => "met".to_owned(),
+            (Some(d), true) => format!("MISSED ({d})"),
+        };
+        println!(
+            "{:<12} {:<5} {:>10.0} {:>10.0} {:>8.1} {:>9}",
+            j.name, j.pu, j.start, j.finish, j.achieved_rs_pct, deadline
+        );
+    }
+    println!(
+        "makespan {:.0} cycles  mean RS {:.1}%  mean turnaround {:.0}  deadline misses {}/{}",
+        report.makespan,
+        report.mean_rs_pct(),
+        report.mean_turnaround(),
+        report.deadline_misses(),
+        report.jobs.len()
+    );
+
+    if let Some(path) = metrics_out {
+        let mut config = BTreeMap::new();
+        let mut put = |k: &str, v: Value| {
+            config.insert(k.to_owned(), v);
+        };
+        put("soc", Value::String(soc.name.clone()));
+        put("mix", Value::String(mix.name.clone()));
+        put("policy", Value::String(report.policy.clone()));
+        put("scale", Value::Number(Number::F(scale)));
+        put("quick", Value::Bool(quick));
+        let mut manifest = RunManifest::new("pccs-cli", env!("CARGO_PKG_VERSION"), "sched")
+            .with_config(Value::Object(config));
+        manifest.set_wall_secs(started.elapsed().as_secs_f64());
+        let spans = TraceLog::drain();
+        let mut jsonl = export::jsonl_events(Some(&manifest), None, &spans);
+        jsonl.push_str(&export::jsonl_records("decision", &report.decisions));
+        jsonl.push_str(&export::jsonl_records::<JobOutcome>(
+            "job_outcome",
+            &report.jobs,
+        ));
+        fs::write(path, jsonl).map_err(|e| ArgError(format!("writing {path}: {e}")))?;
+        println!(
+            "telemetry written to {path} ({} decisions, {} job outcomes)",
+            report.decisions.len(),
+            report.jobs.len()
         );
     }
     Ok(())

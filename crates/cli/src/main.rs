@@ -9,6 +9,8 @@
 //!                   --external 40 --budget 0.05 [--model model.json]
 //! pccs corun       --soc xavier --pu GPU --bench streamcluster
 //!                  [--external 40] [--metrics-out out.jsonl] [--epoch 1000]
+//! pccs sched       [--soc xavier] [--mix contended] [--policy pccs]
+//!                  [--scale 1.0] [--quick] [--metrics-out out.jsonl]
 //! pccs policies    [--victim 48]
 //! ```
 //!
@@ -16,8 +18,10 @@
 //! simulated SoC and stores the model as JSON; `predict` evaluates a stored
 //! model; `explore-freq` runs the Section 4.3 frequency-selection use case;
 //! `corun` co-runs a benchmark against external pressure and can export the
-//! epoch telemetry (`--metrics-out`/`--epoch`); `policies` reproduces the
-//! Section 2.3 scheduling-policy comparison.
+//! epoch telemetry (`--metrics-out`/`--epoch`); `sched` replays a job mix
+//! under a placement policy (the contention-aware scheduling runtime of
+//! `pccs-sched`) and can export its per-decision records; `policies`
+//! reproduces the Section 2.3 scheduling-policy comparison.
 
 mod args;
 mod commands;
@@ -39,6 +43,9 @@ USAGE:
   pccs corun        --soc <s> --pu <p> --bench <name> [--external <GB/s>]
                     [--horizon <cycles>] [--metrics-out <events.jsonl>]
                     [--epoch <cycles>]
+  pccs sched        [--soc <s>] [--mix <contended|inference-burst|steady-stream>]
+                    [--policy <round-robin|greedy|pccs|oracle>] [--scale <f>]
+                    [--quick] [--metrics-out <events.jsonl>]
   pccs policies     [--victim <GB/s>]
 
 Run `pccs <command> --help` equivalents by reading the crate docs.";
@@ -57,6 +64,7 @@ fn main() -> ExitCode {
         Some("predict") => commands::predict(&args),
         Some("explore-freq") => commands::explore_freq(&args),
         Some("corun") => commands::corun(&args),
+        Some("sched") => commands::sched(&args),
         Some("policies") => commands::policies(&args),
         Some(other) => Err(args::ArgError(format!("unknown command '{other}'"))),
         None => {

@@ -36,6 +36,7 @@ pub mod error;
 pub mod model;
 pub mod phased;
 pub mod region;
+pub mod system;
 pub mod traits;
 
 pub use builder::{CalibrationData, ModelBuilder};
@@ -43,4 +44,5 @@ pub use error::ModelBuildError;
 pub use model::PccsModel;
 pub use phased::PhasedWorkload;
 pub use region::Region;
+pub use system::{predict_corun, total_slowdown};
 pub use traits::SlowdownModel;

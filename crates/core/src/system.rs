@@ -1,0 +1,93 @@
+//! System-level co-run prediction: several kernels resident on distinct
+//! PUs, each predicted by its own PU's slowdown model.
+//!
+//! The paper's scheduling use case (Section 1, "a scheduler can use the
+//! model to decide which processor runs which kernel") needs exactly this
+//! aggregation: for a candidate placement, the external pressure seen by
+//! PU `i` is the sum of the *other* residents' standalone bandwidth
+//! demands, and the quantity a scheduler compares across placements is the
+//! total predicted slowdown.
+
+use crate::traits::SlowdownModel;
+
+/// Predicts the relative speed of each of `demands` co-resident kernels,
+/// where entry `i` runs on the PU modelled by `models[i]` and experiences
+/// the summed demand of all other entries as external pressure.
+///
+/// Returns one relative-speed percentage per entry.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn predict_corun(models: &[&dyn SlowdownModel], demands: &[f64]) -> Vec<f64> {
+    assert_eq!(
+        models.len(),
+        demands.len(),
+        "one model per resident kernel required"
+    );
+    let total: f64 = demands.iter().sum();
+    models
+        .iter()
+        .zip(demands)
+        .map(|(m, &d)| m.relative_speed_pct(d, (total - d).max(0.0)))
+        .collect()
+}
+
+/// The total predicted slowdown of a co-run placement: `Σ 100 / RSᵢ`.
+/// Lower is better; an uncontended system scores exactly the number of
+/// resident kernels. This is the objective the PCCS-guided scheduler
+/// minimizes across candidate placements.
+pub fn total_slowdown(models: &[&dyn SlowdownModel], demands: &[f64]) -> f64 {
+    predict_corun(models, demands)
+        .into_iter()
+        .map(|rs| if rs <= 0.0 { f64::INFINITY } else { 100.0 / rs })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::PccsModel;
+
+    fn models() -> (PccsModel, PccsModel, PccsModel) {
+        (
+            PccsModel::xavier_cpu_paper(),
+            PccsModel::xavier_gpu_paper(),
+            PccsModel::xavier_dla_paper(),
+        )
+    }
+
+    #[test]
+    fn uncontended_system_has_no_slowdown() {
+        let (cpu, gpu, _) = models();
+        let rs = predict_corun(&[&cpu, &gpu], &[10.0, 0.0]);
+        assert!(rs[0] > 99.0);
+        let total = total_slowdown(&[&cpu, &gpu], &[5.0, 0.0]);
+        assert!((total - 2.0).abs() < 0.05, "got {total}");
+    }
+
+    #[test]
+    fn each_entry_sees_the_others_as_pressure() {
+        let (cpu, gpu, dla) = models();
+        let rs = predict_corun(&[&cpu, &gpu, &dla], &[50.0, 70.0, 25.0]);
+        // Direct check against the per-model predictions.
+        assert!((rs[0] - cpu.predict(50.0, 95.0)).abs() < 1e-9);
+        assert!((rs[1] - gpu.predict(70.0, 75.0)).abs() < 1e-9);
+        assert!((rs[2] - dla.predict(25.0, 120.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn heavier_coruns_score_worse() {
+        let (cpu, gpu, _) = models();
+        let light = total_slowdown(&[&cpu, &gpu], &[20.0, 20.0]);
+        let heavy = total_slowdown(&[&cpu, &gpu], &[70.0, 90.0]);
+        assert!(heavy > light);
+    }
+
+    #[test]
+    #[should_panic(expected = "one model per resident")]
+    fn mismatched_lengths_panic() {
+        let (cpu, _, _) = models();
+        predict_corun(&[&cpu], &[1.0, 2.0]);
+    }
+}

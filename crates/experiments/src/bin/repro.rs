@@ -4,7 +4,7 @@
 //! ```text
 //! repro [--quick] [--curves] [--json <dir>]
 //!       [all | fig2 fig3 fig5 fig6 table5 table7 fig8 fig9 fig10 fig11
-//!        fig12 fig13 fig14 table9 table10]
+//!        fig12 fig13 fig14 table9 table10 oblivious sched]
 //! ```
 //!
 //! With no experiment arguments, everything runs. `--quick` trades
@@ -18,7 +18,8 @@
 use pccs_experiments::context::{Context, Quality};
 use pccs_experiments::validate::Figure;
 use pccs_experiments::{
-    fig13, fig14, fig2, fig3, fig5, fig6, oblivious, table10, table5, table7, table9, validate,
+    fig13, fig14, fig2, fig3, fig5, fig6, oblivious, sched_study, table10, table5, table7, table9,
+    validate,
 };
 use pccs_telemetry::{export, RunManifest, TraceLog};
 use serde_json::{Number, Value};
@@ -42,6 +43,7 @@ const ALL: &[&str] = &[
     "table9",
     "table10",
     "oblivious",
+    "sched",
 ];
 
 fn main() {
@@ -112,7 +114,7 @@ fn main() {
         let (report, json) = match name.as_str() {
             "fig2" => jsonify(fig2::run(&mut ctx), fig2::Fig2::format),
             "fig3" => jsonify(fig3::run(&mut ctx), fig3::Fig3::format),
-            "fig5" => jsonify(fig5::run(&ctx), fig5::Fig5::format),
+            "fig5" => jsonify(Ok(fig5::run(&ctx)), fig5::Fig5::format),
             "fig6" => jsonify(fig6::run(&mut ctx), fig6::Fig6::format),
             "table5" => jsonify(table5::run(&mut ctx), table5::Table5::format),
             "table7" => jsonify(table7::run(&mut ctx), table7::Table7::format),
@@ -126,6 +128,7 @@ fn main() {
             "table9" => jsonify(table9::run(&mut ctx), table9::Table9::format),
             "table10" => jsonify(table10::run(&mut ctx), table10::Table10::format),
             "oblivious" => jsonify(oblivious::run(&mut ctx), oblivious::Oblivious::format),
+            "sched" => jsonify(sched_study::run(&mut ctx), sched_study::SchedStudy::format),
             _ => unreachable!("validated above"),
         };
         println!("{report}");
@@ -159,15 +162,26 @@ fn main() {
     println!("total: {:.1?}", t0.elapsed());
 }
 
-/// Formats a result and serializes it to a JSON value in one pass.
-fn jsonify<T: serde::Serialize>(value: T, fmt: impl Fn(&T) -> String) -> (String, Value) {
+/// Formats a result and serializes it to a JSON value in one pass; a typed
+/// experiment failure prints its one-line diagnosis and exits.
+fn jsonify<T: serde::Serialize>(
+    value: pccs_experiments::error::Result<T>,
+    fmt: impl Fn(&T) -> String,
+) -> (String, Value) {
+    let value = value.unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
     let report = fmt(&value);
     let json = serde_json::to_value(&value).expect("results serialize");
     (report, json)
 }
 
 fn json_validation(ctx: &mut Context, figure: Figure, verbose: bool) -> (String, Value) {
-    let v = validate::run(ctx, figure);
+    let v = validate::run(ctx, figure).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
     let report = if verbose {
         format!("{}{}", v.format(), v.format_curves())
     } else {

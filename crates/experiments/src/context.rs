@@ -2,6 +2,7 @@
 //! of constructed PCCS models (construction is the expensive step, and
 //! several experiments share the same models).
 
+use crate::error::ExperimentError;
 use pccs_core::{CalibrationData, PccsModel};
 use pccs_gables::GablesModel;
 use pccs_soc::corun::{CoRunSim, Placement, StandaloneProfile};
@@ -68,13 +69,35 @@ impl Context {
         }
     }
 
+    /// The index of the PU named `name` on `soc`, as a typed error instead
+    /// of a panic when the preset lacks it (e.g. asking the Snapdragon for
+    /// a DLA). Every experiment resolves its PU names through this.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExperimentError::MissingPu`] naming the SoC, the missing
+    /// PU, and the PUs that do exist.
+    pub fn require_pu(soc: &SocConfig, name: &str) -> Result<usize, ExperimentError> {
+        soc.pu_index(name)
+            .ok_or_else(|| ExperimentError::MissingPu {
+                soc: soc.name.clone(),
+                pu: name.to_owned(),
+                available: soc.pus.iter().map(|pu| pu.name.clone()).collect(),
+            })
+    }
+
     /// The paper's pressure-PU convention: "For the CPU model, we create
     /// the external pressure using the GPU; for the GPU and DLA models, we
     /// create the external pressure using the CPU" (§4.1.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the SoC lacks a CPU or GPU — every bundled preset has
+    /// both.
     pub fn pressure_pu_for(soc: &SocConfig, target_pu: usize) -> usize {
-        let cpu = soc.pu_index("CPU").expect("SoC has a CPU");
+        let cpu = Self::require_pu(soc, "CPU").unwrap_or_else(|e| panic!("{e}"));
         if target_pu == cpu {
-            soc.pu_index("GPU").expect("SoC has a GPU")
+            Self::require_pu(soc, "GPU").unwrap_or_else(|e| panic!("{e}"))
         } else {
             cpu
         }

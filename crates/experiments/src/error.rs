@@ -1,0 +1,80 @@
+//! Typed failures of the experiment harness.
+//!
+//! The experiments drive the simulators with *named* resources — PUs
+//! looked up by name on a `SocConfig`, mixes and policies looked up by
+//! name in `pccs-sched`. A misspelled or missing name used to panic deep
+//! inside an experiment; it now surfaces as an [`ExperimentError`] that the
+//! `repro` binary prints as a one-line diagnosis.
+
+use std::fmt;
+
+/// A failure preparing or running an experiment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExperimentError {
+    /// A PU name was not found on the SoC preset (e.g. asking the
+    /// Snapdragon 855 for its DLA).
+    MissingPu {
+        /// The SoC searched.
+        soc: String,
+        /// The PU name requested.
+        pu: String,
+        /// The names the SoC does have.
+        available: Vec<String>,
+    },
+    /// A named scheduling mix does not exist.
+    UnknownMix {
+        /// The mix requested.
+        mix: String,
+        /// The bundled mix names.
+        available: Vec<String>,
+    },
+    /// A named scheduling policy does not exist.
+    UnknownPolicy {
+        /// The policy requested.
+        policy: String,
+    },
+}
+
+impl fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::MissingPu { soc, pu, available } => write!(
+                f,
+                "SoC '{soc}' has no PU named '{pu}' (available: {})",
+                available.join(", ")
+            ),
+            Self::UnknownMix { mix, available } => write!(
+                f,
+                "unknown scheduling mix '{mix}' (available: {})",
+                available.join(", ")
+            ),
+            Self::UnknownPolicy { policy } => write!(
+                f,
+                "unknown scheduling policy '{policy}' (available: round-robin, greedy, pccs, oracle)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ExperimentError {}
+
+/// Shorthand result for experiment `run` functions.
+pub type Result<T> = std::result::Result<T, ExperimentError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_missing_resource() {
+        let e = ExperimentError::MissingPu {
+            soc: "Snapdragon 855".into(),
+            pu: "DLA".into(),
+            available: vec!["CPU".into(), "GPU".into()],
+        };
+        let text = e.to_string();
+        assert!(text.contains("Snapdragon 855"));
+        assert!(text.contains("DLA"));
+        assert!(text.contains("CPU, GPU"));
+    }
+}

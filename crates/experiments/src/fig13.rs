@@ -4,6 +4,7 @@
 //! (19.4 % error) while the piecewise prediction tracks it (4.6 %).
 
 use crate::context::Context;
+use crate::error::Result;
 use crate::table::TextTable;
 use pccs_core::PhasedWorkload;
 use pccs_soc::pu::PuKind;
@@ -22,9 +23,13 @@ pub struct Fig13 {
 /// Runs CFD on the Xavier GPU: simulate each phase under pressure, combine
 /// by standalone time share for the "actual", and compare both prediction
 /// styles.
-pub fn run(ctx: &mut Context) -> Fig13 {
+///
+/// # Errors
+///
+/// Fails if a requested PU is missing from the SoC preset.
+pub fn run(ctx: &mut Context) -> Result<Fig13> {
     let soc = ctx.xavier.clone();
-    let gpu = soc.pu_index("GPU").expect("GPU");
+    let gpu = Context::require_pu(&soc, "GPU")?;
     let model = ctx.pccs_model(&soc, gpu);
     let kernels = RodiniaBenchmark::cfd_phase_kernels(PuKind::Gpu);
     let weights = RodiniaBenchmark::cfd_phase_weights();
@@ -60,10 +65,10 @@ pub fn run(ctx: &mut Context) -> Fig13 {
         points.push((y, actual, averaged, piecewise));
     }
 
-    Fig13 {
+    Ok(Fig13 {
         phase_demands: [demands[0], demands[1], demands[2], demands[3]],
         points,
-    }
+    })
 }
 
 impl Fig13 {
@@ -122,7 +127,7 @@ mod tests {
     #[test]
     fn fig13_runs_and_k1_demands_most() {
         let mut ctx = Context::new(Quality::Quick);
-        let fig = run(&mut ctx);
+        let fig = run(&mut ctx).expect("experiment runs");
         assert!(fig.phase_demands[0] > fig.phase_demands[1]);
         assert!(!fig.points.is_empty());
         assert!(fig.format().contains("Figure 13"));

@@ -5,6 +5,7 @@
 //! against Gables' 13.4 % / 30.3 % / 20.6 %.
 
 use crate::context::Context;
+use crate::error::Result;
 use crate::table::TextTable;
 use pccs_core::SlowdownModel;
 use pccs_soc::corun::{CoRunSim, Placement};
@@ -48,11 +49,15 @@ pub struct Fig14 {
 }
 
 /// Runs the co-run study on Xavier.
-pub fn run(ctx: &mut Context) -> Fig14 {
+///
+/// # Errors
+///
+/// Fails if a requested PU is missing from the SoC preset.
+pub fn run(ctx: &mut Context) -> Result<Fig14> {
     let soc = ctx.xavier.clone();
-    let cpu = soc.pu_index("CPU").expect("CPU");
-    let gpu = soc.pu_index("GPU").expect("GPU");
-    let dla = soc.pu_index("DLA").expect("DLA");
+    let cpu = Context::require_pu(&soc, "CPU")?;
+    let gpu = Context::require_pu(&soc, "GPU")?;
+    let dla = Context::require_pu(&soc, "DLA")?;
     let models = [
         (cpu, ctx.pccs_model(&soc, cpu)),
         (gpu, ctx.pccs_model(&soc, gpu)),
@@ -118,7 +123,7 @@ pub fn run(ctx: &mut Context) -> Fig14 {
         }
         mixes.push(MixResult { id: mix.id, per_pu });
     }
-    Fig14 { mixes }
+    Ok(Fig14 { mixes })
 }
 
 impl Fig14 {
@@ -196,7 +201,7 @@ mod tests {
     #[test]
     fn fig14_quick_covers_three_pus_per_mix() {
         let mut ctx = Context::new(Quality::Quick);
-        let fig = run(&mut ctx);
+        let fig = run(&mut ctx).expect("experiment runs");
         assert_eq!(fig.mixes.len(), 3);
         for m in &fig.mixes {
             assert_eq!(m.per_pu.len(), 3);

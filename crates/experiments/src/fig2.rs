@@ -8,6 +8,7 @@
 //! is the empirical motivation for PCCS.
 
 use crate::context::Context;
+use crate::error::Result;
 use crate::table::TextTable;
 use pccs_soc::corun::{CoRunSim, Placement};
 use pccs_workloads::calibrate::calibrator_kernel;
@@ -34,7 +35,11 @@ pub struct Fig2 {
 }
 
 /// Runs the experiment.
-pub fn run(ctx: &mut Context) -> Fig2 {
+///
+/// # Errors
+///
+/// Fails if a requested PU is missing from the SoC preset.
+pub fn run(ctx: &mut Context) -> Result<Fig2> {
     let soc = ctx.xavier.clone();
     let peak = soc.peak_bw_gbps();
     // Paper's requested levels, scaled by what each PU can actually demand.
@@ -43,7 +48,7 @@ pub fn run(ctx: &mut Context) -> Fig2 {
 
     let mut curves = Vec::new();
     for (pu_name, requested) in setups {
-        let pu = soc.pu_index(pu_name).expect("Xavier PU");
+        let pu = Context::require_pu(&soc, pu_name)?;
         let pressure_pu = Context::pressure_pu_for(&soc, pu);
         let kernel = calibrator_kernel(&soc, pu, requested);
         let standalone = ctx.standalone(&soc, pu, &kernel);
@@ -63,10 +68,10 @@ pub fn run(ctx: &mut Context) -> Fig2 {
             points,
         });
     }
-    Fig2 {
+    Ok(Fig2 {
         curves,
         peak_gbps: peak,
-    }
+    })
 }
 
 impl Fig2 {
@@ -111,7 +116,7 @@ mod tests {
     #[test]
     fn fig2_quick_run_has_three_curves() {
         let mut ctx = Context::new(Quality::Quick);
-        let fig = run(&mut ctx);
+        let fig = run(&mut ctx).expect("experiment runs");
         assert_eq!(fig.curves.len(), 3);
         for c in &fig.curves {
             assert_eq!(c.points.len(), ctx.external_grid(&ctx.xavier.clone()).len());

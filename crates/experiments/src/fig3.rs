@@ -5,6 +5,7 @@
 //! high-demand kernels drop immediately then flatten.
 
 use crate::context::Context;
+use crate::error::Result;
 use crate::table::TextTable;
 use pccs_soc::corun::{CoRunSim, Placement};
 use pccs_workloads::calibrate::calibrator_kernel;
@@ -30,10 +31,14 @@ pub struct Fig3 {
 
 /// Runs the sweep on the Xavier GPU (the paper uses the GPU and CPU; the
 /// GPU exhibits all three classes).
-pub fn run(ctx: &mut Context) -> Fig3 {
+///
+/// # Errors
+///
+/// Fails if a requested PU is missing from the SoC preset.
+pub fn run(ctx: &mut Context) -> Result<Fig3> {
     let soc = ctx.xavier.clone();
-    let gpu = soc.pu_index("GPU").expect("GPU");
-    let cpu = soc.pu_index("CPU").expect("CPU");
+    let gpu = Context::require_pu(&soc, "GPU")?;
+    let cpu = Context::require_pu(&soc, "CPU")?;
     let demands: Vec<f64> = match ctx.quality {
         crate::context::Quality::Quick => vec![10.0, 50.0, 100.0],
         crate::context::Quality::Full => (1..=10).map(|i| i as f64 * 10.0).collect(),
@@ -59,7 +64,7 @@ pub fn run(ctx: &mut Context) -> Fig3 {
             points,
         });
     }
-    Fig3 { curves }
+    Ok(Fig3 { curves })
 }
 
 impl Fig3 {
@@ -103,7 +108,7 @@ mod tests {
     #[test]
     fn fig3_classes_are_ordered() {
         let mut ctx = Context::new(Quality::Quick);
-        let fig = run(&mut ctx);
+        let fig = run(&mut ctx).expect("experiment runs");
         assert_eq!(fig.curves.len(), 3);
         assert!(
             fig.low_class_mean_rs() > fig.high_class_mean_rs(),

@@ -2,6 +2,7 @@
 //! from a constructed model — one predicted curve per region.
 
 use crate::context::Context;
+use crate::error::Result;
 use crate::table::TextTable;
 use pccs_core::{PccsModel, Region};
 use serde::{Deserialize, Serialize};
@@ -20,9 +21,13 @@ pub struct Fig6 {
 }
 
 /// Builds the chart data from the constructed Xavier GPU model.
-pub fn run(ctx: &mut Context) -> Fig6 {
+///
+/// # Errors
+///
+/// Fails if a requested PU is missing from the SoC preset.
+pub fn run(ctx: &mut Context) -> Result<Fig6> {
     let soc = ctx.xavier.clone();
-    let gpu = soc.pu_index("GPU").expect("GPU");
+    let gpu = Context::require_pu(&soc, "GPU")?;
     let model = ctx.pccs_model(&soc, gpu);
 
     // A representative demand inside each region.
@@ -39,7 +44,7 @@ pub fn run(ctx: &mut Context) -> Fig6 {
             (region, x, pts)
         })
         .collect();
-    Fig6 { model, curves }
+    Ok(Fig6 { model, curves })
 }
 
 impl Fig6 {
@@ -78,7 +83,7 @@ mod tests {
     #[test]
     fn fig6_regions_order_correctly() {
         let mut ctx = Context::new(Quality::Quick);
-        let fig = run(&mut ctx);
+        let fig = run(&mut ctx).expect("experiment runs");
         assert_eq!(fig.curves.len(), 3);
         // At max pressure the minor curve must end above the intensive one.
         let end_rs = |i: usize| fig.curves[i].2.last().unwrap().1;

@@ -16,12 +16,14 @@
 //! | [`table9`] | Table 9 + Fig. 15 — GPU frequency selection use case |
 //! | [`table10`] | Table 10 — related-work model comparison (accuracy × cost) |
 //! | [`oblivious`] | §3.2 — source-obliviousness validation |
+//! | [`sched_study`] | scheduling runtime — placement policies on job mixes (`pccs-sched`) |
 //!
 //! All experiments run against the simulated SoCs of `pccs-soc` (see
 //! DESIGN.md for the hardware-substitution rationale). The `repro` binary
 //! drives them: `repro --quick fig3 table7`, or `repro all`.
 
 pub mod context;
+pub mod error;
 pub mod fig13;
 pub mod fig14;
 pub mod fig2;
@@ -29,6 +31,7 @@ pub mod fig3;
 pub mod fig5;
 pub mod fig6;
 pub mod oblivious;
+pub mod sched_study;
 pub mod table;
 pub mod table10;
 pub mod table5;
@@ -37,4 +40,5 @@ pub mod table9;
 pub mod validate;
 
 pub use context::{Context, Quality};
+pub use error::ExperimentError;
 pub use table::TextTable;

@@ -13,6 +13,7 @@
 //! alone, (b) the CPU and DLA in equal halves, and (c) a DLA-weighted mix.
 
 use crate::context::Context;
+use crate::error::Result;
 use crate::table::TextTable;
 use pccs_soc::corun::{CoRunSim, Placement};
 use pccs_workloads::calibrate::calibrator_kernel;
@@ -38,11 +39,15 @@ pub struct Oblivious {
 }
 
 /// Runs the validation on the Xavier GPU.
-pub fn run(ctx: &mut Context) -> Oblivious {
+///
+/// # Errors
+///
+/// Fails if a requested PU is missing from the SoC preset.
+pub fn run(ctx: &mut Context) -> Result<Oblivious> {
     let soc = ctx.xavier.clone();
-    let gpu = soc.pu_index("GPU").expect("GPU");
-    let cpu = soc.pu_index("CPU").expect("CPU");
-    let dla = soc.pu_index("DLA").expect("DLA");
+    let gpu = Context::require_pu(&soc, "GPU")?;
+    let cpu = Context::require_pu(&soc, "CPU")?;
+    let dla = Context::require_pu(&soc, "DLA")?;
 
     let kernel = calibrator_kernel(&soc, gpu, 80.0);
     let standalone = ctx.standalone(&soc, gpu, &kernel);
@@ -86,10 +91,10 @@ pub fn run(ctx: &mut Context) -> Oblivious {
         levels.push((total, points));
     }
 
-    Oblivious {
+    Ok(Oblivious {
         victim_demand_gbps: standalone.bw_gbps,
         levels,
-    }
+    })
 }
 
 impl Oblivious {
@@ -134,7 +139,7 @@ mod tests {
     #[test]
     fn oblivious_quick_runs_three_compositions() {
         let mut ctx = Context::new(Quality::Quick);
-        let o = run(&mut ctx);
+        let o = run(&mut ctx).expect("experiment runs");
         assert_eq!(o.levels.len(), 1);
         assert_eq!(o.levels[0].1.len(), 3);
         // The methodological assumption: composition changes the victim's

@@ -13,6 +13,7 @@
 //!   Gables need none.
 
 use crate::context::Context;
+use crate::error::Result;
 use crate::table::TextTable;
 use pccs_baselines::esp::CorunSample;
 use pccs_baselines::{BubbleUp, CorunTable, EspRegression};
@@ -48,9 +49,13 @@ pub struct Table10 {
 /// Training/curve pressures use the *even* grid points; evaluation uses the
 /// *odd* ones, so the empirical baselines never see the exact evaluation
 /// pressures.
-pub fn run(ctx: &mut Context) -> Table10 {
+///
+/// # Errors
+///
+/// Fails if a requested PU is missing from the SoC preset.
+pub fn run(ctx: &mut Context) -> Result<Table10> {
     let soc = ctx.xavier.clone();
-    let gpu = soc.pu_index("GPU").expect("GPU");
+    let gpu = Context::require_pu(&soc, "GPU")?;
     let pccs = ctx.pccs_model(&soc, gpu);
     let gables = ctx.gables(&soc);
     let peak = soc.peak_bw_gbps();
@@ -227,10 +232,10 @@ pub fn run(ctx: &mut Context) -> Table10 {
         });
     }
 
-    Table10 {
+    Ok(Table10 {
         benchmarks: data.into_iter().map(|d| d.name).collect(),
         rows,
-    }
+    })
 }
 
 impl Table10 {
@@ -273,7 +278,7 @@ mod tests {
     #[test]
     fn table10_quick_produces_five_models() {
         let mut ctx = Context::new(Quality::Quick);
-        let t = run(&mut ctx);
+        let t = run(&mut ctx).expect("experiment runs");
         assert_eq!(t.rows.len(), 5);
         // Only the design-time models report zero per-app measurements.
         assert_eq!(t.row("PCCS").app_corun_measurements, 0);

@@ -7,6 +7,7 @@
 //! below 3 %.
 
 use crate::context::Context;
+use crate::error::Result;
 use crate::table::TextTable;
 use pccs_core::PccsModel;
 use pccs_workloads::calibrate::build_model;
@@ -40,10 +41,14 @@ fn rel_err_pct(scaled: f64, rebuilt: f64, scale_ref: f64) -> f64 {
 }
 
 /// Runs the scaling study on the Xavier GPU model.
-pub fn run(ctx: &mut Context) -> Table5 {
+///
+/// # Errors
+///
+/// Fails if a requested PU is missing from the SoC preset.
+pub fn run(ctx: &mut Context) -> Result<Table5> {
     let soc = ctx.xavier.clone();
-    let gpu = soc.pu_index("GPU").expect("GPU");
-    let cpu = soc.pu_index("CPU").expect("CPU");
+    let gpu = Context::require_pu(&soc, "GPU")?;
+    let cpu = Context::require_pu(&soc, "CPU")?;
     let nominal = ctx.pccs_model(&soc, gpu);
 
     // Paper ratios: 1066, 1333, 1600 MHz over the nominal 2133 MHz.
@@ -93,7 +98,7 @@ pub fn run(ctx: &mut Context) -> Table5 {
             avg_error_pct: avg,
         });
     }
-    Table5 { ratios, rows }
+    Ok(Table5 { ratios, rows })
 }
 
 impl Table5 {
@@ -131,7 +136,7 @@ mod tests {
     #[test]
     fn table5_quick_produces_all_parameters() {
         let mut ctx = Context::new(Quality::Quick);
-        let t = run(&mut ctx);
+        let t = run(&mut ctx).expect("experiment runs");
         assert_eq!(t.rows.len(), 7);
         assert_eq!(t.ratios.len(), 1);
         for row in &t.rows {

@@ -8,6 +8,7 @@
 //! (`Normal BW = 0`, `MRMC = NA`).
 
 use crate::context::Context;
+use crate::error::Result;
 use crate::table::TextTable;
 use pccs_core::PccsModel;
 use serde::{Deserialize, Serialize};
@@ -31,11 +32,15 @@ pub struct Table7 {
 }
 
 /// Constructs all five models (cached in the context).
-pub fn run(ctx: &mut Context) -> Table7 {
+///
+/// # Errors
+///
+/// Fails if a requested PU is missing from the SoC preset.
+pub fn run(ctx: &mut Context) -> Result<Table7> {
     let mut rows = Vec::new();
     let xavier = ctx.xavier.clone();
     for pu_name in ["CPU", "GPU", "DLA"] {
-        let pu = xavier.pu_index(pu_name).expect("Xavier PU");
+        let pu = Context::require_pu(&xavier, pu_name)?;
         rows.push(PuParameters {
             soc: "Xavier".to_owned(),
             pu: pu_name.to_owned(),
@@ -44,14 +49,14 @@ pub fn run(ctx: &mut Context) -> Table7 {
     }
     let snapdragon = ctx.snapdragon.clone();
     for pu_name in ["CPU", "GPU"] {
-        let pu = snapdragon.pu_index(pu_name).expect("Snapdragon PU");
+        let pu = Context::require_pu(&snapdragon, pu_name)?;
         rows.push(PuParameters {
             soc: "Snapdragon".to_owned(),
             pu: pu_name.to_owned(),
             model: ctx.pccs_model(&snapdragon, pu),
         });
     }
-    Table7 { rows }
+    Ok(Table7 { rows })
 }
 
 impl Table7 {
@@ -104,7 +109,7 @@ mod tests {
     #[test]
     fn table7_constructs_five_models() {
         let mut ctx = Context::new(Quality::Quick);
-        let t = run(&mut ctx);
+        let t = run(&mut ctx).expect("experiment runs");
         assert_eq!(t.rows.len(), 5);
         // PU-specific parameters must differ within one SoC (the
         // processor-centric claim).

@@ -7,6 +7,7 @@
 //! PCCS tracks the ground truth within a few percent.
 
 use crate::context::Context;
+use crate::error::Result;
 use crate::table::TextTable;
 use pccs_dse::freq::{ground_truth_frequency, profile_frequencies, select_frequency};
 use pccs_soc::pu::PuKind;
@@ -51,10 +52,14 @@ pub struct Table9 {
 }
 
 /// Runs the use case: streamcluster on the Xavier GPU.
-pub fn run(ctx: &mut Context) -> Table9 {
+///
+/// # Errors
+///
+/// Fails if a requested PU is missing from the SoC preset.
+pub fn run(ctx: &mut Context) -> Result<Table9> {
     let soc = ctx.xavier.clone();
-    let gpu = soc.pu_index("GPU").expect("GPU");
-    let cpu = soc.pu_index("CPU").expect("CPU");
+    let gpu = Context::require_pu(&soc, "GPU")?;
+    let cpu = Context::require_pu(&soc, "CPU")?;
     let kernel = RodiniaBenchmark::Streamcluster.kernel(PuKind::Gpu);
     let pccs = ctx.pccs_model(&soc, gpu);
     let gables = ctx.gables(&soc);
@@ -125,10 +130,10 @@ pub fn run(ctx: &mut Context) -> Table9 {
         fig15_curves.push((f, curve));
     }
 
-    Table9 {
+    Ok(Table9 {
         cells,
         fig15_curves,
-    }
+    })
 }
 
 impl Table9 {
@@ -216,7 +221,7 @@ mod tests {
     #[test]
     fn table9_quick_produces_six_cells() {
         let mut ctx = Context::new(Quality::Quick);
-        let t = run(&mut ctx);
+        let t = run(&mut ctx).expect("experiment runs");
         assert_eq!(t.cells.len(), 6);
         for c in &t.cells {
             assert!(c.truth_mhz > 0.0 && c.pccs_mhz > 0.0 && c.gables_mhz > 0.0);

@@ -9,6 +9,7 @@
 //! * Fig. 12 — DNN inference on the Xavier DLA
 
 use crate::context::Context;
+use crate::error::Result;
 use crate::table::TextTable;
 use pccs_core::SlowdownModel;
 use pccs_soc::kernel::KernelDesc;
@@ -152,9 +153,13 @@ pub struct Validation {
 }
 
 /// Runs one validation figure.
-pub fn run(ctx: &mut Context, figure: Figure) -> Validation {
+///
+/// # Errors
+///
+/// Fails if the figure's PU is missing from the SoC preset.
+pub fn run(ctx: &mut Context, figure: Figure) -> Result<Validation> {
     let soc = figure.soc(ctx);
-    let pu = soc.pu_index(figure.pu_name()).expect("PU exists");
+    let pu = Context::require_pu(&soc, figure.pu_name())?;
     let pccs = ctx.pccs_model(&soc, pu);
     let gables = ctx.gables(&soc);
     let grid = ctx.external_grid(&soc);
@@ -182,7 +187,7 @@ pub fn run(ctx: &mut Context, figure: Figure) -> Validation {
             points,
         }
     });
-    Validation { figure, benches }
+    Ok(Validation { figure, benches })
 }
 
 impl Validation {
@@ -269,7 +274,7 @@ mod tests {
     #[test]
     fn dla_validation_runs_quick() {
         let mut ctx = Context::new(Quality::Quick);
-        let v = run(&mut ctx, Figure::XavierDla);
+        let v = run(&mut ctx, Figure::XavierDla).expect("experiment runs");
         assert_eq!(v.benches.len(), 3);
         for b in &v.benches {
             assert!(b.demand_gbps > 0.0);

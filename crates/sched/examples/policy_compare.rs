@@ -1,0 +1,45 @@
+//! Prints makespan / mean-RS / misses for every bundled policy on every
+//! bundled mix — the working view used to tune mix compositions.
+//!
+//! ```text
+//! cargo run -p pccs-sched --example policy_compare [--quick] [mix ...]
+//! ```
+
+use pccs_sched::engine::{run_schedule, SchedConfig};
+use pccs_sched::{all_policies, mixes};
+use pccs_soc::soc::SocConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let wanted: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let cfg = if quick {
+        SchedConfig::quick()
+    } else {
+        SchedConfig::default()
+    };
+    for soc in [SocConfig::xavier(), SocConfig::snapdragon855()] {
+        for mix in mixes::all() {
+            if !wanted.is_empty() && !wanted.iter().any(|w| **w == mix.name) {
+                continue;
+            }
+            println!("== {} / {} ==", soc.name, mix.name);
+            for mut policy in all_policies(&soc) {
+                let report = run_schedule(&soc, &mix.name, &mix.jobs, policy.as_mut(), &cfg);
+                let placements: Vec<String> = report
+                    .jobs
+                    .iter()
+                    .map(|j| format!("{}@{}", j.name, j.pu))
+                    .collect();
+                println!(
+                    "  {:12} makespan {:>12.0}  mean-RS {:6.1}%  misses {}  [{}]",
+                    report.policy,
+                    report.makespan,
+                    report.mean_rs_pct(),
+                    report.deadline_misses(),
+                    placements.join(", ")
+                );
+            }
+        }
+    }
+}

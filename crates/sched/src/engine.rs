@@ -1,0 +1,572 @@
+//! The scheduling engine: replays a job stream against the co-run
+//! simulator under a placement policy.
+//!
+//! Execution is quasi-static: placements are fixed between scheduling
+//! events (arrivals, phase boundaries, completions), so the engine probes
+//! the co-run simulator once per event for the sustained work rate of every
+//! resident PU and advances time analytically to the next event. All rate
+//! probes go through a shared cache keyed by the placement set, which is
+//! what makes the oracle policy affordable: its candidate probes and the
+//! engine's own measurements share the same simulations.
+
+use crate::job::Job;
+use crate::policy::{
+    DecisionInput, PendingJob, PhaseEstimate, PlacementOption, Policy, Probe, PuSlot, Resident,
+};
+use crate::report::{DecisionRecord, JobOutcome, ScheduleReport};
+use pccs_soc::corun::{CoRunConfig, CoRunSim, Placement};
+use pccs_soc::kernel::KernelDesc;
+use pccs_soc::soc::SocConfig;
+use pccs_telemetry::TraceLog;
+use std::collections::{BTreeMap, HashMap};
+
+/// Floor for measured rates, lines per cycle.
+const MIN_RATE: f64 = 1e-9;
+
+/// Work below this many lines counts as finished.
+const WORK_EPSILON: f64 = 1e-6;
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct SchedConfig {
+    /// Measurement configuration of the rate probes (short horizons keep
+    /// decisions cheap; the cache keeps them from repeating).
+    pub probe: CoRunConfig,
+    /// Upper bound on scheduling events before the engine declares a
+    /// livelock (defensive; never reached by the bundled policies).
+    pub max_steps: usize,
+}
+
+impl Default for SchedConfig {
+    fn default() -> Self {
+        Self {
+            probe: CoRunConfig::probe(),
+            max_steps: 100_000,
+        }
+    }
+}
+
+impl SchedConfig {
+    /// A faster preset for tests and smoke runs: shorter probe horizon.
+    pub fn quick() -> Self {
+        Self {
+            probe: CoRunConfig::probe().with_horizon(8_000),
+            ..Self::default()
+        }
+    }
+}
+
+/// The engine's probe: co-run rate measurements through [`CoRunSim`],
+/// cached by placement set.
+#[derive(Debug)]
+pub struct SimProbe<'a> {
+    soc: &'a SocConfig,
+    config: CoRunConfig,
+    corun_cache: HashMap<String, BTreeMap<usize, f64>>,
+    standalone_cache: HashMap<String, (f64, f64)>,
+}
+
+impl<'a> SimProbe<'a> {
+    /// A probe against `soc` at the given measurement fidelity.
+    pub fn new(soc: &'a SocConfig, config: CoRunConfig) -> Self {
+        Self {
+            soc,
+            config,
+            corun_cache: HashMap::new(),
+            standalone_cache: HashMap::new(),
+        }
+    }
+
+    fn kernel_sig(kernel: &KernelDesc) -> String {
+        format!(
+            "{}|{:.5}|{:.4}|{:.4}|{:.4}",
+            kernel.name,
+            kernel.ops_per_byte,
+            kernel.row_locality,
+            kernel.write_fraction,
+            kernel.parallel_efficiency
+        )
+    }
+
+    /// Standalone (work rate in lines/cycle, bandwidth demand in GB/s) of
+    /// `kernel` on PU `pu_idx`; cached.
+    pub fn standalone(&mut self, pu_idx: usize, kernel: &KernelDesc) -> (f64, f64) {
+        let key = format!("{pu_idx}@{}", Self::kernel_sig(kernel));
+        if let Some(hit) = self.standalone_cache.get(&key) {
+            return *hit;
+        }
+        let profile = CoRunSim::standalone_with(self.soc, pu_idx, kernel, &self.config);
+        let result = (profile.lines_per_cycle, profile.bw_gbps);
+        self.standalone_cache.insert(key, result);
+        result
+    }
+}
+
+impl Probe for SimProbe<'_> {
+    fn corun_rates(&mut self, placements: &[(usize, KernelDesc)]) -> BTreeMap<usize, f64> {
+        let mut parts: Vec<String> = placements
+            .iter()
+            .map(|(pu, k)| format!("{pu}@{}", Self::kernel_sig(k)))
+            .collect();
+        parts.sort_unstable();
+        let key = parts.join(";");
+        if let Some(hit) = self.corun_cache.get(&key) {
+            return hit.clone();
+        }
+        let mut sim = CoRunSim::with_config(self.soc, self.config.clone());
+        for (pu, kernel) in placements {
+            sim.place(Placement::kernel(*pu, kernel.clone()));
+        }
+        let out = sim.run_configured();
+        let rates: BTreeMap<usize, f64> = out
+            .per_pu
+            .iter()
+            .map(|(pu, r)| (*pu, r.lines_per_cycle))
+            .collect();
+        self.corun_cache.insert(key, rates.clone());
+        rates
+    }
+}
+
+/// A job in flight.
+#[derive(Debug)]
+struct Running {
+    job: Job,
+    pu_idx: usize,
+    phase: usize,
+    remaining_lines: f64,
+    start: f64,
+}
+
+impl Running {
+    fn kernel<'k>(&'k self, soc: &SocConfig) -> &'k KernelDesc {
+        self.job.phases[self.phase]
+            .kernel_for(soc.pus[self.pu_idx].kind)
+            .expect("placement was validated against eligibility")
+    }
+}
+
+/// Standalone execution time of `job` on PU `pu_idx`, summed over phases.
+fn standalone_cycles(probe: &mut SimProbe, soc: &SocConfig, job: &Job, pu_idx: usize) -> f64 {
+    job.phases
+        .iter()
+        .map(|ph| {
+            let kernel = ph
+                .kernel_for(soc.pus[pu_idx].kind)
+                .expect("caller checked eligibility");
+            let (rate, _) = probe.standalone(pu_idx, kernel);
+            ph.work_lines / rate.max(MIN_RATE)
+        })
+        .sum()
+}
+
+fn build_input(
+    probe: &mut SimProbe,
+    soc: &SocConfig,
+    now: f64,
+    queue: &[Job],
+    running: &[Running],
+) -> DecisionInput {
+    let slots: Vec<PuSlot> = soc
+        .pus
+        .iter()
+        .enumerate()
+        .map(|(pu_idx, pu)| {
+            let resident = running.iter().find(|r| r.pu_idx == pu_idx);
+            let est_free_in = resident.map_or(0.0, |r| {
+                let kernel = r.kernel(soc);
+                let (rate, _) = probe.standalone(pu_idx, kernel);
+                let mut left = r.remaining_lines / rate.max(MIN_RATE);
+                for ph in &r.job.phases[r.phase + 1..] {
+                    let k = ph
+                        .kernel_for(pu.kind)
+                        .expect("placement was validated against eligibility");
+                    let (rate, _) = probe.standalone(pu_idx, k);
+                    left += ph.work_lines / rate.max(MIN_RATE);
+                }
+                left
+            });
+            PuSlot {
+                pu_idx,
+                kind: pu.kind,
+                name: pu.name.clone(),
+                free: resident.is_none(),
+                est_free_in,
+            }
+        })
+        .collect();
+    let queue: Vec<PendingJob> = queue
+        .iter()
+        .map(|job| {
+            let options: Vec<PlacementOption> = soc
+                .pus
+                .iter()
+                .enumerate()
+                .filter(|(_, pu)| job.runs_on(pu.kind))
+                .map(|(pu_idx, pu)| {
+                    let phases: Vec<PhaseEstimate> = job
+                        .phases
+                        .iter()
+                        .map(|ph| {
+                            let kernel = ph.kernel_for(pu.kind).expect("runs_on checked").clone();
+                            let (rate, bw) = probe.standalone(pu_idx, &kernel);
+                            PhaseEstimate {
+                                kernel,
+                                work_lines: ph.work_lines,
+                                standalone_rate: rate,
+                                demand_gbps: bw,
+                            }
+                        })
+                        .collect();
+                    let standalone_cycles = phases
+                        .iter()
+                        .map(|p| p.work_lines / p.standalone_rate.max(MIN_RATE))
+                        .sum();
+                    PlacementOption {
+                        pu_idx,
+                        standalone_cycles,
+                        phases,
+                    }
+                })
+                .collect();
+            PendingJob {
+                job_id: job.id,
+                name: job.name.clone(),
+                arrival: job.arrival,
+                deadline: job.deadline,
+                priority: job.priority,
+                options,
+            }
+        })
+        .collect();
+    let residents: Vec<Resident> = running
+        .iter()
+        .map(|r| {
+            let kernel = r.kernel(soc).clone();
+            let (rate, bw) = probe.standalone(r.pu_idx, &kernel);
+            Resident {
+                pu_idx: r.pu_idx,
+                job_id: r.job.id,
+                kernel,
+                demand_gbps: bw,
+                standalone_rate: rate,
+                remaining_lines: r.remaining_lines,
+            }
+        })
+        .collect();
+    DecisionInput {
+        now,
+        slots,
+        queue,
+        residents,
+    }
+}
+
+/// Replays `jobs` on `soc` under `policy` and reports the schedule.
+///
+/// The engine guarantees progress: when a policy declines to place anything
+/// while the whole machine is idle, the longest-waiting job is placed on
+/// its fastest standalone PU (recorded with policy `"forced"`).
+///
+/// # Panics
+///
+/// Panics if `jobs` contain duplicate ids, if a job cannot run on any PU of
+/// `soc` (e.g. a DLA-only job on the Snapdragon preset), or if the engine
+/// exceeds [`SchedConfig::max_steps`] without finishing.
+pub fn run_schedule(
+    soc: &SocConfig,
+    mix_name: &str,
+    jobs: &[Job],
+    policy: &mut dyn Policy,
+    cfg: &SchedConfig,
+) -> ScheduleReport {
+    let mut ids: Vec<usize> = jobs.iter().map(|j| j.id).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), jobs.len(), "job ids must be unique");
+    for job in jobs {
+        assert!(
+            soc.pus.iter().any(|pu| job.runs_on(pu.kind)),
+            "job '{}' cannot run on any PU of {}",
+            job.name,
+            soc.name
+        );
+    }
+    let mut span = TraceLog::span("sched.run");
+    span.counter("jobs", jobs.len() as f64);
+
+    let mut probe = SimProbe::new(soc, cfg.probe.clone());
+    let mut arrivals: Vec<Job> = jobs.to_vec();
+    arrivals.sort_by_key(|j| (j.arrival, j.id));
+    let mut queue: Vec<Job> = Vec::new();
+    let mut running: Vec<Running> = Vec::new();
+    let mut outcomes: Vec<JobOutcome> = Vec::new();
+    let mut decisions: Vec<DecisionRecord> = Vec::new();
+    let mut now = 0.0_f64;
+    let mut steps = 0usize;
+
+    while !(arrivals.is_empty() && queue.is_empty() && running.is_empty()) {
+        steps += 1;
+        assert!(
+            steps <= cfg.max_steps,
+            "scheduler exceeded {} events without finishing (policy {})",
+            cfg.max_steps,
+            policy.name()
+        );
+        // Admit arrivals due by now.
+        while arrivals.first().is_some_and(|j| (j.arrival as f64) <= now) {
+            queue.push(arrivals.remove(0));
+        }
+        // Let the policy place onto free PUs.
+        let any_free = soc
+            .pus
+            .iter()
+            .enumerate()
+            .any(|(i, _)| running.iter().all(|r| r.pu_idx != i));
+        if !queue.is_empty() && any_free {
+            let input = build_input(&mut probe, soc, now, &queue, &running);
+            let assignments = policy.decide(&input, &mut probe);
+            let mut placed_any = false;
+            for a in assignments {
+                let Some(pos) = queue.iter().position(|j| j.id == a.job_id) else {
+                    continue; // unknown job; ignore
+                };
+                let pu_free = running.iter().all(|r| r.pu_idx != a.pu_idx);
+                let valid = a.pu_idx < soc.pus.len()
+                    && pu_free
+                    && queue[pos].runs_on(soc.pus[a.pu_idx].kind);
+                if !valid {
+                    continue; // policies may only place eligible jobs on free PUs
+                }
+                let job = queue.remove(pos);
+                decisions.push(DecisionRecord {
+                    at_cycle: now,
+                    policy: policy.name().to_owned(),
+                    job: job.name.clone(),
+                    job_id: job.id,
+                    pu: soc.pus[a.pu_idx].name.clone(),
+                    pu_idx: a.pu_idx,
+                    predicted_cost: a.predicted_cost,
+                    queue_depth: queue.len(),
+                });
+                let remaining_lines = job.phases[0].work_lines;
+                running.push(Running {
+                    job,
+                    pu_idx: a.pu_idx,
+                    phase: 0,
+                    remaining_lines,
+                    start: now,
+                });
+                placed_any = true;
+            }
+            // Progress guarantee: an idle machine with waiting work must
+            // run something.
+            if running.is_empty() && !placed_any && !queue.is_empty() {
+                let input = build_input(&mut probe, soc, now, &queue, &running);
+                let qi = input.service_order()[0];
+                let job_id = input.queue[qi].job_id;
+                let opt = input.queue[qi]
+                    .options
+                    .iter()
+                    .min_by(|a, b| a.standalone_cycles.total_cmp(&b.standalone_cycles))
+                    .expect("eligibility was validated up front");
+                let pu_idx = opt.pu_idx;
+                let cost = opt.standalone_cycles;
+                let pos = queue
+                    .iter()
+                    .position(|j| j.id == job_id)
+                    .expect("job is queued");
+                let job = queue.remove(pos);
+                decisions.push(DecisionRecord {
+                    at_cycle: now,
+                    policy: "forced".to_owned(),
+                    job: job.name.clone(),
+                    job_id: job.id,
+                    pu: soc.pus[pu_idx].name.clone(),
+                    pu_idx,
+                    predicted_cost: cost,
+                    queue_depth: queue.len(),
+                });
+                let remaining_lines = job.phases[0].work_lines;
+                running.push(Running {
+                    job,
+                    pu_idx,
+                    phase: 0,
+                    remaining_lines,
+                    start: now,
+                });
+            }
+        }
+        if running.is_empty() {
+            // Nothing to execute: jump to the next arrival.
+            match arrivals.first() {
+                Some(next) => now = now.max(next.arrival as f64),
+                None => break,
+            }
+            continue;
+        }
+        // Measure the sustained rates of the current placement.
+        let placements: Vec<(usize, KernelDesc)> = running
+            .iter()
+            .map(|r| (r.pu_idx, r.kernel(soc).clone()))
+            .collect();
+        let rates = probe.corun_rates(&placements);
+        // Advance to the next event: a phase/job completion or an arrival.
+        let mut dt = f64::INFINITY;
+        for r in &running {
+            let rate = rates.get(&r.pu_idx).copied().unwrap_or(0.0).max(MIN_RATE);
+            dt = dt.min(r.remaining_lines / rate);
+        }
+        if let Some(next) = arrivals.first() {
+            let until = next.arrival as f64 - now;
+            if until > 0.0 {
+                dt = dt.min(until);
+            }
+        }
+        now += dt;
+        let mut idx = 0;
+        while idx < running.len() {
+            let rate = rates
+                .get(&running[idx].pu_idx)
+                .copied()
+                .unwrap_or(0.0)
+                .max(MIN_RATE);
+            running[idx].remaining_lines -= rate * dt;
+            if running[idx].remaining_lines > WORK_EPSILON {
+                idx += 1;
+                continue;
+            }
+            // Phase boundary or completion.
+            let r = &mut running[idx];
+            if r.phase + 1 < r.job.phases.len() {
+                r.phase += 1;
+                r.remaining_lines = r.job.phases[r.phase].work_lines;
+                idx += 1;
+                continue;
+            }
+            let r = running.remove(idx);
+            let standalone = standalone_cycles(&mut probe, soc, &r.job, r.pu_idx);
+            let residence = (now - r.start).max(1.0);
+            outcomes.push(JobOutcome {
+                job_id: r.job.id,
+                name: r.job.name.clone(),
+                pu: soc.pus[r.pu_idx].name.clone(),
+                pu_idx: r.pu_idx,
+                arrival: r.job.arrival,
+                start: r.start,
+                finish: now,
+                standalone_cycles: standalone,
+                achieved_rs_pct: 100.0 * standalone / residence,
+                deadline: r.job.deadline,
+                missed_deadline: r.job.deadline.is_some_and(|d| now > d as f64),
+            });
+        }
+    }
+    span.counter("events", steps as f64);
+    span.counter("decisions", decisions.len() as f64);
+    let makespan = outcomes.iter().map(|o| o.finish).fold(0.0, f64::max);
+    ScheduleReport {
+        policy: policy.name().to_owned(),
+        soc: soc.name.clone(),
+        mix: mix_name.to_owned(),
+        makespan,
+        jobs: outcomes,
+        decisions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobPhase;
+    use crate::policy::{ObliviousGreedy, RoundRobin};
+    use pccs_soc::pu::PuKind;
+
+    fn small_job(id: usize, arrival: u64, opb: f64, lines: f64) -> Job {
+        Job::new(
+            id,
+            format!("job{id}"),
+            arrival,
+            vec![JobPhase::uniform(
+                "main",
+                lines,
+                KernelDesc::memory_streaming(format!("k{id}"), opb),
+            )],
+        )
+    }
+
+    #[test]
+    fn single_job_runs_to_completion() {
+        let soc = SocConfig::xavier();
+        let jobs = vec![small_job(0, 0, 1.0, 4_000.0)];
+        let mut policy = ObliviousGreedy;
+        let r = run_schedule(&soc, "unit", &jobs, &mut policy, &SchedConfig::quick());
+        assert_eq!(r.jobs.len(), 1);
+        assert_eq!(r.decisions.len(), 1);
+        assert!(r.makespan > 0.0);
+        assert!(r.jobs[0].finish > r.jobs[0].start);
+        // A sole resident suffers no contention.
+        assert!(
+            r.jobs[0].achieved_rs_pct > 90.0,
+            "{}",
+            r.jobs[0].achieved_rs_pct
+        );
+    }
+
+    #[test]
+    fn late_arrival_starts_no_earlier_than_it_arrives() {
+        let soc = SocConfig::xavier();
+        let jobs = vec![
+            small_job(0, 0, 1.0, 3_000.0),
+            small_job(1, 50_000, 1.0, 3_000.0),
+        ];
+        let mut policy = RoundRobin::default();
+        let r = run_schedule(&soc, "unit", &jobs, &mut policy, &SchedConfig::quick());
+        assert_eq!(r.jobs.len(), 2);
+        let late = r.jobs.iter().find(|j| j.job_id == 1).unwrap();
+        assert!(late.start >= 50_000.0);
+    }
+
+    #[test]
+    fn one_job_per_pu_at_any_time() {
+        let soc = SocConfig::xavier();
+        let jobs: Vec<Job> = (0..5).map(|i| small_job(i, 0, 2.0, 2_000.0)).collect();
+        let mut policy = RoundRobin::default();
+        let r = run_schedule(&soc, "unit", &jobs, &mut policy, &SchedConfig::quick());
+        assert_eq!(r.jobs.len(), 5);
+        for pu in 0..soc.pus.len() {
+            let mut spans: Vec<(f64, f64)> = r
+                .jobs
+                .iter()
+                .filter(|j| j.pu_idx == pu)
+                .map(|j| (j.start, j.finish))
+                .collect();
+            spans.sort_by(|a, b| a.0.total_cmp(&b.0));
+            for w in spans.windows(2) {
+                assert!(w[1].0 >= w[0].1 - 1e-6, "overlap on PU {pu}: {w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn probe_caches_corun_measurements() {
+        let soc = SocConfig::xavier();
+        let mut probe = SimProbe::new(&soc, CoRunConfig::probe().with_horizon(6_000));
+        let k = KernelDesc::memory_streaming("s", 1.0);
+        let a = probe.corun_rates(&[(1, k.clone())]);
+        let b = probe.corun_rates(&[(1, k.clone())]);
+        assert_eq!(a, b);
+        assert_eq!(probe.corun_cache.len(), 1);
+        let (rate, bw) = probe.standalone(1, &k);
+        assert!(rate > 0.0 && bw > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot run on any PU")]
+    fn impossible_job_is_rejected() {
+        let soc = SocConfig::snapdragon855();
+        let job = small_job(0, 0, 1.0, 100.0).with_eligible(vec![PuKind::Dla]);
+        let mut policy = ObliviousGreedy;
+        run_schedule(&soc, "unit", &[job], &mut policy, &SchedConfig::quick());
+    }
+}

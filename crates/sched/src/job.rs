@@ -1,0 +1,238 @@
+//! Jobs: units of schedulable work.
+//!
+//! A job is a sequence of execution phases (e.g. a DNN's convolutional body
+//! followed by its fully connected head), each characterized by a kernel
+//! descriptor and an amount of work in 64-byte lines. Jobs carry arrival
+//! times, optional deadlines, priorities, and the set of PU classes they
+//! can run on — a DNN can fall back from the DLA to the GPU or CPU, while
+//! a Rodinia kernel has no DLA implementation.
+
+use pccs_soc::kernel::KernelDesc;
+use pccs_soc::pu::PuKind;
+use pccs_workloads::layers::LayerGraph;
+use pccs_workloads::RodiniaBenchmark;
+use serde::{Deserialize, Serialize};
+
+/// The kernel a phase runs, per PU class.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PhaseKernels {
+    /// The same kernel regardless of the PU class (DNN layers: operational
+    /// intensity is a property of the computation, the speed difference
+    /// comes from the PU's compute rate).
+    Uniform(KernelDesc),
+    /// A distinct implementation per PU class (Rodinia: the CPU and GPU
+    /// versions are different programs with different intensities).
+    PerPu(Vec<(PuKind, KernelDesc)>),
+}
+
+/// One execution phase of a job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobPhase {
+    /// Phase label for reports (`"conv"`, `"fc"`, …).
+    pub label: String,
+    /// Work in 64-byte lines of memory traffic.
+    pub work_lines: f64,
+    /// The kernel(s) realizing the phase.
+    pub kernels: PhaseKernels,
+}
+
+impl JobPhase {
+    /// A phase that runs the same kernel on every PU class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `work_lines` is not positive.
+    pub fn uniform(label: impl Into<String>, work_lines: f64, kernel: KernelDesc) -> Self {
+        assert!(work_lines > 0.0, "phase work must be positive");
+        Self {
+            label: label.into(),
+            work_lines,
+            kernels: PhaseKernels::Uniform(kernel),
+        }
+    }
+
+    /// A phase with per-PU-class kernel implementations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `work_lines` is not positive or no kernels are given.
+    pub fn per_pu(
+        label: impl Into<String>,
+        work_lines: f64,
+        kernels: Vec<(PuKind, KernelDesc)>,
+    ) -> Self {
+        assert!(work_lines > 0.0, "phase work must be positive");
+        assert!(!kernels.is_empty(), "at least one kernel required");
+        Self {
+            label: label.into(),
+            work_lines,
+            kernels: PhaseKernels::PerPu(kernels),
+        }
+    }
+
+    /// The kernel this phase runs on a PU of class `kind`, if it has one.
+    pub fn kernel_for(&self, kind: PuKind) -> Option<&KernelDesc> {
+        match &self.kernels {
+            PhaseKernels::Uniform(k) => Some(k),
+            PhaseKernels::PerPu(ks) => ks.iter().find(|(p, _)| *p == kind).map(|(_, k)| k),
+        }
+    }
+}
+
+/// A schedulable job: phases plus queueing metadata.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Job {
+    /// Unique id within a mix.
+    pub id: usize,
+    /// Display name.
+    pub name: String,
+    /// Arrival time in memory cycles.
+    pub arrival: u64,
+    /// Completion deadline in memory cycles, if any.
+    pub deadline: Option<u64>,
+    /// Larger runs earlier among contemporaries (0 = default).
+    pub priority: u32,
+    /// PU classes the job may be placed on.
+    pub eligible: Vec<PuKind>,
+    /// Execution phases, in order.
+    pub phases: Vec<JobPhase>,
+}
+
+impl Job {
+    /// A job from explicit phases, eligible on all PU classes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phases` is empty.
+    pub fn new(id: usize, name: impl Into<String>, arrival: u64, phases: Vec<JobPhase>) -> Self {
+        assert!(!phases.is_empty(), "a job needs at least one phase");
+        Self {
+            id,
+            name: name.into(),
+            arrival,
+            deadline: None,
+            priority: 0,
+            eligible: vec![PuKind::Cpu, PuKind::Gpu, PuKind::Dla],
+            phases,
+        }
+    }
+
+    /// A DNN inference job: the network's conv body and FC head become the
+    /// phases (via [`LayerGraph::phase_split`]), with `work_scale`
+    /// inferences' worth of traffic. Eligible on every PU class — the
+    /// scheduler decides whether the DLA, GPU, or CPU runs it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `work_scale` is not positive.
+    pub fn dnn(id: usize, graph: &LayerGraph, arrival: u64, work_scale: f64) -> Self {
+        assert!(work_scale > 0.0, "work scale must be positive");
+        let phases = graph
+            .phase_split()
+            .into_iter()
+            .map(|(kernel, bytes)| {
+                let label = kernel.name.rsplit('/').next().unwrap_or("phase").to_owned();
+                JobPhase::uniform(label, bytes * work_scale / 64.0, kernel)
+            })
+            .collect();
+        Self::new(id, graph.name.clone(), arrival, phases)
+    }
+
+    /// A Rodinia job: one phase whose kernel differs per PU class, eligible
+    /// on the CPU and GPU only (the DLA is a fixed-function engine and does
+    /// not run Rodinia in the paper).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `work_lines` is not positive.
+    pub fn rodinia(id: usize, bench: RodiniaBenchmark, arrival: u64, work_lines: f64) -> Self {
+        let kernels = vec![
+            (PuKind::Cpu, bench.kernel(PuKind::Cpu)),
+            (PuKind::Gpu, bench.kernel(PuKind::Gpu)),
+        ];
+        let phase = JobPhase::per_pu(bench.label(), work_lines, kernels);
+        let mut job = Self::new(id, bench.label(), arrival, vec![phase]);
+        job.eligible = vec![PuKind::Cpu, PuKind::Gpu];
+        job
+    }
+
+    /// Sets a completion deadline.
+    pub fn with_deadline(mut self, deadline: u64) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the priority.
+    pub fn with_priority(mut self, priority: u32) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Restricts eligibility to the given PU classes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eligible` is empty.
+    pub fn with_eligible(mut self, eligible: Vec<PuKind>) -> Self {
+        assert!(!eligible.is_empty(), "a job must be eligible somewhere");
+        self.eligible = eligible;
+        self
+    }
+
+    /// Whether the job can run on a PU of class `kind`: the class is
+    /// eligible and every phase has a kernel for it.
+    pub fn runs_on(&self, kind: PuKind) -> bool {
+        self.eligible.contains(&kind) && self.phases.iter().all(|p| p.kernel_for(kind).is_some())
+    }
+
+    /// Total work across phases, in lines.
+    pub fn total_lines(&self) -> f64 {
+        self.phases.iter().map(|p| p.work_lines).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dnn_job_has_conv_and_fc_phases() {
+        let job = Job::dnn(0, &LayerGraph::vgg19(), 0, 0.01);
+        assert_eq!(job.phases.len(), 2);
+        assert_eq!(job.phases[0].label, "conv");
+        assert_eq!(job.phases[1].label, "fc");
+        assert!(job.runs_on(PuKind::Dla));
+        assert!(job.runs_on(PuKind::Cpu));
+        let expected = LayerGraph::vgg19().total_bytes() * 0.01 / 64.0;
+        assert!((job.total_lines() - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rodinia_job_is_cpu_gpu_only() {
+        let job = Job::rodinia(1, RodiniaBenchmark::Streamcluster, 100, 5_000.0);
+        assert!(job.runs_on(PuKind::Cpu));
+        assert!(job.runs_on(PuKind::Gpu));
+        assert!(!job.runs_on(PuKind::Dla));
+        let cpu = job.phases[0].kernel_for(PuKind::Cpu).unwrap();
+        let gpu = job.phases[0].kernel_for(PuKind::Gpu).unwrap();
+        assert!(gpu.ops_per_byte > cpu.ops_per_byte);
+    }
+
+    #[test]
+    fn builder_setters_apply() {
+        let job = Job::rodinia(2, RodiniaBenchmark::Bfs, 0, 1_000.0)
+            .with_deadline(9_999)
+            .with_priority(3)
+            .with_eligible(vec![PuKind::Gpu]);
+        assert_eq!(job.deadline, Some(9_999));
+        assert_eq!(job.priority, 3);
+        assert!(!job.runs_on(PuKind::Cpu));
+        assert!(job.runs_on(PuKind::Gpu));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one phase")]
+    fn empty_job_rejected() {
+        let _ = Job::new(0, "empty", 0, vec![]);
+    }
+}

@@ -1,0 +1,194 @@
+//! Named multi-programmed job mixes.
+//!
+//! Each mix is a reproducible stream of jobs exercising a different
+//! scheduling regime: a bandwidth-saturating trap where contention
+//! awareness pays, a bursty inference server, and a staggered stream with
+//! deadlines. The CLI (`pccs sched --mix <name>`), the experiment suite
+//! (`sched_study`), and the acceptance tests all draw from here so that
+//! results are comparable across entry points.
+
+use crate::job::Job;
+use pccs_soc::pu::PuKind;
+use pccs_workloads::layers::LayerGraph;
+use pccs_workloads::RodiniaBenchmark;
+
+/// Srad work in the contended mix, lines: ~1.1M cycles of CPU residency
+/// pushing ~50 GB/s of external traffic over the whole schedule.
+const CONTENDED_SRAD_LINES: f64 = 400_000.0;
+
+/// Work scale of the MNIST inference that keeps the GPU briefly occupied
+/// when AlexNet arrives.
+const CONTENDED_MNIST_SCALE: f64 = 6.0;
+
+/// Work scale and arrival of the trapped AlexNet inference. AlexNet's FC
+/// head dominates its traffic, which makes its standalone times on the DLA
+/// and the GPU nearly identical — but its contended fates opposite.
+const CONTENDED_ALEXNET_SCALE: f64 = 0.15;
+const CONTENDED_ALEXNET_ARRIVAL: u64 = 5_000;
+
+/// A named, reproducible job mix.
+#[derive(Debug, Clone)]
+pub struct Mix {
+    /// Mix name, as accepted by `pccs sched --mix`.
+    pub name: String,
+    /// One-line description for listings.
+    pub description: String,
+    /// The jobs, ids unique within the mix.
+    pub jobs: Vec<Job>,
+}
+
+impl Mix {
+    fn new(name: &str, description: &str, jobs: Vec<Job>) -> Self {
+        Self {
+            name: name.to_owned(),
+            description: description.to_owned(),
+            jobs,
+        }
+    }
+
+    /// The mix with every job's work multiplied by `scale` — used by
+    /// `--quick` runs to keep probe simulations cheap.
+    pub fn scaled(mut self, scale: f64) -> Self {
+        assert!(scale > 0.0, "scale must be positive");
+        for job in &mut self.jobs {
+            for phase in &mut job.phases {
+                phase.work_lines *= scale;
+            }
+        }
+        self
+    }
+}
+
+/// The contention trap: a long srad run pinned to the CPU pushes ~50 GB/s
+/// of external traffic, an MNIST service request briefly occupies the GPU,
+/// and then a large FC-heavy AlexNet inference arrives. AlexNet's
+/// standalone times on the DLA and the GPU are nearly tied, so a
+/// contention-oblivious scheduler takes the free DLA rather than waiting
+/// out MNIST — but the DLA's short MLP window makes its FC phase collapse
+/// ~4x under srad's traffic, while the same phase on the GPU loses only a
+/// third. A contention-aware scheduler predicts the collapse and waits the
+/// few hundred kilocycles for the GPU.
+pub fn contended() -> Mix {
+    Mix::new(
+        "contended",
+        "CPU-pinned srad traffic + MNIST on the GPU trap an FC-heavy AlexNet",
+        vec![
+            Job::rodinia(0, RodiniaBenchmark::Srad, 0, CONTENDED_SRAD_LINES)
+                .with_eligible(vec![PuKind::Cpu]),
+            Job::dnn(1, &LayerGraph::mnist(), 0, CONTENDED_MNIST_SCALE)
+                .with_eligible(vec![PuKind::Gpu, PuKind::Cpu]),
+            Job::dnn(
+                2,
+                &LayerGraph::alexnet(),
+                CONTENDED_ALEXNET_ARRIVAL,
+                CONTENDED_ALEXNET_SCALE,
+            ),
+        ],
+    )
+}
+
+/// An inference-server burst: four DNN requests of different networks
+/// arrive almost simultaneously — more jobs than PUs, so placement order
+/// and co-run pairing both matter.
+pub fn inference_burst() -> Mix {
+    Mix::new(
+        "inference-burst",
+        "ResNet-50, VGG-19, AlexNet, and MNIST requests arriving in a burst",
+        vec![
+            Job::dnn(0, &LayerGraph::resnet50(), 0, 0.05),
+            Job::dnn(1, &LayerGraph::vgg19(), 1_000, 0.01),
+            Job::dnn(2, &LayerGraph::alexnet(), 2_000, 0.05),
+            Job::dnn(3, &LayerGraph::mnist(), 3_000, 40.0),
+        ],
+    )
+}
+
+/// A staggered stream mixing DNN inference with Rodinia analytics, with
+/// deadlines on the inference requests and a priority boost on the last
+/// one — exercises queueing, priorities, and deadline accounting.
+pub fn steady_stream() -> Mix {
+    Mix::new(
+        "steady-stream",
+        "staggered AlexNet/ResNet-50 inferences with deadlines among kmeans and bfs",
+        vec![
+            Job::dnn(0, &LayerGraph::alexnet(), 0, 0.03).with_deadline(2_000_000),
+            Job::rodinia(1, RodiniaBenchmark::Kmeans, 20_000, 60_000.0),
+            Job::dnn(2, &LayerGraph::resnet50(), 60_000, 0.03).with_deadline(3_000_000),
+            Job::rodinia(3, RodiniaBenchmark::Bfs, 100_000, 40_000.0),
+            Job::dnn(4, &LayerGraph::mnist(), 140_000, 30.0)
+                .with_deadline(2_500_000)
+                .with_priority(1),
+        ],
+    )
+}
+
+/// All bundled mixes, in listing order.
+pub fn all() -> Vec<Mix> {
+    vec![contended(), inference_burst(), steady_stream()]
+}
+
+/// A mix by name.
+pub fn mix(name: &str) -> Option<Mix> {
+    all().into_iter().find(|m| m.name == name)
+}
+
+/// The bundled mix names, for CLI help and error messages.
+pub fn names() -> Vec<String> {
+    all().into_iter().map(|m| m.name).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pccs_soc::pu::PuKind;
+
+    #[test]
+    fn all_mixes_have_unique_ids_and_multiple_dnns() {
+        for m in all() {
+            let mut ids: Vec<usize> = m.jobs.iter().map(|j| j.id).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            assert_eq!(ids.len(), m.jobs.len(), "duplicate ids in {}", m.name);
+            let dnns = m
+                .jobs
+                .iter()
+                .filter(|j| {
+                    j.phases
+                        .iter()
+                        .all(|p| p.label == "conv" || p.label == "fc")
+                })
+                .count();
+            assert!(dnns >= 2, "{} is not multi-DNN", m.name);
+        }
+    }
+
+    #[test]
+    fn every_job_runs_on_a_cpu_or_gpu() {
+        // Mixes must stay schedulable on SoCs without a DLA (Snapdragon).
+        for m in all() {
+            for j in &m.jobs {
+                assert!(
+                    j.runs_on(PuKind::Cpu) || j.runs_on(PuKind::Gpu),
+                    "{}/{} needs a DLA",
+                    m.name,
+                    j.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(mix("contended").is_some());
+        assert!(mix("no-such-mix").is_none());
+        assert_eq!(names().len(), all().len());
+    }
+
+    #[test]
+    fn scaling_shrinks_work() {
+        let full = contended();
+        let half = contended().scaled(0.5);
+        let total = |m: &Mix| -> f64 { m.jobs.iter().map(Job::total_lines).sum() };
+        assert!((total(&half) - total(&full) * 0.5).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,163 @@
+//! Schedule evaluation artifacts: per-job outcomes, per-decision records,
+//! and whole-schedule summary metrics.
+
+use serde::{Deserialize, Serialize};
+
+/// One placement decision, as made during a run. Exported through
+/// `pccs-telemetry`'s JSONL stream for offline analysis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecisionRecord {
+    /// Time of the decision, memory cycles.
+    pub at_cycle: f64,
+    /// The deciding policy (or `"forced"` for the engine's progress
+    /// guarantee when a policy declines to place anything runnable).
+    pub policy: String,
+    /// The placed job.
+    pub job: String,
+    /// Id of the placed job.
+    pub job_id: usize,
+    /// The chosen PU's name.
+    pub pu: String,
+    /// The chosen PU's index.
+    pub pu_idx: usize,
+    /// The policy's predicted cost of the placement (policy-specific
+    /// units — standalone cycles for the oblivious policies, predicted
+    /// finish-plus-delay cycles for the contention-aware ones).
+    pub predicted_cost: f64,
+    /// Jobs left waiting after this decision.
+    pub queue_depth: usize,
+}
+
+/// The fate of one job in a completed schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobOutcome {
+    /// Job id.
+    pub job_id: usize,
+    /// Job name.
+    pub name: String,
+    /// The PU that ran it.
+    pub pu: String,
+    /// Index of that PU.
+    pub pu_idx: usize,
+    /// Arrival time, cycles.
+    pub arrival: u64,
+    /// Placement time, cycles.
+    pub start: f64,
+    /// Completion time, cycles.
+    pub finish: f64,
+    /// Standalone execution time on the assigned PU, cycles.
+    pub standalone_cycles: f64,
+    /// Achieved relative speed while resident, percent: standalone time
+    /// over actual residence time (the paper's `RS`, aggregated over the
+    /// whole job).
+    pub achieved_rs_pct: f64,
+    /// Deadline, if the job had one.
+    pub deadline: Option<u64>,
+    /// Whether the job finished after its deadline.
+    pub missed_deadline: bool,
+}
+
+impl JobOutcome {
+    /// Turnaround time: arrival to completion, cycles.
+    pub fn turnaround(&self) -> f64 {
+        self.finish - self.arrival as f64
+    }
+}
+
+/// The result of replaying one mix under one policy.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScheduleReport {
+    /// Policy name.
+    pub policy: String,
+    /// SoC name.
+    pub soc: String,
+    /// Mix name.
+    pub mix: String,
+    /// Completion time of the last job, cycles.
+    pub makespan: f64,
+    /// Per-job outcomes, in completion order.
+    pub jobs: Vec<JobOutcome>,
+    /// Every placement decision made.
+    pub decisions: Vec<DecisionRecord>,
+}
+
+impl ScheduleReport {
+    /// Mean achieved relative speed across jobs, percent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule is empty.
+    pub fn mean_rs_pct(&self) -> f64 {
+        assert!(!self.jobs.is_empty(), "empty schedule");
+        self.jobs.iter().map(|j| j.achieved_rs_pct).sum::<f64>() / self.jobs.len() as f64
+    }
+
+    /// Number of jobs that finished after their deadline.
+    pub fn deadline_misses(&self) -> usize {
+        self.jobs.iter().filter(|j| j.missed_deadline).count()
+    }
+
+    /// Mean turnaround time across jobs, cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule is empty.
+    pub fn mean_turnaround(&self) -> f64 {
+        assert!(!self.jobs.is_empty(), "empty schedule");
+        self.jobs.iter().map(JobOutcome::turnaround).sum::<f64>() / self.jobs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(rs: f64, missed: bool) -> JobOutcome {
+        JobOutcome {
+            job_id: 0,
+            name: "j".into(),
+            pu: "GPU".into(),
+            pu_idx: 1,
+            arrival: 100,
+            start: 150.0,
+            finish: 1_100.0,
+            standalone_cycles: 800.0,
+            achieved_rs_pct: rs,
+            deadline: Some(1_000),
+            missed_deadline: missed,
+        }
+    }
+
+    #[test]
+    fn summary_metrics_aggregate() {
+        let r = ScheduleReport {
+            policy: "greedy".into(),
+            soc: "xavier".into(),
+            mix: "m".into(),
+            makespan: 1_100.0,
+            jobs: vec![outcome(80.0, true), outcome(100.0, false)],
+            decisions: vec![],
+        };
+        assert!((r.mean_rs_pct() - 90.0).abs() < 1e-12);
+        assert_eq!(r.deadline_misses(), 1);
+        assert!((r.mean_turnaround() - 1_000.0).abs() < 1e-12);
+        assert!((r.jobs[0].turnaround() - 1_000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn records_serialize_to_json() {
+        let rec = DecisionRecord {
+            at_cycle: 42.0,
+            policy: "pccs".into(),
+            job: "vgg".into(),
+            job_id: 3,
+            pu: "DLA".into(),
+            pu_idx: 2,
+            predicted_cost: 1234.5,
+            queue_depth: 2,
+        };
+        let text = serde_json::to_string(&rec).unwrap();
+        assert!(text.contains("\"policy\""));
+        assert!(text.contains("DLA"));
+    }
+}

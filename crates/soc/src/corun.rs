@@ -25,6 +25,89 @@ pub const DEFAULT_HORIZON: u64 = 60_000;
 /// Fraction of the horizon discarded as warmup before rates are measured.
 pub const WARMUP_FRACTION: f64 = 0.25;
 
+/// Measurement configuration of a co-run: horizon, warmup share, averaging
+/// repetitions, and the memory-controller policy. The former free-standing
+/// magic numbers [`DEFAULT_HORIZON`] and [`WARMUP_FRACTION`] are the
+/// builder defaults, so callers that need different fidelity (the
+/// scheduler's oracle probes, quick tests) configure it in one place
+/// instead of redefining constants.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoRunConfig {
+    /// Simulated memory cycles per run.
+    pub horizon: u64,
+    /// Fraction of the horizon discarded before rates are measured.
+    pub warmup_fraction: f64,
+    /// Differently seeded repetitions whose rates are averaged.
+    pub repeats: u32,
+    /// Memory-controller scheduling policy.
+    pub policy: PolicyKind,
+}
+
+impl Default for CoRunConfig {
+    fn default() -> Self {
+        Self {
+            horizon: DEFAULT_HORIZON,
+            warmup_fraction: WARMUP_FRACTION,
+            repeats: 1,
+            policy: PolicyKind::Atlas,
+        }
+    }
+}
+
+impl CoRunConfig {
+    /// A short probe: quarter horizon, single repetition — what a scheduler
+    /// can afford per candidate placement while staying on the measured
+    /// side of the warmup knee.
+    pub fn probe() -> Self {
+        Self {
+            horizon: 15_000,
+            ..Self::default()
+        }
+    }
+
+    /// Sets the horizon.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `horizon` is zero.
+    pub fn with_horizon(mut self, horizon: u64) -> Self {
+        assert!(horizon > 0, "horizon must be positive");
+        self.horizon = horizon;
+        self
+    }
+
+    /// Sets the warmup fraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fraction is outside `[0, 1)`.
+    pub fn with_warmup_fraction(mut self, fraction: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&fraction),
+            "warmup fraction must be in [0, 1)"
+        );
+        self.warmup_fraction = fraction;
+        self
+    }
+
+    /// Sets the repetition count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `repeats` is zero.
+    pub fn with_repeats(mut self, repeats: u32) -> Self {
+        assert!(repeats >= 1, "at least one repetition required");
+        self.repeats = repeats;
+        self
+    }
+
+    /// Sets the memory-controller policy.
+    pub fn with_policy(mut self, policy: PolicyKind) -> Self {
+        self.policy = policy;
+        self
+    }
+}
+
 /// What runs on one PU during a co-run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Placement {
@@ -133,9 +216,8 @@ impl CoRunOutcome {
 #[derive(Debug)]
 pub struct CoRunSim {
     soc: SocConfig,
-    policy: PolicyKind,
+    config: CoRunConfig,
     placements: Vec<Placement>,
-    repeats: u32,
     epoch: Option<u64>,
 }
 
@@ -144,11 +226,15 @@ impl CoRunSim {
     /// memory-scheduling policy (ATLAS — whose effective-bandwidth profile
     /// is closest to the paper's Xavier measurement in Table 3).
     pub fn new(soc: &SocConfig) -> Self {
+        Self::with_config(soc, CoRunConfig::default())
+    }
+
+    /// Starts a co-run with an explicit measurement configuration.
+    pub fn with_config(soc: &SocConfig, config: CoRunConfig) -> Self {
         Self {
             soc: soc.clone(),
-            policy: PolicyKind::Atlas,
+            config,
             placements: Vec::new(),
-            repeats: 1,
             epoch: None,
         }
     }
@@ -166,7 +252,7 @@ impl CoRunSim {
 
     /// Overrides the memory-controller scheduling policy.
     pub fn policy(&mut self, policy: PolicyKind) -> &mut Self {
-        self.policy = policy;
+        self.config.policy = policy;
         self
     }
 
@@ -175,7 +261,7 @@ impl CoRunSim {
     /// simulations.
     pub fn repeats(&mut self, repeats: u32) -> &mut Self {
         assert!(repeats >= 1, "at least one repetition required");
-        self.repeats = repeats;
+        self.config.repeats = repeats;
         self
     }
 
@@ -206,20 +292,20 @@ impl CoRunSim {
     }
 
     /// Runs the co-run for `horizon` memory cycles. The first
-    /// [`WARMUP_FRACTION`] of the horizon is excluded from the measured
-    /// rates; when [`CoRunSim::repeats`] is above one, rates are averaged
-    /// over differently seeded repetitions (the returned raw
+    /// [`CoRunConfig::warmup_fraction`] of the horizon is excluded from the
+    /// measured rates; when [`CoRunSim::repeats`] is above one, rates are
+    /// averaged over differently seeded repetitions (the returned raw
     /// [`CoRunOutcome::memory`] is from the last repetition).
     pub fn run(&self, horizon: u64) -> CoRunOutcome {
         assert!(horizon > 0, "horizon must be positive");
         let mut span = TraceLog::span("corun.run");
         span.counter("placements", self.placements.len() as f64);
-        span.counter("repeats", f64::from(self.repeats));
+        span.counter("repeats", f64::from(self.config.repeats));
         span.counter("horizon", horizon as f64);
-        let warmup = (horizon as f64 * WARMUP_FRACTION) as u64;
+        let warmup = (horizon as f64 * self.config.warmup_fraction) as u64;
         let mut acc: BTreeMap<usize, (f64, f64, u64)> = BTreeMap::new();
         let mut last_memory = None;
-        for rep in 0..self.repeats {
+        for rep in 0..self.config.repeats {
             let memory = self.run_once(horizon, warmup, u64::from(rep));
             for placement in &self.placements {
                 let range = self.soc.source_range(placement.pu_idx);
@@ -246,14 +332,14 @@ impl CoRunSim {
             }
             last_memory = Some(memory);
         }
-        let n = f64::from(self.repeats);
+        let n = f64::from(self.config.repeats);
         let per_pu = acc
             .into_iter()
             .map(|(pu, (rate, bw, lines))| {
                 (
                     pu,
                     PuRunResult {
-                        lines: lines / u64::from(self.repeats),
+                        lines: lines / u64::from(self.config.repeats),
                         lines_per_cycle: rate / n,
                         bw_gbps: bw / n,
                     },
@@ -267,8 +353,14 @@ impl CoRunSim {
         }
     }
 
+    /// Runs the co-run at the horizon configured via
+    /// [`CoRunSim::with_config`] (or the default).
+    pub fn run_configured(&self) -> CoRunOutcome {
+        self.run(self.config.horizon)
+    }
+
     fn run_once(&self, horizon: u64, warmup: u64, run_seed: u64) -> SimOutcome {
-        let mut sys = DramSystem::new(self.soc.dram.clone(), self.policy);
+        let mut sys = DramSystem::new(self.soc.dram.clone(), self.config.policy);
         if let Some(epoch) = self.epoch {
             sys.set_recorder(Box::new(EpochRecorder::new(epoch)));
         }
@@ -316,16 +408,32 @@ impl CoRunSim {
         horizon: u64,
         repeats: u32,
     ) -> StandaloneProfile {
-        let mut sim = CoRunSim::new(soc);
-        sim.repeats(repeats);
+        Self::standalone_with(
+            soc,
+            pu_idx,
+            kernel,
+            &CoRunConfig::default()
+                .with_horizon(horizon)
+                .with_repeats(repeats),
+        )
+    }
+
+    /// Standalone profiling under an explicit measurement configuration.
+    pub fn standalone_with(
+        soc: &SocConfig,
+        pu_idx: usize,
+        kernel: &KernelDesc,
+        config: &CoRunConfig,
+    ) -> StandaloneProfile {
+        let mut sim = CoRunSim::with_config(soc, config.clone());
         sim.place(Placement::kernel(pu_idx, kernel.clone()));
-        let out = sim.run(horizon);
+        let out = sim.run_configured();
         let r = out.per_pu[&pu_idx];
         StandaloneProfile {
             pu_idx,
             lines_per_cycle: r.lines_per_cycle,
             bw_gbps: r.bw_gbps,
-            horizon,
+            horizon: config.horizon,
         }
     }
 }
@@ -419,6 +527,35 @@ mod tests {
         assert_eq!(report.epoch_cycles, 2_000);
         assert_eq!(report.total_bytes(), out.memory.stats.total_bytes());
         assert!(!report.sources().is_empty());
+    }
+
+    #[test]
+    fn config_defaults_match_the_former_constants() {
+        let cfg = CoRunConfig::default();
+        assert_eq!(cfg.horizon, DEFAULT_HORIZON);
+        assert!((cfg.warmup_fraction - WARMUP_FRACTION).abs() < 1e-12);
+        assert_eq!(cfg.repeats, 1);
+        assert_eq!(cfg.policy, PolicyKind::Atlas);
+        let probe = CoRunConfig::probe();
+        assert!(probe.horizon < cfg.horizon);
+    }
+
+    #[test]
+    fn configured_run_matches_explicit_horizon() {
+        let soc = xavier();
+        let gpu = soc.pu_index("GPU").unwrap();
+        let kernel = KernelDesc::memory_streaming("stream", 0.5);
+        let cfg = CoRunConfig::probe();
+        let a = CoRunSim::standalone_with(&soc, gpu, &kernel, &cfg);
+        let b = CoRunSim::standalone(&soc, gpu, &kernel, cfg.horizon);
+        assert!((a.lines_per_cycle - b.lines_per_cycle).abs() < 1e-12);
+        assert_eq!(a.horizon, cfg.horizon);
+    }
+
+    #[test]
+    #[should_panic(expected = "warmup fraction")]
+    fn config_rejects_full_warmup() {
+        let _ = CoRunConfig::default().with_warmup_fraction(1.0);
     }
 
     #[test]

@@ -58,6 +58,22 @@ pub fn jsonl_events(
     out
 }
 
+/// Renders arbitrary serializable records as a tagged JSONL stream: one
+/// `{"type": tag, ...}` line per record. Used for event streams the
+/// simulators do not know about — e.g. the scheduling runtime's
+/// per-decision records — so they compose with [`jsonl_events`] output in
+/// the same file.
+pub fn jsonl_records<T: Serialize>(tag: &str, rows: &[T]) -> String {
+    let mut out = String::new();
+    for row in rows {
+        let mut line = String::new();
+        tagged(tag, row.to_value()).render(&mut line);
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
 /// Renders the epoch time-series as CSV: one row per epoch, one
 /// `bytes_src<N>` column per source seen anywhere in the run.
 pub fn csv_timeseries(report: &TelemetryReport) -> String {
@@ -241,6 +257,34 @@ mod tests {
         assert_eq!(kinds[0], "manifest");
         assert!(kinds[1..=report.epochs.len()].iter().all(|k| k == "epoch"));
         assert_eq!(kinds.last().unwrap(), "span");
+    }
+
+    #[test]
+    fn records_tag_every_line() {
+        #[derive(Serialize)]
+        struct Decision {
+            job: String,
+            pu: u64,
+        }
+        let rows = vec![
+            Decision {
+                job: "resnet".to_owned(),
+                pu: 1,
+            },
+            Decision {
+                job: "vgg".to_owned(),
+                pu: 2,
+            },
+        ];
+        let text = jsonl_records("decision", &rows);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in &lines {
+            let v: serde::Value = serde_json::from_str(line).unwrap();
+            let obj = v.as_object().unwrap();
+            assert_eq!(obj["type"].as_str().unwrap(), "decision");
+            assert!(obj.contains_key("job") && obj.contains_key("pu"));
+        }
     }
 
     #[test]

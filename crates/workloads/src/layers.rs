@@ -417,6 +417,43 @@ impl LayerGraph {
         )
     }
 
+    /// Splits the network into coarse execution phases for scheduling: the
+    /// convolutional body (high operational intensity, modest bandwidth
+    /// demand) followed by the fully connected head (weight streaming at
+    /// ~1 flop/byte — effectively a memory-saturating phase). Each group
+    /// is returned as an aggregate kernel plus its DRAM traffic in bytes;
+    /// groups with no layers are omitted, so a conv-only network yields a
+    /// single phase.
+    pub fn phase_split(&self) -> Vec<(KernelDesc, f64)> {
+        let mut groups: Vec<(KernelDesc, f64)> = Vec::new();
+        let mut push = |label: &str, layers: Vec<&Layer>, locality: f64, writes: f64| {
+            let bytes: f64 = layers.iter().map(|l| l.bytes()).sum();
+            if bytes <= 0.0 {
+                return;
+            }
+            let flops: f64 = layers.iter().map(|l| l.flops()).sum();
+            groups.push((
+                KernelDesc::new(
+                    format!("{}/{label}", self.name),
+                    flops / bytes,
+                    locality,
+                    writes,
+                    1.0,
+                ),
+                bytes,
+            ));
+        };
+        let (convs, fcs): (Vec<&Layer>, Vec<&Layer>) = self
+            .layers
+            .iter()
+            .partition(|l| matches!(l, Layer::Conv { .. }));
+        push("conv", convs, 0.9, 0.25);
+        // FC weights stream sequentially once: near-perfect row locality,
+        // almost no writes.
+        push("fc", fcs, 0.95, 0.05);
+        groups
+    }
+
     /// The network as a phased workload: each layer is a phase whose
     /// standalone bandwidth demand follows from its intensity on an engine
     /// retiring `flops_per_mem_cycle`, weighted by its estimated time share
@@ -522,6 +559,22 @@ mod tests {
         assert_eq!(w.phases().len(), g.layers.len());
         let total_weight: f64 = w.phases().iter().map(|p| p.weight).sum();
         assert!((total_weight - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn phase_split_separates_conv_from_fc() {
+        let g = LayerGraph::vgg19();
+        let phases = g.phase_split();
+        assert_eq!(phases.len(), 2);
+        let (conv, conv_bytes) = &phases[0];
+        let (fc, fc_bytes) = &phases[1];
+        assert!(conv.name.ends_with("/conv"));
+        assert!(fc.name.ends_with("/fc"));
+        // The conv body is compute-dense; the FC head streams weights.
+        assert!(conv.ops_per_byte > 50.0 * fc.ops_per_byte);
+        assert!((0.5..3.0).contains(&fc.ops_per_byte));
+        // The two groups account for all traffic.
+        assert!((conv_bytes + fc_bytes - g.total_bytes()).abs() < 1.0);
     }
 
     #[test]

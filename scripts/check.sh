@@ -15,10 +15,33 @@ step() {
   fi
 }
 
+# Every workspace crate must appear in the rustdoc output; a crate missing
+# from target/doc means it fell out of the doc build (e.g. dropped from the
+# workspace members) without anyone noticing.
+doc_complete() {
+  local missing=0 name found candidate
+  for manifest in crates/*/Cargo.toml; do
+    # Binary-only crates are documented under their [[bin]] name, not the
+    # package name, so accept any name declared in the manifest.
+    found=0
+    while IFS= read -r name; do
+      candidate="target/doc/${name//-/_}"
+      [[ -d ${candidate} ]] && found=1
+    done < <(sed -n 's/^name = "\(.*\)"/\1/p' "${manifest}")
+    if ((!found)); then
+      echo "crate $(dirname "${manifest}") missing from target/doc" >&2
+      missing=1
+    fi
+  done
+  return "${missing}"
+}
+
 step fmt    cargo fmt --all -- --check
 step clippy cargo clippy --workspace --all-targets -- -D warnings
 step build  cargo build --release --workspace
+step sched-smoke ./target/release/pccs sched --quick
 step doc    cargo doc --no-deps --workspace
+step doc-complete doc_complete
 step test   cargo test --release --workspace
 
 if ((${#failed[@]})); then

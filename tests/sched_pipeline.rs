@@ -1,0 +1,120 @@
+//! End-to-end acceptance of the scheduling runtime: on the contended
+//! Xavier mix, the PCCS-guided policy must beat the contention-oblivious
+//! greedy by at least 10 % of makespan while staying within 5 % of the
+//! probing oracle — and every policy must produce a valid, complete
+//! schedule.
+
+use pccs_sched::engine::{run_schedule, SchedConfig};
+use pccs_sched::policy::all_policies;
+use pccs_sched::report::ScheduleReport;
+use pccs_sched::{mixes, policy_by_name, Job};
+use pccs_soc::soc::SocConfig;
+use std::collections::HashMap;
+
+/// A schedule is complete when every submitted job finished, and valid
+/// when each job started no earlier than its arrival and no two jobs
+/// overlapped on one PU.
+fn assert_valid_and_complete(report: &ScheduleReport, jobs: &[Job]) {
+    assert_eq!(
+        report.jobs.len(),
+        jobs.len(),
+        "{}: jobs missing from the schedule",
+        report.policy
+    );
+    let mut per_pu: HashMap<usize, Vec<(f64, f64)>> = HashMap::new();
+    for outcome in &report.jobs {
+        let job = jobs
+            .iter()
+            .find(|j| j.id == outcome.job_id)
+            .unwrap_or_else(|| panic!("{}: unknown job id {}", report.policy, outcome.job_id));
+        assert!(
+            outcome.start >= job.arrival as f64,
+            "{}: {} started before it arrived",
+            report.policy,
+            job.name
+        );
+        assert!(
+            outcome.finish > outcome.start,
+            "{}: {} finished before it started",
+            report.policy,
+            job.name
+        );
+        assert!(
+            outcome.achieved_rs_pct > 0.0 && outcome.achieved_rs_pct <= 100.5,
+            "{}: {} achieved RS {}% out of range",
+            report.policy,
+            job.name,
+            outcome.achieved_rs_pct
+        );
+        per_pu
+            .entry(outcome.pu_idx)
+            .or_default()
+            .push((outcome.start, outcome.finish));
+    }
+    for (pu, intervals) in &mut per_pu {
+        intervals.sort_by(|a, b| a.0.total_cmp(&b.0));
+        for pair in intervals.windows(2) {
+            assert!(
+                pair[0].1 <= pair[1].0 + 1e-6,
+                "{}: two jobs overlap on PU {pu}: {pair:?}",
+                report.policy
+            );
+        }
+    }
+}
+
+#[test]
+fn pccs_beats_greedy_and_tracks_oracle_on_contended_xavier() {
+    let soc = SocConfig::xavier();
+    let mix = mixes::contended();
+    let cfg = SchedConfig::default();
+    let mut by_name: HashMap<String, ScheduleReport> = HashMap::new();
+    for mut policy in all_policies(&soc) {
+        let report = run_schedule(&soc, &mix.name, &mix.jobs, policy.as_mut(), &cfg);
+        assert_valid_and_complete(&report, &mix.jobs);
+        by_name.insert(report.policy.clone(), report);
+    }
+    let greedy = by_name["greedy"].makespan;
+    let pccs = by_name["pccs"].makespan;
+    let oracle = by_name["oracle"].makespan;
+    assert!(
+        pccs <= 0.90 * greedy,
+        "PCCS must beat oblivious greedy by >= 10%: pccs {pccs:.0} vs greedy {greedy:.0} \
+         ({:.1}% better)",
+        (1.0 - pccs / greedy) * 100.0
+    );
+    assert!(
+        pccs <= 1.05 * oracle,
+        "PCCS must stay within 5% of the oracle: pccs {pccs:.0} vs oracle {oracle:.0}"
+    );
+    // The gap must come from a contention-aware placement, not queueing:
+    // greedy traps the FC-heavy AlexNet on the DLA, PCCS routes it away.
+    let placed_on = |r: &ScheduleReport| -> String {
+        r.jobs
+            .iter()
+            .find(|j| j.name == "Alexnet")
+            .expect("AlexNet completes")
+            .pu
+            .clone()
+    };
+    assert_eq!(placed_on(&by_name["greedy"]), "DLA");
+    assert_ne!(placed_on(&by_name["pccs"]), "DLA");
+}
+
+#[test]
+fn every_mix_schedules_validly_under_cheap_policies() {
+    // The remaining mixes and SoCs, under the cheap policies and the quick
+    // engine preset: completeness and validity only (performance is the
+    // contended test's and the experiment suite's business).
+    let cfg = SchedConfig::quick();
+    for soc in [SocConfig::xavier(), SocConfig::snapdragon855()] {
+        for mix in mixes::all() {
+            let mix = mix.scaled(0.2);
+            for name in ["round-robin", "greedy", "oracle"] {
+                let mut policy = policy_by_name(&soc, name).expect("bundled policy");
+                let report = run_schedule(&soc, &mix.name, &mix.jobs, policy.as_mut(), &cfg);
+                assert_valid_and_complete(&report, &mix.jobs);
+            }
+        }
+    }
+}
