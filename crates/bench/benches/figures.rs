@@ -23,8 +23,8 @@ fn bench_figures(c: &mut Criterion) {
         b.iter(|| fig3::run(&mut quick_ctx()))
     });
     g.bench_function("fig5_policy_study", |b| {
-        let ctx = quick_ctx();
-        b.iter(|| fig5::run(&ctx))
+        let mut ctx = quick_ctx();
+        b.iter(|| fig5::run(&mut ctx))
     });
     g.bench_function("fig6_model_chart", |b| {
         // Model construction dominates; reuse the cached context so the

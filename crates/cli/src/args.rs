@@ -94,6 +94,20 @@ impl Args {
         }
     }
 
+    /// An unsigned integer option with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the value does not parse.
+    pub fn get_usize(&self, key: &str, default: usize) -> Result<usize, ArgError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgError(format!("--{key} expects an integer, got '{v}'"))),
+        }
+    }
+
     /// Whether a boolean switch was given.
     pub fn has(&self, key: &str) -> bool {
         self.switches.iter().any(|s| s == key)
@@ -124,6 +138,17 @@ mod tests {
         assert_eq!(a.get_f64("demand", 0.0).unwrap(), 60.5);
         assert_eq!(a.get_f64("external", 40.0).unwrap(), 40.0);
         assert!(a.get_f64("demand", 0.0).is_ok());
+    }
+
+    #[test]
+    fn integers_parse_with_defaults() {
+        let a = parse("calibrate --jobs 4").unwrap();
+        assert_eq!(a.get_usize("jobs", 0).unwrap(), 4);
+        assert_eq!(a.get_usize("threads", 2).unwrap(), 2);
+        assert!(parse("calibrate --jobs many")
+            .unwrap()
+            .get_usize("jobs", 0)
+            .is_err());
     }
 
     #[test]

@@ -92,11 +92,12 @@ pub fn calibrate(args: &Args) -> Result<(), ArgError> {
     let soc = soc_by_name(args.require("soc")?)?;
     let pu = pu_index(&soc, args.require("pu")?)?;
     let pressure = pressure_pu(&soc, pu)?;
-    let cfg = if args.has("quick") {
+    let mut cfg = if args.has("quick") {
         CalibrationConfig::quick()
     } else {
         CalibrationConfig::default()
     };
+    cfg.threads = args.get_usize("jobs", 0)?;
     eprintln!(
         "calibrating {} / {} (pressure from {}) ...",
         soc.name, soc.pus[pu].name, soc.pus[pressure].name
@@ -226,6 +227,7 @@ pub fn corun(args: &Args) -> Result<(), ArgError> {
     }
 
     let mut sim = CoRunSim::new(&soc);
+    sim.horizon(horizon);
     sim.place(Placement::kernel(pu, kernel));
     let pressure = if external > 0.0 {
         let p = pressure_pu(&soc, pu)?;
@@ -238,7 +240,7 @@ pub fn corun(args: &Args) -> Result<(), ArgError> {
     if metrics_out.is_some() || args.get("epoch").is_some() {
         sim.record_epochs(epoch);
     }
-    let out = sim.run(horizon);
+    let out = sim.execute();
 
     for (idx, r) in &out.per_pu {
         let role = if Some(*idx) == pressure {
@@ -338,7 +340,9 @@ pub fn sched(args: &Args) -> Result<(), ArgError> {
     // The PCCS policy calibrates one model per PU against the simulator
     // before scheduling; `--quick` swaps in the coarse calibration grid.
     let mut policy: Box<dyn Policy> = if policy_name.eq_ignore_ascii_case("pccs") && quick {
-        Box::new(PccsPolicy::calibrated(&soc, &CalibrationConfig::quick()))
+        let mut cal = CalibrationConfig::quick();
+        cal.threads = args.get_usize("jobs", 0)?;
+        Box::new(PccsPolicy::calibrated(&soc, &cal))
     } else {
         policy_by_name(&soc, policy_name).ok_or_else(|| {
             ArgError(format!(

@@ -35,7 +35,7 @@ pccs — processor-centric contention-aware slowdown modeling
 USAGE:
   pccs socs
   pccs calibrate    --soc <xavier|snapdragon855> --pu <CPU|GPU|DLA>
-                    [--quick] [--out <model.json>]
+                    [--quick] [--jobs <N>] [--out <model.json>]
   pccs predict      --model <model.json> (--demand <GB/s> | --soc <s> --pu <p>
                     --bench <rodinia-name>) [--external <GB/s>]
   pccs explore-freq --soc <s> --pu GPU --bench <name> [--external <GB/s>]
@@ -45,7 +45,7 @@ USAGE:
                     [--epoch <cycles>]
   pccs sched        [--soc <s>] [--mix <contended|inference-burst|steady-stream>]
                     [--policy <round-robin|greedy|pccs|oracle>] [--scale <f>]
-                    [--quick] [--metrics-out <events.jsonl>]
+                    [--quick] [--jobs <N>] [--metrics-out <events.jsonl>]
   pccs policies     [--victim <GB/s>]
 
 Run `pccs <command> --help` equivalents by reading the crate docs.";

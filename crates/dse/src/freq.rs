@@ -137,9 +137,10 @@ pub fn ground_truth_frequency(
         .map(|&f| {
             let reclocked = soc.with_pu(pu_idx, soc.pus[pu_idx].with_frequency(f));
             let mut sim = CoRunSim::new(&reclocked);
+            sim.horizon(horizon);
             sim.place(Placement::kernel(pu_idx, kernel.clone()));
             sim.external_pressure(pressure_pu, external_gbps);
-            let out = sim.run(horizon);
+            let out = sim.execute();
             out.per_pu[&pu_idx].lines_per_cycle
         })
         .collect();

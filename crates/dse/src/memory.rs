@@ -77,9 +77,10 @@ pub fn explore_memory_configs(
                     candidate.pu_index("CPU").expect("CPU")
                 };
                 let mut sim = CoRunSim::new(&candidate);
+                sim.horizon(horizon);
                 sim.place(Placement::kernel(pu_idx, kernel.clone()));
                 sim.external_pressure(pressure, external_gbps);
-                sim.run(horizon)
+                sim.execute()
                     .relative_speed_pct(pu_idx, &profile)
                     .min(102.0)
             });

@@ -2,18 +2,22 @@
 //! simulated SoC substrate.
 //!
 //! ```text
-//! repro [--quick] [--curves] [--json <dir>]
-//!       [all | fig2 fig3 fig5 fig6 table5 table7 fig8 fig9 fig10 fig11
-//!        fig12 fig13 fig14 table9 table10 oblivious sched]
+//! repro [--quick] [--curves] [--jobs N] [--metrics-out <dir>]
+//!       [all | validate | fig2 fig3 fig5 fig6 table5 table7 fig8 fig9
+//!        fig10 fig11 fig12 fig13 fig14 table9 table10 oblivious sched]
 //! ```
 //!
 //! With no experiment arguments, everything runs. `--quick` trades
 //! fidelity for speed (short horizons, coarse grids) and is what the test
 //! suite uses; `--curves` dumps the full per-benchmark curves for the
-//! validation figures; `--json <dir>` additionally writes each
-//! experiment's result as `<dir>/<name>.json` — a `{manifest, result}`
-//! object whose manifest records the configuration, crate version, start
-//! time, and wall time — plus the phase spans as `<dir>/trace.jsonl`.
+//! validation figures; `validate` expands to the five validation figures
+//! (fig8–fig12). `--jobs N` sets the sweep worker-thread count (default:
+//! all cores; results are byte-identical for any N because every
+//! simulation is seeded). `--metrics-out <dir>` (alias: `--json <dir>`)
+//! additionally writes each experiment's result as `<dir>/<name>.json` — a
+//! `{manifest, result}` object whose manifest records the configuration,
+//! crate version, start time, and wall time — plus the phase spans as
+//! `<dir>/trace.jsonl` (see DESIGN.md for the JSONL schema).
 
 use pccs_experiments::context::{Context, Quality};
 use pccs_experiments::validate::Figure;
@@ -46,44 +50,88 @@ const ALL: &[&str] = &[
     "sched",
 ];
 
+/// The `validate` selector: the five per-benchmark validation figures.
+const VALIDATE: &[&str] = &["fig8", "fig9", "fig10", "fig11", "fig12"];
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let verbose = args.iter().any(|a| a == "--curves");
-    let json_dir: Option<String> = args
-        .iter()
-        .position(|a| a == "--json")
-        .and_then(|i| args.get(i + 1))
-        .map(|s| s.to_owned());
+
+    // Options with values; their value tokens must not be mistaken for
+    // experiment names.
+    let opt_value = |flag: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .map(|s| s.to_owned())
+    };
+    // `--metrics-out` is the canonical export flag (matching `pccs corun`
+    // and `pccs sched`); `--json` stays as an alias.
+    let json_dir: Option<String> = opt_value("--metrics-out").or_else(|| opt_value("--json"));
     if let Some(dir) = &json_dir {
         if let Err(e) = std::fs::create_dir_all(dir) {
-            eprintln!("cannot create --json dir {dir}: {e}");
+            eprintln!("cannot create --metrics-out dir {dir}: {e}");
             std::process::exit(2);
         }
     }
-    let json_value_of = |a: &String| json_dir.as_deref() == Some(a.as_str());
-    let mut selected: Vec<String> = args
-        .iter()
-        .filter(|a| !a.starts_with("--") && !json_value_of(a))
-        .map(|s| s.to_ascii_lowercase())
-        .collect();
+    let jobs: usize = match opt_value("--jobs") {
+        None => 0, // all available cores
+        Some(v) => match v.parse() {
+            Ok(n) => n,
+            Err(_) => {
+                eprintln!("--jobs expects a number, got '{v}'");
+                std::process::exit(2);
+            }
+        },
+    };
+
+    let mut selected: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if a == "--json" || a == "--metrics-out" || a == "--jobs" {
+            i += 2; // skip the flag and its value
+            continue;
+        }
+        if !a.starts_with("--") {
+            selected.push(a.to_ascii_lowercase());
+        }
+        i += 1;
+    }
     if selected.is_empty() || selected.iter().any(|s| s == "all") {
         selected = ALL.iter().map(|s| (*s).to_owned()).collect();
+    } else if selected.iter().any(|s| s == "validate") {
+        // Expand the `validate` alias in place, keeping any other names.
+        selected = selected
+            .iter()
+            .flat_map(|s| {
+                if s == "validate" {
+                    VALIDATE.iter().map(|v| (*v).to_owned()).collect()
+                } else {
+                    vec![s.clone()]
+                }
+            })
+            .collect();
     }
     for s in &selected {
         if !ALL.contains(&s.as_str()) {
-            eprintln!("unknown experiment '{s}'; known: {}", ALL.join(" "));
+            eprintln!(
+                "unknown experiment '{s}'; known: all validate {}",
+                ALL.join(" ")
+            );
             std::process::exit(2);
         }
     }
 
     let quality = if quick { Quality::Quick } else { Quality::Full };
-    let mut ctx = Context::new(quality);
+    let mut ctx = Context::new(quality).with_jobs(jobs);
     println!(
-        "# PCCS reproduction — {} fidelity (horizon {} cycles, {} repeats)\n",
+        "# PCCS reproduction — {} fidelity (horizon {} cycles, {} repeats, {} jobs)\n",
         if quick { "quick" } else { "full" },
         ctx.horizon(),
-        ctx.repeats()
+        ctx.repeats(),
+        ctx.jobs()
     );
     if json_dir.is_some() {
         // Phase spans (model construction, sweeps) end up in trace.jsonl.
@@ -103,6 +151,10 @@ fn main() {
             "repeats".to_owned(),
             Value::Number(Number::U(u64::from(ctx.repeats()))),
         );
+        c.insert(
+            "jobs".to_owned(),
+            Value::Number(Number::U(ctx.jobs() as u64)),
+        );
         Value::Object(c)
     };
 
@@ -114,7 +166,7 @@ fn main() {
         let (report, json) = match name.as_str() {
             "fig2" => jsonify(fig2::run(&mut ctx), fig2::Fig2::format),
             "fig3" => jsonify(fig3::run(&mut ctx), fig3::Fig3::format),
-            "fig5" => jsonify(Ok(fig5::run(&ctx)), fig5::Fig5::format),
+            "fig5" => jsonify(fig5::run(&mut ctx), fig5::Fig5::format),
             "fig6" => jsonify(fig6::run(&mut ctx), fig6::Fig6::format),
             "table5" => jsonify(table5::run(&mut ctx), table5::Table5::format),
             "table7" => jsonify(table7::run(&mut ctx), table7::Table7::format),
@@ -159,6 +211,13 @@ fn main() {
             eprintln!("warning: could not write {path}: {e}");
         }
     }
+    let cache = ctx.profile_cache_stats();
+    println!(
+        "profile cache: {} hits / {} misses ({:.0}% hit rate)",
+        cache.hits,
+        cache.misses,
+        cache.hit_rate_pct()
+    );
     println!("total: {:.1?}", t0.elapsed());
 }
 

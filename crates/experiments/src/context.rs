@@ -1,15 +1,22 @@
-//! Shared experiment context: SoC presets, measurement quality, and a cache
-//! of constructed PCCS models (construction is the expensive step, and
-//! several experiments share the same models).
+//! Shared experiment context: SoC presets, measurement quality, and caches
+//! of constructed PCCS models and standalone profiles (construction and
+//! profiling are the expensive steps, and several experiments share them).
+//!
+//! The context is `Sync`: model and profile caches sit behind mutexes so
+//! [`crate::runner::SweepRunner`] workers can share one context by
+//! reference. Experiment entry points still take `&mut Context` for API
+//! uniformity, but all methods below only need `&self`.
 
+use crate::cache::{CacheStats, ProfileCache};
 use crate::error::ExperimentError;
 use pccs_core::{CalibrationData, PccsModel};
 use pccs_gables::GablesModel;
-use pccs_soc::corun::{CoRunSim, Placement, StandaloneProfile};
+use pccs_soc::corun::{CoRunConfig, CoRunSim, Placement, StandaloneProfile};
 use pccs_soc::kernel::KernelDesc;
 use pccs_soc::soc::SocConfig;
 use pccs_workloads::calibrate::{build_model, CalibrationConfig};
 use std::collections::HashMap;
+use std::sync::Mutex;
 
 /// Measurement fidelity of an experiment run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,17 +37,40 @@ pub struct Context {
     pub xavier: SocConfig,
     /// The Qualcomm Snapdragon 855 model (Table 6).
     pub snapdragon: SocConfig,
-    models: HashMap<(String, usize), (PccsModel, CalibrationData)>,
+    /// Worker threads for sweep cells and calibration (0 = all cores).
+    jobs: usize,
+    models: Mutex<HashMap<(String, usize), (PccsModel, CalibrationData)>>,
+    profiles: ProfileCache,
 }
 
 impl Context {
-    /// Creates a context at the given fidelity.
+    /// Creates a context at the given fidelity, using every available core.
     pub fn new(quality: Quality) -> Self {
         Self {
             quality,
             xavier: SocConfig::xavier(),
             snapdragon: SocConfig::snapdragon855(),
-            models: HashMap::new(),
+            jobs: 0,
+            models: Mutex::new(HashMap::new()),
+            profiles: ProfileCache::new(),
+        }
+    }
+
+    /// Sets the worker-thread count for sweeps and calibration; `0` means
+    /// all available cores, `1` forces today's serial behaviour.
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
+    }
+
+    /// The resolved worker-thread count (always ≥ 1).
+    pub fn jobs(&self) -> usize {
+        if self.jobs > 0 {
+            self.jobs
+        } else {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
         }
     }
 
@@ -65,6 +95,7 @@ impl Context {
         CalibrationConfig {
             horizon: self.horizon(),
             repeats: self.repeats(),
+            threads: self.jobs,
             ..CalibrationConfig::default()
         }
     }
@@ -109,25 +140,29 @@ impl Context {
     ///
     /// Panics if the calibration sweep fails validation — on the bundled
     /// SoC presets it does not.
-    pub fn pccs_model(&mut self, soc: &SocConfig, pu_idx: usize) -> PccsModel {
+    pub fn pccs_model(&self, soc: &SocConfig, pu_idx: usize) -> PccsModel {
         self.model_and_data(soc, pu_idx).0
     }
 
     /// The constructed model together with its calibration matrix (cached).
-    pub fn model_and_data(
-        &mut self,
-        soc: &SocConfig,
-        pu_idx: usize,
-    ) -> (PccsModel, CalibrationData) {
+    ///
+    /// Construction runs outside the cache lock so two workers can build
+    /// *different* models concurrently; two workers racing on the *same*
+    /// cold key both build and the results are identical (deterministic
+    /// sweep), so the outcome never depends on the interleaving.
+    pub fn model_and_data(&self, soc: &SocConfig, pu_idx: usize) -> (PccsModel, CalibrationData) {
         let key = (soc.name.clone(), pu_idx);
-        if let Some(found) = self.models.get(&key) {
+        if let Some(found) = self.models.lock().expect("model cache").get(&key) {
             return found.clone();
         }
         let pressure = Self::pressure_pu_for(soc, pu_idx);
         let cfg = self.calibration_config();
         let built = build_model(soc, pu_idx, pressure, &cfg)
             .unwrap_or_else(|e| panic!("model construction failed for {}/{pu_idx}: {e}", soc.name));
-        self.models.insert(key.clone(), built.clone());
+        self.models
+            .lock()
+            .expect("model cache")
+            .insert(key, built.clone());
         built
     }
 
@@ -136,14 +171,23 @@ impl Context {
         GablesModel::new(soc.peak_bw_gbps())
     }
 
-    /// Standalone profile of `kernel` on `soc`/`pu_idx` at this fidelity.
+    /// Standalone profile of `kernel` on `soc`/`pu_idx` at this fidelity,
+    /// memoized in the shared [`ProfileCache`].
     pub fn standalone(
         &self,
         soc: &SocConfig,
         pu_idx: usize,
         kernel: &KernelDesc,
     ) -> StandaloneProfile {
-        CoRunSim::standalone_averaged(soc, pu_idx, kernel, self.horizon(), self.repeats())
+        let cfg = CoRunConfig::default()
+            .with_horizon(self.horizon())
+            .with_repeats(self.repeats());
+        self.profiles.standalone(soc, pu_idx, kernel, &cfg)
+    }
+
+    /// Hit/miss counters of the shared standalone-profile cache.
+    pub fn profile_cache_stats(&self) -> CacheStats {
+        self.profiles.stats()
     }
 
     /// Measured (simulated) relative speed, in percent, of `kernel` on
@@ -159,10 +203,11 @@ impl Context {
     ) -> f64 {
         let pressure_pu = Self::pressure_pu_for(soc, pu_idx);
         let mut sim = CoRunSim::new(soc);
+        sim.horizon(self.horizon());
         sim.repeats(self.repeats());
         sim.place(Placement::kernel(pu_idx, kernel.clone()));
         sim.external_pressure(pressure_pu, external_gbps);
-        let out = sim.run(self.horizon());
+        let out = sim.execute();
         out.relative_speed_pct(pu_idx, standalone).min(102.0)
     }
 
@@ -212,6 +257,31 @@ mod tests {
         assert!(quick.horizon() < full.horizon());
         assert!(quick.repeats() <= full.repeats());
         assert!(quick.external_grid(&quick.xavier).len() < full.external_grid(&full.xavier).len());
+    }
+
+    #[test]
+    fn jobs_resolve_to_at_least_one() {
+        let ctx = Context::new(Quality::Quick);
+        assert!(ctx.jobs() >= 1);
+        assert_eq!(ctx.with_jobs(3).jobs(), 3);
+    }
+
+    #[test]
+    fn context_is_shareable_across_threads() {
+        fn assert_sync<T: Send + Sync>() {}
+        assert_sync::<Context>();
+    }
+
+    #[test]
+    fn standalone_requests_are_memoized() {
+        let ctx = Context::new(Quality::Quick);
+        let gpu = ctx.xavier.pu_index("GPU").unwrap();
+        let kernel = KernelDesc::memory_streaming("stream", 0.5);
+        let first = ctx.standalone(&ctx.xavier, gpu, &kernel);
+        let second = ctx.standalone(&ctx.xavier, gpu, &kernel);
+        assert_eq!(first, second);
+        let stats = ctx.profile_cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
     }
 
     #[test]

@@ -5,9 +5,13 @@
 
 use crate::context::Context;
 use crate::error::Result;
+use crate::runner::{run_experiment, Experiment};
 use crate::table::TextTable;
-use pccs_core::PhasedWorkload;
+use pccs_core::{PccsModel, PhasedWorkload};
+use pccs_soc::corun::StandaloneProfile;
+use pccs_soc::kernel::KernelDesc;
 use pccs_soc::pu::PuKind;
+use pccs_soc::soc::SocConfig;
 use pccs_workloads::rodinia::RodiniaBenchmark;
 use serde::{Deserialize, Serialize};
 
@@ -20,6 +24,110 @@ pub struct Fig13 {
     pub points: Vec<(f64, f64, f64, f64)>,
 }
 
+/// Shared sweep state: the phase kernels, their profiles, and both
+/// prediction inputs.
+#[derive(Debug)]
+pub struct Fig13Prep {
+    soc: SocConfig,
+    gpu: usize,
+    model: PccsModel,
+    kernels: [KernelDesc; 4],
+    standalones: Vec<StandaloneProfile>,
+    weights: [f64; 4],
+    demands: Vec<f64>,
+    phased: PhasedWorkload,
+}
+
+/// [`Experiment`] marker for Figure 13; one cell per external-pressure
+/// level (each cell simulates all four phases).
+#[derive(Debug, Clone, Copy)]
+pub struct Fig13Experiment;
+
+impl Experiment for Fig13Experiment {
+    type Prep = Fig13Prep;
+    type Cell = f64;
+    type CellOut = (f64, f64, f64, f64);
+    type Output = Fig13;
+
+    fn name(&self) -> &'static str {
+        "fig13"
+    }
+
+    fn prepare(&self, ctx: &Context) -> Result<(Fig13Prep, Vec<f64>)> {
+        let soc = ctx.xavier.clone();
+        let gpu = Context::require_pu(&soc, "GPU")?;
+        let model = ctx.pccs_model(&soc, gpu);
+        let kernels = RodiniaBenchmark::cfd_phase_kernels(PuKind::Gpu);
+        let weights = RodiniaBenchmark::cfd_phase_weights();
+        let standalones: Vec<_> = kernels
+            .iter()
+            .map(|k| ctx.standalone(&soc, gpu, k))
+            .collect();
+        let demands: Vec<f64> = standalones.iter().map(|s| s.bw_gbps).collect();
+        let phased = PhasedWorkload::new(
+            "cfd",
+            &demands
+                .iter()
+                .zip(weights)
+                .map(|(&d, w)| (d, w))
+                .collect::<Vec<_>>(),
+        );
+        let grid = ctx.external_grid(&soc);
+        Ok((
+            Fig13Prep {
+                soc,
+                gpu,
+                model,
+                kernels,
+                standalones,
+                weights,
+                demands,
+                phased,
+            },
+            grid,
+        ))
+    }
+
+    fn run_cell(&self, ctx: &Context, prep: &Fig13Prep, &y: &f64) -> Result<(f64, f64, f64, f64)> {
+        // Actual: per-phase measured RS aggregated by standalone time share
+        // (the phases run back-to-back; total slowdown is the time-weighted
+        // harmonic combination).
+        let mut corun_time = 0.0;
+        for ((kernel, standalone), &w) in prep
+            .kernels
+            .iter()
+            .zip(&prep.standalones)
+            .zip(prep.weights.iter())
+        {
+            let rs = ctx
+                .actual_rs_pct(&prep.soc, prep.gpu, kernel, standalone, y)
+                .max(1.0);
+            corun_time += w / (rs / 100.0);
+        }
+        let actual = 100.0 / corun_time;
+        let averaged = prep.phased.predict_average(&prep.model, y);
+        let piecewise = prep.phased.predict_piecewise(&prep.model, y);
+        Ok((y, actual, averaged, piecewise))
+    }
+
+    fn merge(
+        &self,
+        _ctx: &Context,
+        prep: Fig13Prep,
+        cells: Vec<(f64, f64, f64, f64)>,
+    ) -> Result<Fig13> {
+        Ok(Fig13 {
+            phase_demands: [
+                prep.demands[0],
+                prep.demands[1],
+                prep.demands[2],
+                prep.demands[3],
+            ],
+            points: cells,
+        })
+    }
+}
+
 /// Runs CFD on the Xavier GPU: simulate each phase under pressure, combine
 /// by standalone time share for the "actual", and compare both prediction
 /// styles.
@@ -28,47 +136,7 @@ pub struct Fig13 {
 ///
 /// Fails if a requested PU is missing from the SoC preset.
 pub fn run(ctx: &mut Context) -> Result<Fig13> {
-    let soc = ctx.xavier.clone();
-    let gpu = Context::require_pu(&soc, "GPU")?;
-    let model = ctx.pccs_model(&soc, gpu);
-    let kernels = RodiniaBenchmark::cfd_phase_kernels(PuKind::Gpu);
-    let weights = RodiniaBenchmark::cfd_phase_weights();
-
-    let standalones: Vec<_> = kernels
-        .iter()
-        .map(|k| ctx.standalone(&soc, gpu, k))
-        .collect();
-    let demands: Vec<f64> = standalones.iter().map(|s| s.bw_gbps).collect();
-    let phased = PhasedWorkload::new(
-        "cfd",
-        &demands
-            .iter()
-            .zip(weights)
-            .map(|(&d, w)| (d, w))
-            .collect::<Vec<_>>(),
-    );
-
-    let grid = ctx.external_grid(&soc);
-    let mut points = Vec::new();
-    for &y in &grid {
-        // Actual: per-phase measured RS aggregated by standalone time share
-        // (the phases run back-to-back; total slowdown is the time-weighted
-        // harmonic combination).
-        let mut corun_time = 0.0;
-        for ((kernel, standalone), &w) in kernels.iter().zip(&standalones).zip(weights.iter()) {
-            let rs = ctx.actual_rs_pct(&soc, gpu, kernel, standalone, y).max(1.0);
-            corun_time += w / (rs / 100.0);
-        }
-        let actual = 100.0 / corun_time;
-        let averaged = phased.predict_average(&model, y);
-        let piecewise = phased.predict_piecewise(&model, y);
-        points.push((y, actual, averaged, piecewise));
-    }
-
-    Ok(Fig13 {
-        phase_demands: [demands[0], demands[1], demands[2], demands[3]],
-        points,
-    })
+    run_experiment(&Fig13Experiment, ctx)
 }
 
 impl Fig13 {

@@ -6,10 +6,13 @@
 
 use crate::context::Context;
 use crate::error::Result;
+use crate::runner::{run_experiment, Experiment};
 use crate::table::TextTable;
-use pccs_core::SlowdownModel;
+use pccs_core::{PccsModel, SlowdownModel};
+use pccs_gables::GablesModel;
 use pccs_soc::corun::{CoRunSim, Placement};
 use pccs_soc::pu::PuKind;
+use pccs_soc::soc::SocConfig;
 use pccs_workloads::mixes::{WorkloadMix, TABLE8_MIXES};
 use serde::{Deserialize, Serialize};
 
@@ -48,57 +51,94 @@ pub struct Fig14 {
     pub mixes: Vec<MixResult>,
 }
 
-/// Runs the co-run study on Xavier.
-///
-/// # Errors
-///
-/// Fails if a requested PU is missing from the SoC preset.
-pub fn run(ctx: &mut Context) -> Result<Fig14> {
-    let soc = ctx.xavier.clone();
-    let cpu = Context::require_pu(&soc, "CPU")?;
-    let gpu = Context::require_pu(&soc, "GPU")?;
-    let dla = Context::require_pu(&soc, "DLA")?;
-    let models = [
-        (cpu, ctx.pccs_model(&soc, cpu)),
-        (gpu, ctx.pccs_model(&soc, gpu)),
-        (dla, ctx.pccs_model(&soc, dla)),
-    ];
-    let gables = ctx.gables(&soc);
+/// Shared sweep state: the Xavier PUs and their constructed models.
+#[derive(Debug)]
+pub struct Fig14Prep {
+    soc: SocConfig,
+    cpu: usize,
+    gpu: usize,
+    dla: usize,
+    models: [(usize, PccsModel); 3],
+    gables: GablesModel,
+}
 
-    let selected: Vec<WorkloadMix> = match ctx.quality {
-        crate::context::Quality::Quick => TABLE8_MIXES[..3].to_vec(),
-        crate::context::Quality::Full => TABLE8_MIXES.to_vec(),
-    };
+/// [`Experiment`] marker for Figure 14 + Table 8; one cell per workload
+/// mix (each cell profiles three standalones and one 3-PU co-run).
+#[derive(Debug, Clone, Copy)]
+pub struct Fig14Experiment;
 
-    let mut mixes = Vec::new();
-    for mix in selected {
+impl Experiment for Fig14Experiment {
+    type Prep = Fig14Prep;
+    type Cell = WorkloadMix;
+    type CellOut = MixResult;
+    type Output = Fig14;
+
+    fn name(&self) -> &'static str {
+        "fig14"
+    }
+
+    fn prepare(&self, ctx: &Context) -> Result<(Fig14Prep, Vec<WorkloadMix>)> {
+        let soc = ctx.xavier.clone();
+        let cpu = Context::require_pu(&soc, "CPU")?;
+        let gpu = Context::require_pu(&soc, "GPU")?;
+        let dla = Context::require_pu(&soc, "DLA")?;
+        let models = [
+            (cpu, ctx.pccs_model(&soc, cpu)),
+            (gpu, ctx.pccs_model(&soc, gpu)),
+            (dla, ctx.pccs_model(&soc, dla)),
+        ];
+        let gables = ctx.gables(&soc);
+        let selected: Vec<WorkloadMix> = match ctx.quality {
+            crate::context::Quality::Quick => TABLE8_MIXES[..3].to_vec(),
+            crate::context::Quality::Full => TABLE8_MIXES.to_vec(),
+        };
+        Ok((
+            Fig14Prep {
+                soc,
+                cpu,
+                gpu,
+                dla,
+                models,
+                gables,
+            },
+            selected,
+        ))
+    }
+
+    fn run_cell(&self, ctx: &Context, prep: &Fig14Prep, mix: &WorkloadMix) -> Result<MixResult> {
         let kernels = [
             (
-                cpu,
+                prep.cpu,
                 "CPU",
                 mix.cpu.label().to_owned(),
                 mix.cpu.kernel(PuKind::Cpu),
             ),
             (
-                gpu,
+                prep.gpu,
                 "GPU",
                 mix.gpu.label().to_owned(),
                 mix.gpu.kernel(PuKind::Gpu),
             ),
-            (dla, "DLA", mix.dla.label().to_owned(), mix.dla.kernel()),
+            (
+                prep.dla,
+                "DLA",
+                mix.dla.label().to_owned(),
+                mix.dla.kernel(),
+            ),
         ];
         let standalones: Vec<_> = kernels
             .iter()
-            .map(|(pu, _, _, k)| ctx.standalone(&soc, *pu, k))
+            .map(|(pu, _, _, k)| ctx.standalone(&prep.soc, *pu, k))
             .collect();
 
         // The actual 3-PU co-run.
-        let mut sim = CoRunSim::new(&soc);
+        let mut sim = CoRunSim::new(&prep.soc);
+        sim.horizon(ctx.horizon());
         sim.repeats(ctx.repeats());
         for (pu, _, _, k) in &kernels {
             sim.place(Placement::kernel(*pu, k.clone()));
         }
-        let out = sim.run(ctx.horizon());
+        let out = sim.execute();
 
         let mut per_pu = Vec::new();
         for (i, (pu, pu_name, workload, _)) in kernels.iter().enumerate() {
@@ -110,7 +150,7 @@ pub fn run(ctx: &mut Context) -> Result<Fig14> {
                 .map(|(_, s)| s.bw_gbps)
                 .sum();
             let actual = out.relative_speed_pct(*pu, &standalones[i]).min(102.0);
-            let pccs_model = &models.iter().find(|(p, _)| p == pu).expect("model").1;
+            let pccs_model = &prep.models.iter().find(|(p, _)| p == pu).expect("model").1;
             per_pu.push(MixPuResult {
                 pu: (*pu_name).to_owned(),
                 workload: workload.clone(),
@@ -118,12 +158,24 @@ pub fn run(ctx: &mut Context) -> Result<Fig14> {
                 external_gbps: external,
                 actual,
                 pccs: pccs_model.relative_speed_pct(x, external),
-                gables: gables.relative_speed_pct(x, external),
+                gables: prep.gables.relative_speed_pct(x, external),
             });
         }
-        mixes.push(MixResult { id: mix.id, per_pu });
+        Ok(MixResult { id: mix.id, per_pu })
     }
-    Ok(Fig14 { mixes })
+
+    fn merge(&self, _ctx: &Context, _prep: Fig14Prep, cells: Vec<MixResult>) -> Result<Fig14> {
+        Ok(Fig14 { mixes: cells })
+    }
+}
+
+/// Runs the co-run study on Xavier.
+///
+/// # Errors
+///
+/// Fails if a requested PU is missing from the SoC preset.
+pub fn run(ctx: &mut Context) -> Result<Fig14> {
+    run_experiment(&Fig14Experiment, ctx)
 }
 
 impl Fig14 {

@@ -9,8 +9,11 @@
 
 use crate::context::Context;
 use crate::error::Result;
+use crate::runner::{run_experiment, Experiment};
 use crate::table::TextTable;
-use pccs_soc::corun::{CoRunSim, Placement};
+use pccs_soc::corun::{CoRunSim, Placement, StandaloneProfile};
+use pccs_soc::kernel::KernelDesc;
+use pccs_soc::soc::SocConfig;
 use pccs_workloads::calibrate::calibrator_kernel;
 use serde::{Deserialize, Serialize};
 
@@ -34,44 +37,102 @@ pub struct Fig2 {
     pub peak_gbps: f64,
 }
 
-/// Runs the experiment.
+/// One profiled PU setup shared by all of its pressure cells.
+#[derive(Debug)]
+pub struct Fig2Setup {
+    pu_name: &'static str,
+    pu: usize,
+    pressure_pu: usize,
+    kernel: KernelDesc,
+    standalone: StandaloneProfile,
+}
+
+/// Shared sweep state: the SoC and the profiled setups.
+#[derive(Debug)]
+pub struct Fig2Prep {
+    soc: SocConfig,
+    setups: Vec<Fig2Setup>,
+    grid: Vec<f64>,
+}
+
+/// [`Experiment`] marker for Figure 2; one cell per (PU, pressure level).
+#[derive(Debug, Clone, Copy)]
+pub struct Fig2Experiment;
+
+impl Experiment for Fig2Experiment {
+    type Prep = Fig2Prep;
+    type Cell = (usize, f64);
+    type CellOut = f64;
+    type Output = Fig2;
+
+    fn name(&self) -> &'static str {
+        "fig2"
+    }
+
+    fn prepare(&self, ctx: &Context) -> Result<(Fig2Prep, Vec<(usize, f64)>)> {
+        let soc = ctx.xavier.clone();
+        // Paper's requested levels, scaled by what each PU can demand.
+        let mut setups = Vec::new();
+        for (pu_name, requested) in [("DLA", 30.0), ("CPU", 93.0), ("GPU", 127.0)] {
+            let pu = Context::require_pu(&soc, pu_name)?;
+            let kernel = calibrator_kernel(&soc, pu, requested);
+            setups.push(Fig2Setup {
+                pu_name,
+                pu,
+                pressure_pu: Context::pressure_pu_for(&soc, pu),
+                standalone: ctx.standalone(&soc, pu, &kernel),
+                kernel,
+            });
+        }
+        let grid = ctx.external_grid(&soc);
+        let cells = (0..setups.len())
+            .flat_map(|s| grid.iter().map(move |&y| (s, y)))
+            .collect();
+        Ok((Fig2Prep { soc, setups, grid }, cells))
+    }
+
+    fn run_cell(&self, ctx: &Context, prep: &Fig2Prep, &(s, y): &(usize, f64)) -> Result<f64> {
+        let setup = &prep.setups[s];
+        let mut sim = CoRunSim::new(&prep.soc);
+        sim.horizon(ctx.horizon());
+        sim.repeats(ctx.repeats());
+        sim.place(Placement::kernel(setup.pu, setup.kernel.clone()));
+        sim.external_pressure(setup.pressure_pu, y);
+        let out = sim.execute();
+        let met = 100.0 * out.per_pu[&setup.pu].bw_gbps / setup.standalone.bw_gbps.max(1e-9);
+        Ok(met.min(102.0))
+    }
+
+    fn merge(&self, _ctx: &Context, prep: Fig2Prep, cells: Vec<f64>) -> Result<Fig2> {
+        let curves = prep
+            .setups
+            .iter()
+            .enumerate()
+            .map(|(s, setup)| BwMetCurve {
+                pu: setup.pu_name.to_owned(),
+                requested_gbps: setup.standalone.bw_gbps,
+                points: prep
+                    .grid
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &y)| (y, cells[s * prep.grid.len() + i]))
+                    .collect(),
+            })
+            .collect();
+        Ok(Fig2 {
+            curves,
+            peak_gbps: prep.soc.peak_bw_gbps(),
+        })
+    }
+}
+
+/// Runs the experiment at the context's configured parallelism.
 ///
 /// # Errors
 ///
 /// Fails if a requested PU is missing from the SoC preset.
 pub fn run(ctx: &mut Context) -> Result<Fig2> {
-    let soc = ctx.xavier.clone();
-    let peak = soc.peak_bw_gbps();
-    // Paper's requested levels, scaled by what each PU can actually demand.
-    let setups = [("DLA", 30.0), ("CPU", 93.0), ("GPU", 127.0)];
-    let grid = ctx.external_grid(&soc);
-
-    let mut curves = Vec::new();
-    for (pu_name, requested) in setups {
-        let pu = Context::require_pu(&soc, pu_name)?;
-        let pressure_pu = Context::pressure_pu_for(&soc, pu);
-        let kernel = calibrator_kernel(&soc, pu, requested);
-        let standalone = ctx.standalone(&soc, pu, &kernel);
-        let mut points = Vec::new();
-        for &y in &grid {
-            let mut sim = CoRunSim::new(&soc);
-            sim.repeats(ctx.repeats());
-            sim.place(Placement::kernel(pu, kernel.clone()));
-            sim.external_pressure(pressure_pu, y);
-            let out = sim.run(ctx.horizon());
-            let met = 100.0 * out.per_pu[&pu].bw_gbps / standalone.bw_gbps.max(1e-9);
-            points.push((y, met.min(102.0)));
-        }
-        curves.push(BwMetCurve {
-            pu: pu_name.to_owned(),
-            requested_gbps: standalone.bw_gbps,
-            points,
-        });
-    }
-    Ok(Fig2 {
-        curves,
-        peak_gbps: peak,
-    })
+    run_experiment(&Fig2Experiment, ctx)
 }
 
 impl Fig2 {

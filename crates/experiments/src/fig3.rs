@@ -6,8 +6,11 @@
 
 use crate::context::Context;
 use crate::error::Result;
+use crate::runner::{run_experiment, Experiment};
 use crate::table::TextTable;
-use pccs_soc::corun::{CoRunSim, Placement};
+use pccs_soc::corun::{CoRunSim, Placement, StandaloneProfile};
+use pccs_soc::kernel::KernelDesc;
+use pccs_soc::soc::SocConfig;
 use pccs_workloads::calibrate::calibrator_kernel;
 use serde::{Deserialize, Serialize};
 
@@ -29,6 +32,94 @@ pub struct Fig3 {
     pub curves: Vec<RsCurve>,
 }
 
+/// Shared sweep state: the SoC and each demand level's profiled kernel.
+#[derive(Debug)]
+pub struct Fig3Prep {
+    soc: SocConfig,
+    gpu: usize,
+    cpu: usize,
+    /// `(requested demand, kernel, standalone profile)` per demand level.
+    levels: Vec<(f64, KernelDesc, StandaloneProfile)>,
+    grid: Vec<f64>,
+}
+
+/// [`Experiment`] marker for Figure 3; one cell per (demand, pressure).
+#[derive(Debug, Clone, Copy)]
+pub struct Fig3Experiment;
+
+impl Experiment for Fig3Experiment {
+    type Prep = Fig3Prep;
+    type Cell = (usize, f64);
+    type CellOut = f64;
+    type Output = Fig3;
+
+    fn name(&self) -> &'static str {
+        "fig3"
+    }
+
+    fn prepare(&self, ctx: &Context) -> Result<(Fig3Prep, Vec<(usize, f64)>)> {
+        let soc = ctx.xavier.clone();
+        let gpu = Context::require_pu(&soc, "GPU")?;
+        let cpu = Context::require_pu(&soc, "CPU")?;
+        let demands: Vec<f64> = match ctx.quality {
+            crate::context::Quality::Quick => vec![10.0, 50.0, 100.0],
+            crate::context::Quality::Full => (1..=10).map(|i| i as f64 * 10.0).collect(),
+        };
+        let levels = demands
+            .into_iter()
+            .map(|demand| {
+                let kernel = calibrator_kernel(&soc, gpu, demand);
+                let standalone = ctx.standalone(&soc, gpu, &kernel);
+                (demand, kernel, standalone)
+            })
+            .collect::<Vec<_>>();
+        let grid = ctx.external_grid(&soc);
+        let cells = (0..levels.len())
+            .flat_map(|l| grid.iter().map(move |&y| (l, y)))
+            .collect();
+        Ok((
+            Fig3Prep {
+                soc,
+                gpu,
+                cpu,
+                levels,
+                grid,
+            },
+            cells,
+        ))
+    }
+
+    fn run_cell(&self, ctx: &Context, prep: &Fig3Prep, &(l, y): &(usize, f64)) -> Result<f64> {
+        let (_, kernel, standalone) = &prep.levels[l];
+        let mut sim = CoRunSim::new(&prep.soc);
+        sim.horizon(ctx.horizon());
+        sim.repeats(ctx.repeats());
+        sim.place(Placement::kernel(prep.gpu, kernel.clone()));
+        sim.external_pressure(prep.cpu, y);
+        let out = sim.execute();
+        Ok(out.relative_speed_pct(prep.gpu, standalone).min(102.0))
+    }
+
+    fn merge(&self, _ctx: &Context, prep: Fig3Prep, cells: Vec<f64>) -> Result<Fig3> {
+        let curves = prep
+            .levels
+            .iter()
+            .enumerate()
+            .map(|(l, (demand, _, standalone))| RsCurve {
+                requested_gbps: *demand,
+                standalone_gbps: standalone.bw_gbps,
+                points: prep
+                    .grid
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &y)| (y, cells[l * prep.grid.len() + i]))
+                    .collect(),
+            })
+            .collect();
+        Ok(Fig3 { curves })
+    }
+}
+
 /// Runs the sweep on the Xavier GPU (the paper uses the GPU and CPU; the
 /// GPU exhibits all three classes).
 ///
@@ -36,35 +127,7 @@ pub struct Fig3 {
 ///
 /// Fails if a requested PU is missing from the SoC preset.
 pub fn run(ctx: &mut Context) -> Result<Fig3> {
-    let soc = ctx.xavier.clone();
-    let gpu = Context::require_pu(&soc, "GPU")?;
-    let cpu = Context::require_pu(&soc, "CPU")?;
-    let demands: Vec<f64> = match ctx.quality {
-        crate::context::Quality::Quick => vec![10.0, 50.0, 100.0],
-        crate::context::Quality::Full => (1..=10).map(|i| i as f64 * 10.0).collect(),
-    };
-    let grid = ctx.external_grid(&soc);
-
-    let mut curves = Vec::new();
-    for &demand in &demands {
-        let kernel = calibrator_kernel(&soc, gpu, demand);
-        let standalone = ctx.standalone(&soc, gpu, &kernel);
-        let mut points = Vec::new();
-        for &y in &grid {
-            let mut sim = CoRunSim::new(&soc);
-            sim.repeats(ctx.repeats());
-            sim.place(Placement::kernel(gpu, kernel.clone()));
-            sim.external_pressure(cpu, y);
-            let out = sim.run(ctx.horizon());
-            points.push((y, out.relative_speed_pct(gpu, &standalone).min(102.0)));
-        }
-        curves.push(RsCurve {
-            requested_gbps: demand,
-            standalone_gbps: standalone.bw_gbps,
-            points,
-        });
-    }
-    Ok(Fig3 { curves })
+    run_experiment(&Fig3Experiment, ctx)
 }
 
 impl Fig3 {

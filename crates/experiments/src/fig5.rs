@@ -11,6 +11,8 @@
 //! policy's row-buffer hit rate and effective bandwidth at saturation.
 
 use crate::context::{Context, Quality};
+use crate::error::Result;
+use crate::runner::{run_experiment, Experiment};
 use crate::table::TextTable;
 use pccs_dram::config::DramConfig;
 use pccs_dram::policy::PolicyKind;
@@ -85,35 +87,63 @@ fn group_bw(out: &pccs_dram::sim::SimOutcome, base: usize) -> f64 {
         .sum()
 }
 
-/// Runs the study.
-pub fn run(ctx: &Context) -> Fig5 {
-    let config = DramConfig::cmp_study();
-    let horizon = ctx.horizon();
-    // Victim (high-BW group) total demands: three representative levels of
-    // the paper's 9–90 GB/s per-kernel sweep.
-    let victim_levels: Vec<f64> = match ctx.quality {
-        Quality::Quick => vec![24.0, 72.0],
-        Quality::Full => vec![24.0, 48.0, 72.0],
-    };
-    // External (low-BW group) totals: the paper's 6–60 GB/s sweep.
-    let external_levels: Vec<f64> = match ctx.quality {
-        Quality::Quick => vec![12.0, 36.0, 60.0],
-        Quality::Full => (1..=10).map(|i| i as f64 * 6.0).collect(),
-    };
+/// Shared sweep state: the CMP DRAM config and the demand grids.
+#[derive(Debug)]
+pub struct Fig5Prep {
+    config: DramConfig,
+    victim_levels: Vec<f64>,
+    external_levels: Vec<f64>,
+}
 
-    let mut policies = Vec::new();
-    for kind in PolicyKind::all() {
+/// [`Experiment`] marker for Figure 5 + Table 3; one cell per policy.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig5Experiment;
+
+impl Experiment for Fig5Experiment {
+    type Prep = Fig5Prep;
+    type Cell = PolicyKind;
+    type CellOut = PolicyStudy;
+    type Output = Fig5;
+
+    fn name(&self) -> &'static str {
+        "fig5"
+    }
+
+    fn prepare(&self, ctx: &Context) -> Result<(Fig5Prep, Vec<PolicyKind>)> {
+        // Victim (high-BW group) total demands: three representative levels
+        // of the paper's 9–90 GB/s per-kernel sweep; external (low-BW
+        // group) totals: the paper's 6–60 GB/s sweep.
+        let (victim_levels, external_levels) = match ctx.quality {
+            Quality::Quick => (vec![24.0, 72.0], vec![12.0, 36.0, 60.0]),
+            Quality::Full => (
+                vec![24.0, 48.0, 72.0],
+                (1..=10).map(|i| i as f64 * 6.0).collect(),
+            ),
+        };
+        Ok((
+            Fig5Prep {
+                config: DramConfig::cmp_study(),
+                victim_levels,
+                external_levels,
+            },
+            PolicyKind::all().to_vec(),
+        ))
+    }
+
+    fn run_cell(&self, ctx: &Context, prep: &Fig5Prep, kind: &PolicyKind) -> Result<PolicyStudy> {
+        let kind = *kind;
+        let horizon = ctx.horizon();
         let mut curves = Vec::new();
-        for &victim in &victim_levels {
+        for &victim in &prep.victim_levels {
             let standalone = {
-                let mut sys = DramSystem::new(config.clone(), kind);
+                let mut sys = DramSystem::new(prep.config.clone(), kind);
                 group(&mut sys, 0, victim, 24, 0.95, 0x51);
                 let out = sys.run(horizon);
                 group_bw(&out, 0)
             };
             let mut points = Vec::new();
-            for &ext in &external_levels {
-                let mut sys = DramSystem::new(config.clone(), kind);
+            for &ext in &prep.external_levels {
+                let mut sys = DramSystem::new(prep.config.clone(), kind);
                 group(&mut sys, 0, victim, 24, 0.95, 0x51);
                 group(&mut sys, GROUP_CORES, ext, 24, 0.9, 0xa7);
                 let out = sys.run(horizon);
@@ -126,7 +156,7 @@ pub fn run(ctx: &Context) -> Fig5 {
         // Table 3 metrics: both groups demanding enough that the sum of
         // standalone demands reaches the theoretical peak.
         let (rbh, eff, enq, rej) = {
-            let mut sys = DramSystem::new(config.clone(), kind);
+            let mut sys = DramSystem::new(prep.config.clone(), kind);
             group(&mut sys, 0, 64.0, 24, 0.95, 0x51);
             group(&mut sys, GROUP_CORES, 48.0, 24, 0.9, 0xa7);
             let out = sys.run(horizon);
@@ -134,16 +164,29 @@ pub fn run(ctx: &Context) -> Fig5 {
             let rej: u64 = out.stats.per_source.values().map(|s| s.rejected).sum();
             (out.row_hit_pct(), out.effective_bw_pct(), enq, rej)
         };
-        policies.push(PolicyStudy {
+        Ok(PolicyStudy {
             policy: kind,
             curves,
             row_hit_pct: rbh,
             effective_bw_pct: eff,
             enqueued: enq,
             rejected: rej,
-        });
+        })
     }
-    Fig5 { policies }
+
+    fn merge(&self, _ctx: &Context, _prep: Fig5Prep, cells: Vec<PolicyStudy>) -> Result<Fig5> {
+        Ok(Fig5 { policies: cells })
+    }
+}
+
+/// Runs the study.
+///
+/// # Errors
+///
+/// Infallible today (the CMP study references no named PUs), but returns
+/// `Result` for API uniformity with every other experiment module.
+pub fn run(ctx: &mut Context) -> Result<Fig5> {
+    run_experiment(&Fig5Experiment, ctx)
 }
 
 impl Fig5 {
@@ -200,8 +243,8 @@ mod tests {
 
     #[test]
     fn fig5_quick_run_covers_all_policies() {
-        let ctx = Context::new(Quality::Quick);
-        let fig = run(&ctx);
+        let mut ctx = Context::new(Quality::Quick);
+        let fig = run(&mut ctx).expect("experiment runs");
         assert_eq!(fig.policies.len(), 5);
         // FR-FCFS should beat FCFS on both Table 3 metrics, as in the paper
         // (91.6 vs 47.7 RBH; 89.7 vs 65.6 effective BW).

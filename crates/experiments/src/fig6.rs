@@ -3,6 +3,7 @@
 
 use crate::context::Context;
 use crate::error::Result;
+use crate::runner::{run_experiment, Experiment};
 use crate::table::TextTable;
 use pccs_core::{PccsModel, Region};
 use serde::{Deserialize, Serialize};
@@ -20,31 +21,63 @@ pub struct Fig6 {
     pub curves: Vec<RegionCurve>,
 }
 
+/// [`Experiment`] marker for Figure 6; one cell per region curve.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig6Experiment;
+
+impl Experiment for Fig6Experiment {
+    type Prep = PccsModel;
+    type Cell = (Region, f64);
+    type CellOut = RegionCurve;
+    type Output = Fig6;
+
+    fn name(&self) -> &'static str {
+        "fig6"
+    }
+
+    fn prepare(&self, ctx: &Context) -> Result<(PccsModel, Vec<(Region, f64)>)> {
+        let soc = ctx.xavier.clone();
+        let gpu = Context::require_pu(&soc, "GPU")?;
+        let model = ctx.pccs_model(&soc, gpu);
+        // A representative demand inside each region.
+        let cells = vec![
+            (Region::Minor, (model.normal_bw * 0.5).max(1.0)),
+            (Region::Normal, 0.5 * (model.normal_bw + model.intensive_bw)),
+            (Region::Intensive, model.intensive_bw * 1.2),
+        ];
+        Ok((model, cells))
+    }
+
+    fn run_cell(
+        &self,
+        _ctx: &Context,
+        model: &PccsModel,
+        &(region, x): &(Region, f64),
+    ) -> Result<RegionCurve> {
+        let pts = (0..=12)
+            .map(|i| {
+                let y = model.peak_bw * i as f64 / 12.0;
+                (y, model.predict(x, y))
+            })
+            .collect();
+        Ok((region, x, pts))
+    }
+
+    fn merge(&self, _ctx: &Context, model: PccsModel, cells: Vec<RegionCurve>) -> Result<Fig6> {
+        Ok(Fig6 {
+            model,
+            curves: cells,
+        })
+    }
+}
+
 /// Builds the chart data from the constructed Xavier GPU model.
 ///
 /// # Errors
 ///
 /// Fails if a requested PU is missing from the SoC preset.
 pub fn run(ctx: &mut Context) -> Result<Fig6> {
-    let soc = ctx.xavier.clone();
-    let gpu = Context::require_pu(&soc, "GPU")?;
-    let model = ctx.pccs_model(&soc, gpu);
-
-    // A representative demand inside each region.
-    let xs = [
-        (Region::Minor, (model.normal_bw * 0.5).max(1.0)),
-        (Region::Normal, 0.5 * (model.normal_bw + model.intensive_bw)),
-        (Region::Intensive, model.intensive_bw * 1.2),
-    ];
-    let ys: Vec<f64> = (0..=12).map(|i| model.peak_bw * i as f64 / 12.0).collect();
-    let curves = xs
-        .into_iter()
-        .map(|(region, x)| {
-            let pts = ys.iter().map(|&y| (y, model.predict(x, y))).collect();
-            (region, x, pts)
-        })
-        .collect();
-    Ok(Fig6 { model, curves })
+    run_experiment(&Fig6Experiment, ctx)
 }
 
 impl Fig6 {

@@ -18,10 +18,18 @@
 //! | [`oblivious`] | §3.2 — source-obliviousness validation |
 //! | [`sched_study`] | scheduling runtime — placement policies on job mixes (`pccs-sched`) |
 //!
+//! Every module implements the [`runner::Experiment`] trait — enumerate
+//! independent sweep cells, run each, merge — and [`runner::SweepRunner`]
+//! fans the cells over worker threads with byte-identical output for any
+//! thread count. Standalone profiles are memoized across experiments in
+//! [`cache::ProfileCache`], shared through the [`context::Context`].
+//!
 //! All experiments run against the simulated SoCs of `pccs-soc` (see
 //! DESIGN.md for the hardware-substitution rationale). The `repro` binary
-//! drives them: `repro --quick fig3 table7`, or `repro all`.
+//! drives them: `repro --quick fig3 table7`, `repro validate --jobs 4`,
+//! or `repro all`.
 
+pub mod cache;
 pub mod context;
 pub mod error;
 pub mod fig13;
@@ -31,6 +39,7 @@ pub mod fig3;
 pub mod fig5;
 pub mod fig6;
 pub mod oblivious;
+pub mod runner;
 pub mod sched_study;
 pub mod table;
 pub mod table10;
@@ -39,6 +48,8 @@ pub mod table7;
 pub mod table9;
 pub mod validate;
 
+pub use cache::{CacheStats, ProfileCache};
 pub use context::{Context, Quality};
 pub use error::ExperimentError;
+pub use runner::{Experiment, SweepRunner};
 pub use table::TextTable;

@@ -14,8 +14,11 @@
 
 use crate::context::Context;
 use crate::error::Result;
+use crate::runner::{run_experiment, Experiment};
 use crate::table::TextTable;
-use pccs_soc::corun::{CoRunSim, Placement};
+use pccs_soc::corun::{CoRunSim, Placement, StandaloneProfile};
+use pccs_soc::kernel::KernelDesc;
+use pccs_soc::soc::SocConfig;
 use pccs_workloads::calibrate::calibrator_kernel;
 use serde::{Deserialize, Serialize};
 
@@ -38,63 +41,145 @@ pub struct Oblivious {
     pub levels: Vec<(f64, Vec<CompositionPoint>)>,
 }
 
+/// One sweep cell: a total external demand delivered by a named mix of
+/// pressure sources.
+#[derive(Debug, Clone)]
+pub struct ObliviousCell {
+    total: f64,
+    label: String,
+    sources: Vec<(usize, f64)>,
+}
+
+/// Shared sweep state: the victim kernel and its standalone profile.
+#[derive(Debug)]
+pub struct ObliviousPrep {
+    soc: SocConfig,
+    gpu: usize,
+    kernel: KernelDesc,
+    standalone: StandaloneProfile,
+}
+
+/// [`Experiment`] marker for the §3.2 validation; one cell per
+/// (total demand, source composition).
+#[derive(Debug, Clone, Copy)]
+pub struct ObliviousExperiment;
+
+impl Experiment for ObliviousExperiment {
+    type Prep = ObliviousPrep;
+    type Cell = ObliviousCell;
+    type CellOut = (f64, CompositionPoint);
+    type Output = Oblivious;
+
+    fn name(&self) -> &'static str {
+        "oblivious"
+    }
+
+    fn prepare(&self, ctx: &Context) -> Result<(ObliviousPrep, Vec<ObliviousCell>)> {
+        let soc = ctx.xavier.clone();
+        let gpu = Context::require_pu(&soc, "GPU")?;
+        let cpu = Context::require_pu(&soc, "CPU")?;
+        let dla = Context::require_pu(&soc, "DLA")?;
+
+        let kernel = calibrator_kernel(&soc, gpu, 80.0);
+        let standalone = ctx.standalone(&soc, gpu, &kernel);
+
+        let totals: Vec<f64> = match ctx.quality {
+            crate::context::Quality::Quick => vec![40.0],
+            crate::context::Quality::Full => vec![30.0, 60.0, 90.0],
+        };
+
+        let mut cells = Vec::new();
+        for &total in &totals {
+            // The DLA cannot generate unbounded traffic; cap its share at
+            // its achievable ~35 GB/s so all compositions deliver the same
+            // total.
+            let dla_half = (total / 2.0).min(30.0);
+            let dla_heavy = (total * 0.75).min(30.0);
+            let compositions: Vec<(String, Vec<(usize, f64)>)> = vec![
+                ("CPU 100%".into(), vec![(cpu, total)]),
+                (
+                    "CPU 50% + DLA 50%".into(),
+                    vec![(cpu, total - dla_half), (dla, dla_half)],
+                ),
+                (
+                    "CPU 25% + DLA 75%".into(),
+                    vec![(cpu, total - dla_heavy), (dla, dla_heavy)],
+                ),
+            ];
+            for (label, sources) in compositions {
+                cells.push(ObliviousCell {
+                    total,
+                    label,
+                    sources,
+                });
+            }
+        }
+
+        Ok((
+            ObliviousPrep {
+                soc,
+                gpu,
+                kernel,
+                standalone,
+            },
+            cells,
+        ))
+    }
+
+    fn run_cell(
+        &self,
+        ctx: &Context,
+        prep: &ObliviousPrep,
+        cell: &ObliviousCell,
+    ) -> Result<(f64, CompositionPoint)> {
+        let mut sim = CoRunSim::new(&prep.soc);
+        sim.horizon(ctx.horizon());
+        sim.repeats(ctx.repeats());
+        sim.place(Placement::kernel(prep.gpu, prep.kernel.clone()));
+        for &(pu, gbps) in &cell.sources {
+            sim.external_pressure(pu, gbps);
+        }
+        let out = sim.execute();
+        Ok((
+            cell.total,
+            CompositionPoint {
+                composition: cell.label.clone(),
+                rs_pct: out
+                    .relative_speed_pct(prep.gpu, &prep.standalone)
+                    .min(102.0),
+            },
+        ))
+    }
+
+    fn merge(
+        &self,
+        _ctx: &Context,
+        prep: ObliviousPrep,
+        outs: Vec<(f64, CompositionPoint)>,
+    ) -> Result<Oblivious> {
+        // Cells arrive in enumeration order: group consecutive points that
+        // share a total-demand level.
+        let mut levels: Vec<(f64, Vec<CompositionPoint>)> = Vec::new();
+        for (total, point) in outs {
+            match levels.last_mut() {
+                Some((t, pts)) if *t == total => pts.push(point),
+                _ => levels.push((total, vec![point])),
+            }
+        }
+        Ok(Oblivious {
+            victim_demand_gbps: prep.standalone.bw_gbps,
+            levels,
+        })
+    }
+}
+
 /// Runs the validation on the Xavier GPU.
 ///
 /// # Errors
 ///
 /// Fails if a requested PU is missing from the SoC preset.
 pub fn run(ctx: &mut Context) -> Result<Oblivious> {
-    let soc = ctx.xavier.clone();
-    let gpu = Context::require_pu(&soc, "GPU")?;
-    let cpu = Context::require_pu(&soc, "CPU")?;
-    let dla = Context::require_pu(&soc, "DLA")?;
-
-    let kernel = calibrator_kernel(&soc, gpu, 80.0);
-    let standalone = ctx.standalone(&soc, gpu, &kernel);
-
-    let totals: Vec<f64> = match ctx.quality {
-        crate::context::Quality::Quick => vec![40.0],
-        crate::context::Quality::Full => vec![30.0, 60.0, 90.0],
-    };
-
-    let mut levels = Vec::new();
-    for &total in &totals {
-        let mut points = Vec::new();
-        // The DLA cannot generate unbounded traffic; cap its share at its
-        // achievable ~35 GB/s so all compositions deliver the same total.
-        let dla_half = (total / 2.0).min(30.0);
-        let dla_heavy = (total * 0.75).min(30.0);
-        let compositions: Vec<(String, Vec<(usize, f64)>)> = vec![
-            ("CPU 100%".into(), vec![(cpu, total)]),
-            (
-                "CPU 50% + DLA 50%".into(),
-                vec![(cpu, total - dla_half), (dla, dla_half)],
-            ),
-            (
-                "CPU 25% + DLA 75%".into(),
-                vec![(cpu, total - dla_heavy), (dla, dla_heavy)],
-            ),
-        ];
-        for (label, sources) in compositions {
-            let mut sim = CoRunSim::new(&soc);
-            sim.repeats(ctx.repeats());
-            sim.place(Placement::kernel(gpu, kernel.clone()));
-            for (pu, gbps) in sources {
-                sim.external_pressure(pu, gbps);
-            }
-            let out = sim.run(ctx.horizon());
-            points.push(CompositionPoint {
-                composition: label,
-                rs_pct: out.relative_speed_pct(gpu, &standalone).min(102.0),
-            });
-        }
-        levels.push((total, points));
-    }
-
-    Ok(Oblivious {
-        victim_demand_gbps: standalone.bw_gbps,
-        levels,
-    })
+    run_experiment(&ObliviousExperiment, ctx)
 }
 
 impl Oblivious {

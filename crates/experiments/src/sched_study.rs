@@ -11,6 +11,7 @@
 
 use crate::context::{Context, Quality};
 use crate::error::{ExperimentError, Result};
+use crate::runner::{run_experiment, Experiment};
 use crate::table::TextTable;
 use pccs_core::SlowdownModel;
 use pccs_sched::engine::{run_schedule, SchedConfig};
@@ -46,7 +47,7 @@ pub struct SchedStudy {
 /// The policies under study, built fresh per mix (round-robin carries a
 /// cursor). The PCCS policy reuses the context's cached per-PU models, so
 /// its calibration cost is paid once per SoC.
-fn policies(ctx: &mut Context, soc: &SocConfig) -> Vec<Box<dyn Policy>> {
+fn policies(ctx: &Context, soc: &SocConfig) -> Vec<Box<dyn Policy>> {
     let models: Vec<Box<dyn SlowdownModel>> = (0..soc.pus.len())
         .map(|pu| Box::new(ctx.pccs_model(soc, pu)) as Box<dyn SlowdownModel>)
         .collect();
@@ -58,6 +59,76 @@ fn policies(ctx: &mut Context, soc: &SocConfig) -> Vec<Box<dyn Policy>> {
     ]
 }
 
+/// [`Experiment`] marker for the scheduling study; one cell per
+/// (SoC, mix) pair, replaying all four policies.
+#[derive(Debug, Clone, Copy)]
+pub struct SchedStudyExperiment;
+
+impl Experiment for SchedStudyExperiment {
+    type Prep = SchedConfig;
+    type Cell = (SocConfig, Mix);
+    type CellOut = Vec<StudyRow>;
+    type Output = SchedStudy;
+
+    fn name(&self) -> &'static str {
+        "sched_study"
+    }
+
+    fn prepare(&self, ctx: &Context) -> Result<(SchedConfig, Vec<(SocConfig, Mix)>)> {
+        let mix_names: Vec<String> = match ctx.quality {
+            Quality::Quick => vec!["contended".to_owned()],
+            Quality::Full => mixes::names(),
+        };
+        let engine_cfg = match ctx.quality {
+            Quality::Quick => SchedConfig::quick(),
+            Quality::Full => SchedConfig::default(),
+        };
+        let mut cells = Vec::new();
+        for soc in [ctx.xavier.clone(), ctx.snapdragon.clone()] {
+            for name in &mix_names {
+                let mix: Mix = mixes::mix(name).ok_or_else(|| ExperimentError::UnknownMix {
+                    mix: name.clone(),
+                    available: mixes::names(),
+                })?;
+                cells.push((soc.clone(), mix));
+            }
+        }
+        Ok((engine_cfg, cells))
+    }
+
+    fn run_cell(
+        &self,
+        ctx: &Context,
+        engine_cfg: &SchedConfig,
+        (soc, mix): &(SocConfig, Mix),
+    ) -> Result<Vec<StudyRow>> {
+        let mut rows = Vec::new();
+        for mut policy in policies(ctx, soc) {
+            let report = run_schedule(soc, &mix.name, &mix.jobs, policy.as_mut(), engine_cfg);
+            rows.push(StudyRow {
+                soc: soc.name.clone(),
+                mix: mix.name.clone(),
+                policy: report.policy.clone(),
+                makespan: report.makespan,
+                mean_rs_pct: report.mean_rs_pct(),
+                deadline_misses: report.deadline_misses(),
+            });
+        }
+        Ok(rows)
+    }
+
+    fn merge(
+        &self,
+        _ctx: &Context,
+        _prep: SchedConfig,
+        cells: Vec<Vec<StudyRow>>,
+    ) -> Result<SchedStudy> {
+        Ok(SchedStudy {
+            rows: cells.into_iter().flatten().collect(),
+        })
+    }
+}
+
 /// Runs the study: quick fidelity replays the headline `contended` mix
 /// only; full fidelity covers all bundled mixes.
 ///
@@ -65,36 +136,7 @@ fn policies(ctx: &mut Context, soc: &SocConfig) -> Vec<Box<dyn Policy>> {
 ///
 /// Fails if a requested mix is missing from the bundled set.
 pub fn run(ctx: &mut Context) -> Result<SchedStudy> {
-    let mix_names: Vec<String> = match ctx.quality {
-        Quality::Quick => vec!["contended".to_owned()],
-        Quality::Full => mixes::names(),
-    };
-    let engine_cfg = match ctx.quality {
-        Quality::Quick => SchedConfig::quick(),
-        Quality::Full => SchedConfig::default(),
-    };
-
-    let mut rows = Vec::new();
-    for soc in [ctx.xavier.clone(), ctx.snapdragon.clone()] {
-        for name in &mix_names {
-            let mix: Mix = mixes::mix(name).ok_or_else(|| ExperimentError::UnknownMix {
-                mix: name.clone(),
-                available: mixes::names(),
-            })?;
-            for mut policy in policies(ctx, &soc) {
-                let report = run_schedule(&soc, &mix.name, &mix.jobs, policy.as_mut(), &engine_cfg);
-                rows.push(StudyRow {
-                    soc: soc.name.clone(),
-                    mix: mix.name.clone(),
-                    policy: report.policy.clone(),
-                    makespan: report.makespan,
-                    mean_rs_pct: report.mean_rs_pct(),
-                    deadline_misses: report.deadline_misses(),
-                });
-            }
-        }
-    }
-    Ok(SchedStudy { rows })
+    run_experiment(&SchedStudyExperiment, ctx)
 }
 
 impl SchedStudy {

@@ -14,11 +14,14 @@
 
 use crate::context::Context;
 use crate::error::Result;
+use crate::runner::{run_experiment, Experiment};
 use crate::table::TextTable;
 use pccs_baselines::esp::CorunSample;
 use pccs_baselines::{BubbleUp, CorunTable, EspRegression};
-use pccs_core::SlowdownModel;
+use pccs_core::{PccsModel, SlowdownModel};
+use pccs_gables::GablesModel;
 use pccs_soc::pu::PuKind;
+use pccs_soc::soc::SocConfig;
 use pccs_workloads::rodinia::RodiniaBenchmark;
 use serde::{Deserialize, Serialize};
 
@@ -44,198 +47,253 @@ pub struct Table10 {
     pub rows: Vec<ModelRow>,
 }
 
+/// One benchmark's measurements: standalone demand plus training and
+/// evaluation co-run points.
+#[derive(Debug, Clone)]
+pub struct BenchData {
+    name: String,
+    demand: f64,
+    train: Vec<(f64, f64)>,
+    eval: Vec<(f64, f64)>,
+}
+
+/// Shared sweep state: models and the train/eval pressure grids.
+#[derive(Debug)]
+pub struct Table10Prep {
+    soc: SocConfig,
+    gpu: usize,
+    pccs: PccsModel,
+    gables: GablesModel,
+    train_pressures: Vec<f64>,
+    eval_pressures: Vec<f64>,
+}
+
+/// [`Experiment`] marker for Table 10; one cell per benchmark (its
+/// standalone profile plus all train/eval co-runs), with the baseline
+/// fitting done in `merge` since it needs every benchmark's samples.
+#[derive(Debug, Clone, Copy)]
+pub struct Table10Experiment;
+
+impl Experiment for Table10Experiment {
+    type Prep = Table10Prep;
+    type Cell = RodiniaBenchmark;
+    type CellOut = BenchData;
+    type Output = Table10;
+
+    fn name(&self) -> &'static str {
+        "table10"
+    }
+
+    fn prepare(&self, ctx: &Context) -> Result<(Table10Prep, Vec<RodiniaBenchmark>)> {
+        let soc = ctx.xavier.clone();
+        let gpu = Context::require_pu(&soc, "GPU")?;
+        let pccs = ctx.pccs_model(&soc, gpu);
+        let gables = ctx.gables(&soc);
+        let peak = soc.peak_bw_gbps();
+
+        let benches: Vec<RodiniaBenchmark> = match ctx.quality {
+            crate::context::Quality::Quick => {
+                vec![RodiniaBenchmark::Streamcluster, RodiniaBenchmark::Bfs]
+            }
+            crate::context::Quality::Full => vec![
+                RodiniaBenchmark::Hotspot,
+                RodiniaBenchmark::Streamcluster,
+                RodiniaBenchmark::Pathfinder,
+                RodiniaBenchmark::Kmeans,
+                RodiniaBenchmark::Bfs,
+            ],
+        };
+
+        // Training/curve pressures use the *even* grid points; evaluation
+        // uses the *odd* ones, so the empirical baselines never see the
+        // exact evaluation pressures.
+        let train_pressures: Vec<f64> = (1..=5).map(|i| peak * 0.18 * i as f64).collect();
+        let eval_pressures: Vec<f64> = (1..=4)
+            .map(|i| peak * 0.09 + peak * 0.18 * i as f64)
+            .collect();
+
+        Ok((
+            Table10Prep {
+                soc,
+                gpu,
+                pccs,
+                gables,
+                train_pressures,
+                eval_pressures,
+            },
+            benches,
+        ))
+    }
+
+    fn run_cell(
+        &self,
+        ctx: &Context,
+        prep: &Table10Prep,
+        bench: &RodiniaBenchmark,
+    ) -> Result<BenchData> {
+        let kernel = bench.kernel(PuKind::Gpu);
+        let standalone = ctx.standalone(&prep.soc, prep.gpu, &kernel);
+        let measure = |ys: &[f64]| -> Vec<(f64, f64)> {
+            ys.iter()
+                .map(|&y| {
+                    (
+                        y,
+                        ctx.actual_rs_pct(&prep.soc, prep.gpu, &kernel, &standalone, y),
+                    )
+                })
+                .collect()
+        };
+        Ok(BenchData {
+            name: bench.label().to_owned(),
+            demand: standalone.bw_gbps,
+            train: measure(&prep.train_pressures),
+            eval: measure(&prep.eval_pressures),
+        })
+    }
+
+    fn merge(&self, _ctx: &Context, prep: Table10Prep, data: Vec<BenchData>) -> Result<Table10> {
+        let mut rows = Vec::new();
+        let eval_points: usize = data.iter().map(|d| d.eval.len()).sum();
+        let mae = |preds: &[f64]| -> f64 {
+            let actual: Vec<f64> = data
+                .iter()
+                .flat_map(|d| d.eval.iter().map(|&(_, a)| a))
+                .collect();
+            preds
+                .iter()
+                .zip(&actual)
+                .map(|(p, a)| (p - a).abs())
+                .sum::<f64>()
+                / eval_points as f64
+        };
+
+        // Bubble-up: one sensitivity curve per application.
+        let bubble_preds: Vec<f64> = data
+            .iter()
+            .flat_map(|d| {
+                let curve = BubbleUp::from_curve(&d.name, d.train.clone());
+                d.eval
+                    .iter()
+                    .map(|&(y, _)| curve.relative_speed_pct(d.demand, y))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        rows.push(ModelRow {
+            model: "Bubble-up".into(),
+            error_pct: mae(&bubble_preds),
+            app_corun_measurements: data.iter().map(|d| d.train.len()).sum(),
+            design_time_usable: false,
+        });
+
+        // Co-run lookup table: grid over (per-app demand rows, pressures).
+        let demands: Vec<f64> = {
+            let mut v: Vec<f64> = data.iter().map(|d| d.demand).collect();
+            v.sort_by(f64::total_cmp);
+            v.dedup_by(|a, b| (*a - *b).abs() < 0.5);
+            v
+        };
+        let grid_rs: Vec<Vec<f64>> = demands
+            .iter()
+            .map(|&dem| {
+                let d = data
+                    .iter()
+                    .min_by(|a, b| (a.demand - dem).abs().total_cmp(&(b.demand - dem).abs()))
+                    .expect("non-empty");
+                d.train.iter().map(|&(_, rs)| rs).collect()
+            })
+            .collect();
+        let table = CorunTable::new(demands, prep.train_pressures.clone(), grid_rs);
+        let table_preds: Vec<f64> = data
+            .iter()
+            .flat_map(|d| {
+                d.eval
+                    .iter()
+                    .map(|&(y, _)| table.relative_speed_pct(d.demand, y))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        rows.push(ModelRow {
+            model: "Co-run table".into(),
+            error_pct: mae(&table_preds),
+            app_corun_measurements: table.measurement_count(),
+            design_time_usable: false,
+        });
+
+        // ESP regression over all training samples.
+        let samples: Vec<CorunSample> = data
+            .iter()
+            .flat_map(|d| {
+                d.train.iter().map(|&(y, rs)| CorunSample {
+                    demand_gbps: d.demand,
+                    external_gbps: y,
+                    rs_pct: rs,
+                })
+            })
+            .collect();
+        let esp = EspRegression::fit(&samples);
+        let esp_preds: Vec<f64> = data
+            .iter()
+            .flat_map(|d| {
+                d.eval
+                    .iter()
+                    .map(|&(y, _)| esp.relative_speed_pct(d.demand, y))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        rows.push(ModelRow {
+            model: "ESP regression".into(),
+            error_pct: mae(&esp_preds),
+            app_corun_measurements: esp.measurement_count(),
+            design_time_usable: false,
+        });
+
+        // Gables and PCCS: no per-app co-runs at all.
+        for (name, preds) in [
+            (
+                "Gables",
+                data.iter()
+                    .flat_map(|d| {
+                        d.eval
+                            .iter()
+                            .map(|&(y, _)| prep.gables.relative_speed_pct(d.demand, y))
+                            .collect::<Vec<_>>()
+                    })
+                    .collect::<Vec<f64>>(),
+            ),
+            (
+                "PCCS",
+                data.iter()
+                    .flat_map(|d| {
+                        d.eval
+                            .iter()
+                            .map(|&(y, _)| prep.pccs.relative_speed_pct(d.demand, y))
+                            .collect::<Vec<_>>()
+                    })
+                    .collect::<Vec<f64>>(),
+            ),
+        ] {
+            rows.push(ModelRow {
+                model: name.into(),
+                error_pct: mae(&preds),
+                app_corun_measurements: 0,
+                design_time_usable: true,
+            });
+        }
+
+        Ok(Table10 {
+            benchmarks: data.into_iter().map(|d| d.name).collect(),
+            rows,
+        })
+    }
+}
+
 /// Runs the comparison on the Xavier GPU.
-///
-/// Training/curve pressures use the *even* grid points; evaluation uses the
-/// *odd* ones, so the empirical baselines never see the exact evaluation
-/// pressures.
 ///
 /// # Errors
 ///
 /// Fails if a requested PU is missing from the SoC preset.
 pub fn run(ctx: &mut Context) -> Result<Table10> {
-    let soc = ctx.xavier.clone();
-    let gpu = Context::require_pu(&soc, "GPU")?;
-    let pccs = ctx.pccs_model(&soc, gpu);
-    let gables = ctx.gables(&soc);
-    let peak = soc.peak_bw_gbps();
-
-    let benches: Vec<RodiniaBenchmark> = match ctx.quality {
-        crate::context::Quality::Quick => {
-            vec![RodiniaBenchmark::Streamcluster, RodiniaBenchmark::Bfs]
-        }
-        crate::context::Quality::Full => vec![
-            RodiniaBenchmark::Hotspot,
-            RodiniaBenchmark::Streamcluster,
-            RodiniaBenchmark::Pathfinder,
-            RodiniaBenchmark::Kmeans,
-            RodiniaBenchmark::Bfs,
-        ],
-    };
-
-    let train_pressures: Vec<f64> = (1..=5).map(|i| peak * 0.18 * i as f64).collect();
-    let eval_pressures: Vec<f64> = (1..=4)
-        .map(|i| peak * 0.09 + peak * 0.18 * i as f64)
-        .collect();
-
-    // Measure everything we need per benchmark: standalone, train points,
-    // eval points.
-    struct BenchData {
-        name: String,
-        demand: f64,
-        train: Vec<(f64, f64)>,
-        eval: Vec<(f64, f64)>,
-    }
-    let mut data = Vec::new();
-    for b in &benches {
-        let kernel = b.kernel(PuKind::Gpu);
-        let standalone = ctx.standalone(&soc, gpu, &kernel);
-        let measure = |ys: &[f64]| -> Vec<(f64, f64)> {
-            ys.iter()
-                .map(|&y| (y, ctx.actual_rs_pct(&soc, gpu, &kernel, &standalone, y)))
-                .collect()
-        };
-        data.push(BenchData {
-            name: b.label().to_owned(),
-            demand: standalone.bw_gbps,
-            train: measure(&train_pressures),
-            eval: measure(&eval_pressures),
-        });
-    }
-
-    // Per-model evaluation.
-    let mut rows = Vec::new();
-    let eval_points: usize = data.iter().map(|d| d.eval.len()).sum();
-    let mae = |preds: &[f64]| -> f64 {
-        let actual: Vec<f64> = data
-            .iter()
-            .flat_map(|d| d.eval.iter().map(|&(_, a)| a))
-            .collect();
-        preds
-            .iter()
-            .zip(&actual)
-            .map(|(p, a)| (p - a).abs())
-            .sum::<f64>()
-            / eval_points as f64
-    };
-
-    // Bubble-up: one sensitivity curve per application.
-    let bubble_preds: Vec<f64> = data
-        .iter()
-        .flat_map(|d| {
-            let curve = BubbleUp::from_curve(&d.name, d.train.clone());
-            d.eval
-                .iter()
-                .map(|&(y, _)| curve.relative_speed_pct(d.demand, y))
-                .collect::<Vec<_>>()
-        })
-        .collect();
-    rows.push(ModelRow {
-        model: "Bubble-up".into(),
-        error_pct: mae(&bubble_preds),
-        app_corun_measurements: data.iter().map(|d| d.train.len()).sum(),
-        design_time_usable: false,
-    });
-
-    // Co-run lookup table: grid over (per-app demand rows, pressures).
-    let demands: Vec<f64> = {
-        let mut v: Vec<f64> = data.iter().map(|d| d.demand).collect();
-        v.sort_by(f64::total_cmp);
-        v.dedup_by(|a, b| (*a - *b).abs() < 0.5);
-        v
-    };
-    let grid_rs: Vec<Vec<f64>> = demands
-        .iter()
-        .map(|&dem| {
-            let d = data
-                .iter()
-                .min_by(|a, b| (a.demand - dem).abs().total_cmp(&(b.demand - dem).abs()))
-                .expect("non-empty");
-            d.train.iter().map(|&(_, rs)| rs).collect()
-        })
-        .collect();
-    let table = CorunTable::new(demands, train_pressures.clone(), grid_rs);
-    let table_preds: Vec<f64> = data
-        .iter()
-        .flat_map(|d| {
-            d.eval
-                .iter()
-                .map(|&(y, _)| table.relative_speed_pct(d.demand, y))
-                .collect::<Vec<_>>()
-        })
-        .collect();
-    rows.push(ModelRow {
-        model: "Co-run table".into(),
-        error_pct: mae(&table_preds),
-        app_corun_measurements: table.measurement_count(),
-        design_time_usable: false,
-    });
-
-    // ESP regression over all training samples.
-    let samples: Vec<CorunSample> = data
-        .iter()
-        .flat_map(|d| {
-            d.train.iter().map(|&(y, rs)| CorunSample {
-                demand_gbps: d.demand,
-                external_gbps: y,
-                rs_pct: rs,
-            })
-        })
-        .collect();
-    let esp = EspRegression::fit(&samples);
-    let esp_preds: Vec<f64> = data
-        .iter()
-        .flat_map(|d| {
-            d.eval
-                .iter()
-                .map(|&(y, _)| esp.relative_speed_pct(d.demand, y))
-                .collect::<Vec<_>>()
-        })
-        .collect();
-    rows.push(ModelRow {
-        model: "ESP regression".into(),
-        error_pct: mae(&esp_preds),
-        app_corun_measurements: esp.measurement_count(),
-        design_time_usable: false,
-    });
-
-    // Gables and PCCS: no per-app co-runs at all.
-    for (name, preds) in [
-        (
-            "Gables",
-            data.iter()
-                .flat_map(|d| {
-                    d.eval
-                        .iter()
-                        .map(|&(y, _)| gables.relative_speed_pct(d.demand, y))
-                        .collect::<Vec<_>>()
-                })
-                .collect::<Vec<f64>>(),
-        ),
-        (
-            "PCCS",
-            data.iter()
-                .flat_map(|d| {
-                    d.eval
-                        .iter()
-                        .map(|&(y, _)| pccs.relative_speed_pct(d.demand, y))
-                        .collect::<Vec<_>>()
-                })
-                .collect::<Vec<f64>>(),
-        ),
-    ] {
-        rows.push(ModelRow {
-            model: name.into(),
-            error_pct: mae(&preds),
-            app_corun_measurements: 0,
-            design_time_usable: true,
-        });
-    }
-
-    Ok(Table10 {
-        benchmarks: data.into_iter().map(|d| d.name).collect(),
-        rows,
-    })
+    run_experiment(&Table10Experiment, ctx)
 }
 
 impl Table10 {

@@ -8,8 +8,10 @@
 
 use crate::context::Context;
 use crate::error::Result;
+use crate::runner::{run_experiment, Experiment};
 use crate::table::TextTable;
 use pccs_core::PccsModel;
+use pccs_soc::soc::SocConfig;
 use pccs_workloads::calibrate::build_model;
 use serde::{Deserialize, Serialize};
 
@@ -40,65 +42,118 @@ fn rel_err_pct(scaled: f64, rebuilt: f64, scale_ref: f64) -> f64 {
     100.0 * (scaled - rebuilt).abs() / scale_ref.abs().max(1.0)
 }
 
+/// Shared sweep state: the SoC, PU indices, and the nominal model.
+#[derive(Debug)]
+pub struct Table5Prep {
+    soc: SocConfig,
+    gpu: usize,
+    cpu: usize,
+    nominal: PccsModel,
+    ratios: Vec<f64>,
+}
+
+/// [`Experiment`] marker for Table 5; one cell per clock ratio (each cell
+/// rebuilds the model on underclocked memory — the expensive step).
+#[derive(Debug, Clone, Copy)]
+pub struct Table5Experiment;
+
+impl Experiment for Table5Experiment {
+    type Prep = Table5Prep;
+    type Cell = f64;
+    type CellOut = (PccsModel, PccsModel);
+    type Output = Table5;
+
+    fn name(&self) -> &'static str {
+        "table5"
+    }
+
+    fn prepare(&self, ctx: &Context) -> Result<(Table5Prep, Vec<f64>)> {
+        let soc = ctx.xavier.clone();
+        let gpu = Context::require_pu(&soc, "GPU")?;
+        let cpu = Context::require_pu(&soc, "CPU")?;
+        let nominal = ctx.pccs_model(&soc, gpu);
+        // Paper ratios: 1066, 1333, 1600 MHz over the nominal 2133 MHz.
+        let ratios: Vec<f64> = match ctx.quality {
+            crate::context::Quality::Quick => vec![0.625],
+            crate::context::Quality::Full => vec![0.5, 0.625, 0.75],
+        };
+        Ok((
+            Table5Prep {
+                soc,
+                gpu,
+                cpu,
+                nominal,
+                ratios: ratios.clone(),
+            },
+            ratios,
+        ))
+    }
+
+    fn run_cell(
+        &self,
+        ctx: &Context,
+        prep: &Table5Prep,
+        &ratio: &f64,
+    ) -> Result<(PccsModel, PccsModel)> {
+        let scaled = prep.nominal.scale_bandwidth(ratio);
+        let underclocked = prep.soc.with_dram(prep.soc.dram.with_clock_ratio(ratio));
+        let cfg = ctx.calibration_config();
+        let (rebuilt, _) = build_model(&underclocked, prep.gpu, prep.cpu, &cfg)
+            .expect("underclocked construction succeeds");
+        Ok((scaled, rebuilt))
+    }
+
+    fn merge(
+        &self,
+        _ctx: &Context,
+        prep: Table5Prep,
+        per_ratio: Vec<(PccsModel, PccsModel)>,
+    ) -> Result<Table5> {
+        type Getter = Box<dyn Fn(&PccsModel) -> f64>;
+        let params: Vec<(&str, Getter)> = vec![
+            ("Normal BW (GB/s)", Box::new(|m: &PccsModel| m.normal_bw)),
+            (
+                "Intensive BW (GB/s)",
+                Box::new(|m: &PccsModel| m.intensive_bw),
+            ),
+            ("MRMC (%)", Box::new(|m: &PccsModel| m.mrmc.unwrap_or(0.0))),
+            ("CBP (GB/s)", Box::new(|m: &PccsModel| m.cbp)),
+            ("TBWDC (GB/s)", Box::new(|m: &PccsModel| m.tbwdc)),
+            ("Rate^N (%/GBps)", Box::new(|m: &PccsModel| m.rate_n)),
+            (
+                "Rate^I (%/GBps)",
+                Box::new(|m: &PccsModel| m.rate_i_representative()),
+            ),
+        ];
+
+        let mut rows = Vec::new();
+        for (name, get) in &params {
+            let mut errors = Vec::new();
+            for (scaled, rebuilt) in &per_ratio {
+                let reference = get(rebuilt).abs().max(get(scaled).abs());
+                errors.push(rel_err_pct(get(scaled), get(rebuilt), reference));
+            }
+            let avg = errors.iter().sum::<f64>() / errors.len() as f64;
+            rows.push(ScalingRow {
+                parameter: (*name).to_owned(),
+                errors_pct: errors,
+                avg_error_pct: avg,
+            });
+        }
+        Ok(Table5 {
+            ratios: prep.ratios,
+            rows,
+        })
+    }
+}
+
 /// Runs the scaling study on the Xavier GPU model.
 ///
 /// # Errors
 ///
 /// Fails if a requested PU is missing from the SoC preset.
 pub fn run(ctx: &mut Context) -> Result<Table5> {
-    let soc = ctx.xavier.clone();
-    let gpu = Context::require_pu(&soc, "GPU")?;
-    let cpu = Context::require_pu(&soc, "CPU")?;
-    let nominal = ctx.pccs_model(&soc, gpu);
-
-    // Paper ratios: 1066, 1333, 1600 MHz over the nominal 2133 MHz.
-    let ratios: Vec<f64> = match ctx.quality {
-        crate::context::Quality::Quick => vec![0.625],
-        crate::context::Quality::Full => vec![0.5, 0.625, 0.75],
-    };
-
-    let mut per_ratio: Vec<(PccsModel, PccsModel)> = Vec::new(); // (scaled, rebuilt)
-    for &r in &ratios {
-        let scaled = nominal.scale_bandwidth(r);
-        let underclocked = soc.with_dram(soc.dram.with_clock_ratio(r));
-        let cfg = ctx.calibration_config();
-        let (rebuilt, _) =
-            build_model(&underclocked, gpu, cpu, &cfg).expect("underclocked construction succeeds");
-        per_ratio.push((scaled, rebuilt));
-    }
-
-    type Getter = Box<dyn Fn(&PccsModel) -> f64>;
-    let params: Vec<(&str, Getter)> = vec![
-        ("Normal BW (GB/s)", Box::new(|m: &PccsModel| m.normal_bw)),
-        (
-            "Intensive BW (GB/s)",
-            Box::new(|m: &PccsModel| m.intensive_bw),
-        ),
-        ("MRMC (%)", Box::new(|m: &PccsModel| m.mrmc.unwrap_or(0.0))),
-        ("CBP (GB/s)", Box::new(|m: &PccsModel| m.cbp)),
-        ("TBWDC (GB/s)", Box::new(|m: &PccsModel| m.tbwdc)),
-        ("Rate^N (%/GBps)", Box::new(|m: &PccsModel| m.rate_n)),
-        (
-            "Rate^I (%/GBps)",
-            Box::new(|m: &PccsModel| m.rate_i_representative()),
-        ),
-    ];
-
-    let mut rows = Vec::new();
-    for (name, get) in &params {
-        let mut errors = Vec::new();
-        for (scaled, rebuilt) in &per_ratio {
-            let reference = get(rebuilt).abs().max(get(scaled).abs());
-            errors.push(rel_err_pct(get(scaled), get(rebuilt), reference));
-        }
-        let avg = errors.iter().sum::<f64>() / errors.len() as f64;
-        rows.push(ScalingRow {
-            parameter: (*name).to_owned(),
-            errors_pct: errors,
-            avg_error_pct: avg,
-        });
-    }
-    Ok(Table5 { ratios, rows })
+    run_experiment(&Table5Experiment, ctx)
 }
 
 impl Table5 {

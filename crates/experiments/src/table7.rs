@@ -9,6 +9,7 @@
 
 use crate::context::Context;
 use crate::error::Result;
+use crate::runner::{run_experiment, Experiment};
 use crate::table::TextTable;
 use pccs_core::PccsModel;
 use serde::{Deserialize, Serialize};
@@ -31,32 +32,77 @@ pub struct Table7 {
     pub rows: Vec<PuParameters>,
 }
 
+/// [`Experiment`] marker for Table 7; one cell per (SoC, PU) model build —
+/// each cell is a full calibration sweep, so they parallelize well.
+#[derive(Debug, Clone, Copy)]
+pub struct Table7Experiment;
+
+impl Experiment for Table7Experiment {
+    type Prep = ();
+    type Cell = (&'static str, &'static str);
+    type CellOut = PuParameters;
+    type Output = Table7;
+
+    fn name(&self) -> &'static str {
+        "table7"
+    }
+
+    fn prepare(&self, ctx: &Context) -> Result<((), Vec<(&'static str, &'static str)>)> {
+        // Validate the PU names up front so a bad preset fails in prepare,
+        // not mid-sweep.
+        for (soc_name, pu_name) in Self::CELLS {
+            let soc = if soc_name == "Xavier" {
+                &ctx.xavier
+            } else {
+                &ctx.snapdragon
+            };
+            Context::require_pu(soc, pu_name)?;
+        }
+        Ok(((), Self::CELLS.to_vec()))
+    }
+
+    fn run_cell(
+        &self,
+        ctx: &Context,
+        _prep: &(),
+        &(soc_name, pu_name): &(&'static str, &'static str),
+    ) -> Result<PuParameters> {
+        let soc = if soc_name == "Xavier" {
+            ctx.xavier.clone()
+        } else {
+            ctx.snapdragon.clone()
+        };
+        let pu = Context::require_pu(&soc, pu_name)?;
+        Ok(PuParameters {
+            soc: soc_name.to_owned(),
+            pu: pu_name.to_owned(),
+            model: ctx.pccs_model(&soc, pu),
+        })
+    }
+
+    fn merge(&self, _ctx: &Context, _prep: (), cells: Vec<PuParameters>) -> Result<Table7> {
+        Ok(Table7 { rows: cells })
+    }
+}
+
+impl Table7Experiment {
+    /// Paper order: Xavier CPU/GPU/DLA, then Snapdragon CPU/GPU.
+    const CELLS: [(&'static str, &'static str); 5] = [
+        ("Xavier", "CPU"),
+        ("Xavier", "GPU"),
+        ("Xavier", "DLA"),
+        ("Snapdragon", "CPU"),
+        ("Snapdragon", "GPU"),
+    ];
+}
+
 /// Constructs all five models (cached in the context).
 ///
 /// # Errors
 ///
 /// Fails if a requested PU is missing from the SoC preset.
 pub fn run(ctx: &mut Context) -> Result<Table7> {
-    let mut rows = Vec::new();
-    let xavier = ctx.xavier.clone();
-    for pu_name in ["CPU", "GPU", "DLA"] {
-        let pu = Context::require_pu(&xavier, pu_name)?;
-        rows.push(PuParameters {
-            soc: "Xavier".to_owned(),
-            pu: pu_name.to_owned(),
-            model: ctx.pccs_model(&xavier, pu),
-        });
-    }
-    let snapdragon = ctx.snapdragon.clone();
-    for pu_name in ["CPU", "GPU"] {
-        let pu = Context::require_pu(&snapdragon, pu_name)?;
-        rows.push(PuParameters {
-            soc: "Snapdragon".to_owned(),
-            pu: pu_name.to_owned(),
-            model: ctx.pccs_model(&snapdragon, pu),
-        });
-    }
-    Ok(Table7 { rows })
+    run_experiment(&Table7Experiment, ctx)
 }
 
 impl Table7 {

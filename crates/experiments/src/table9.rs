@@ -8,9 +8,16 @@
 
 use crate::context::Context;
 use crate::error::Result;
+use crate::runner::{run_experiment, Experiment};
 use crate::table::TextTable;
-use pccs_dse::freq::{ground_truth_frequency, profile_frequencies, select_frequency};
+use pccs_core::PccsModel;
+use pccs_dse::freq::{
+    ground_truth_frequency, profile_frequencies, select_frequency, FrequencyPoint,
+};
+use pccs_gables::GablesModel;
+use pccs_soc::kernel::KernelDesc;
 use pccs_soc::pu::PuKind;
+use pccs_soc::soc::SocConfig;
 use pccs_workloads::rodinia::RodiniaBenchmark;
 use serde::{Deserialize, Serialize};
 
@@ -51,89 +58,210 @@ pub struct Table9 {
     pub fig15_curves: Vec<(f64, Vec<(f64, f64)>)>,
 }
 
+/// Shared sweep state: the DVFS profile and both models.
+#[derive(Debug)]
+pub struct Table9Prep {
+    soc: SocConfig,
+    gpu: usize,
+    cpu: usize,
+    kernel: KernelDesc,
+    pccs: PccsModel,
+    gables: GablesModel,
+    freqs: Vec<f64>,
+    points: Vec<FrequencyPoint>,
+    base_rate: f64,
+}
+
+/// One unit of Table 9 / Figure 15 work.
+#[derive(Debug, Clone, Copy)]
+pub enum Table9Cell {
+    /// A (budget, external pressure) frequency selection.
+    Select {
+        /// Allowed slowdown (fraction).
+        budget: f64,
+        /// External demand (GB/s).
+        external_gbps: f64,
+    },
+    /// One ground-truth performance curve at a fixed frequency (Fig. 15).
+    Curve {
+        /// GPU clock (MHz).
+        freq_mhz: f64,
+    },
+}
+
+/// The result of one [`Table9Cell`].
+#[derive(Debug, Clone)]
+pub enum Table9CellOut {
+    /// A filled selection row.
+    Select(SelectionCell),
+    /// A filled Fig. 15 curve.
+    Curve((f64, Vec<(f64, f64)>)),
+}
+
+/// [`Experiment`] marker for Table 9 + Figure 15; selection cells and
+/// Fig. 15 curves are all independent sweep cells.
+#[derive(Debug, Clone, Copy)]
+pub struct Table9Experiment;
+
+impl Experiment for Table9Experiment {
+    type Prep = Table9Prep;
+    type Cell = Table9Cell;
+    type CellOut = Table9CellOut;
+    type Output = Table9;
+
+    fn name(&self) -> &'static str {
+        "table9"
+    }
+
+    fn prepare(&self, ctx: &Context) -> Result<(Table9Prep, Vec<Table9Cell>)> {
+        let soc = ctx.xavier.clone();
+        let gpu = Context::require_pu(&soc, "GPU")?;
+        let cpu = Context::require_pu(&soc, "CPU")?;
+        let kernel = RodiniaBenchmark::Streamcluster.kernel(PuKind::Gpu);
+        let pccs = ctx.pccs_model(&soc, gpu);
+        let gables = ctx.gables(&soc);
+
+        let freqs: Vec<f64> = match ctx.quality {
+            crate::context::Quality::Quick => vec![500.0, 900.0, 1377.0],
+            crate::context::Quality::Full => {
+                vec![
+                    400.0, 500.0, 600.0, 700.0, 800.0, 900.0, 1000.0, 1100.0, 1377.0,
+                ]
+            }
+        };
+        // The paper uses 20/40/60 GB/s on silicon whose contention bites
+        // early; our substrate's fairness control absorbs mild pressure, so
+        // the same *regime* (light / medium / heavy contention) sits at
+        // higher absolute levels here.
+        let externals: Vec<f64> = vec![40.0, 80.0, 120.0];
+        let budgets = [0.05, 0.20];
+
+        let points = profile_frequencies(&soc, gpu, &kernel, &freqs, ctx.horizon());
+
+        // Figure 15 normalization: the top frequency's standalone rate.
+        let fig_freqs = [freqs[freqs.len() - 1], freqs[freqs.len() / 2]];
+        let top = soc.with_pu(gpu, soc.pus[gpu].with_frequency(fig_freqs[0]));
+        let base_rate = pccs_soc::corun::CoRunSim::standalone_averaged(
+            &top,
+            gpu,
+            &kernel,
+            ctx.horizon(),
+            ctx.repeats(),
+        )
+        .lines_per_cycle
+        .max(f64::MIN_POSITIVE);
+
+        let mut cells = Vec::new();
+        for &budget in &budgets {
+            for &y in &externals {
+                cells.push(Table9Cell::Select {
+                    budget,
+                    external_gbps: y,
+                });
+            }
+        }
+        for &f in &fig_freqs {
+            cells.push(Table9Cell::Curve { freq_mhz: f });
+        }
+
+        Ok((
+            Table9Prep {
+                soc,
+                gpu,
+                cpu,
+                kernel,
+                pccs,
+                gables,
+                freqs,
+                points,
+                base_rate,
+            },
+            cells,
+        ))
+    }
+
+    fn run_cell(
+        &self,
+        ctx: &Context,
+        prep: &Table9Prep,
+        cell: &Table9Cell,
+    ) -> Result<Table9CellOut> {
+        match *cell {
+            Table9Cell::Select {
+                budget,
+                external_gbps: y,
+            } => {
+                let truth = ground_truth_frequency(
+                    &prep.soc,
+                    prep.gpu,
+                    prep.cpu,
+                    &prep.kernel,
+                    &prep.freqs,
+                    y,
+                    budget,
+                    ctx.horizon(),
+                );
+                let p = select_frequency(&prep.points, &prep.pccs, y, budget);
+                let g = select_frequency(&prep.points, &prep.gables, y, budget);
+                Ok(Table9CellOut::Select(SelectionCell {
+                    budget,
+                    external_gbps: y,
+                    truth_mhz: truth.chosen_mhz,
+                    pccs_mhz: p.chosen_mhz,
+                    gables_mhz: g.chosen_mhz,
+                }))
+            }
+            Table9Cell::Curve { freq_mhz } => {
+                // Figure 15: measured co-run performance vs pressure at this
+                // frequency, normalized to the top frequency's standalone
+                // rate. The paper's observation — a memory-bound kernel's
+                // curve at the top clock nearly coincides with the one at a
+                // much lower clock — appears as overlapping rows here.
+                let reclocked = prep
+                    .soc
+                    .with_pu(prep.gpu, prep.soc.pus[prep.gpu].with_frequency(freq_mhz));
+                let sweep: Vec<f64> = vec![10.0, 30.0, 50.0, 70.0, 90.0];
+                let mut curve = Vec::new();
+                for &y in &sweep {
+                    let mut sim = pccs_soc::corun::CoRunSim::new(&reclocked);
+                    sim.horizon(ctx.horizon());
+                    sim.repeats(ctx.repeats());
+                    sim.place(pccs_soc::corun::Placement::kernel(
+                        prep.gpu,
+                        prep.kernel.clone(),
+                    ));
+                    sim.external_pressure(prep.cpu, y);
+                    let out = sim.execute();
+                    curve.push((y, out.per_pu[&prep.gpu].lines_per_cycle / prep.base_rate));
+                }
+                Ok(Table9CellOut::Curve((freq_mhz, curve)))
+            }
+        }
+    }
+
+    fn merge(&self, _ctx: &Context, _prep: Table9Prep, outs: Vec<Table9CellOut>) -> Result<Table9> {
+        let mut cells = Vec::new();
+        let mut fig15_curves = Vec::new();
+        for out in outs {
+            match out {
+                Table9CellOut::Select(c) => cells.push(c),
+                Table9CellOut::Curve(c) => fig15_curves.push(c),
+            }
+        }
+        Ok(Table9 {
+            cells,
+            fig15_curves,
+        })
+    }
+}
+
 /// Runs the use case: streamcluster on the Xavier GPU.
 ///
 /// # Errors
 ///
 /// Fails if a requested PU is missing from the SoC preset.
 pub fn run(ctx: &mut Context) -> Result<Table9> {
-    let soc = ctx.xavier.clone();
-    let gpu = Context::require_pu(&soc, "GPU")?;
-    let cpu = Context::require_pu(&soc, "CPU")?;
-    let kernel = RodiniaBenchmark::Streamcluster.kernel(PuKind::Gpu);
-    let pccs = ctx.pccs_model(&soc, gpu);
-    let gables = ctx.gables(&soc);
-
-    let freqs: Vec<f64> = match ctx.quality {
-        crate::context::Quality::Quick => vec![500.0, 900.0, 1377.0],
-        crate::context::Quality::Full => {
-            vec![
-                400.0, 500.0, 600.0, 700.0, 800.0, 900.0, 1000.0, 1100.0, 1377.0,
-            ]
-        }
-    };
-    // The paper uses 20/40/60 GB/s on silicon whose contention bites early;
-    // our substrate's fairness control absorbs mild pressure, so the same
-    // *regime* (light / medium / heavy contention) sits at higher absolute
-    // levels here.
-    let externals: Vec<f64> = vec![40.0, 80.0, 120.0];
-    let budgets = [0.05, 0.20];
-
-    let points = profile_frequencies(&soc, gpu, &kernel, &freqs, ctx.horizon());
-
-    let mut cells = Vec::new();
-    for &budget in &budgets {
-        for &y in &externals {
-            let truth =
-                ground_truth_frequency(&soc, gpu, cpu, &kernel, &freqs, y, budget, ctx.horizon());
-            let p = select_frequency(&points, &pccs, y, budget);
-            let g = select_frequency(&points, &gables, y, budget);
-            cells.push(SelectionCell {
-                budget,
-                external_gbps: y,
-                truth_mhz: truth.chosen_mhz,
-                pccs_mhz: p.chosen_mhz,
-                gables_mhz: g.chosen_mhz,
-            });
-        }
-    }
-
-    // Figure 15: measured co-run performance vs pressure at the top
-    // frequency and a mid frequency, normalized to the top frequency's
-    // standalone rate. The paper's observation — a memory-bound kernel's
-    // curve at the top clock nearly coincides with the one at a much lower
-    // clock — appears as overlapping rows here.
-    let fig_freqs = [freqs[freqs.len() - 1], freqs[freqs.len() / 2]];
-    let sweep: Vec<f64> = vec![10.0, 30.0, 50.0, 70.0, 90.0];
-    let top = soc.with_pu(gpu, soc.pus[gpu].with_frequency(fig_freqs[0]));
-    let base_rate = pccs_soc::corun::CoRunSim::standalone_averaged(
-        &top,
-        gpu,
-        &kernel,
-        ctx.horizon(),
-        ctx.repeats(),
-    )
-    .lines_per_cycle
-    .max(f64::MIN_POSITIVE);
-    let mut fig15_curves = Vec::new();
-    for &f in &fig_freqs {
-        let reclocked = soc.with_pu(gpu, soc.pus[gpu].with_frequency(f));
-        let mut curve = Vec::new();
-        for &y in &sweep {
-            let mut sim = pccs_soc::corun::CoRunSim::new(&reclocked);
-            sim.repeats(ctx.repeats());
-            sim.place(pccs_soc::corun::Placement::kernel(gpu, kernel.clone()));
-            sim.external_pressure(cpu, y);
-            let out = sim.run(ctx.horizon());
-            curve.push((y, out.per_pu[&gpu].lines_per_cycle / base_rate));
-        }
-        fig15_curves.push((f, curve));
-    }
-
-    Ok(Table9 {
-        cells,
-        fig15_curves,
-    })
+    run_experiment(&Table9Experiment, ctx)
 }
 
 impl Table9 {

@@ -10,8 +10,10 @@
 
 use crate::context::Context;
 use crate::error::Result;
+use crate::runner::{run_experiment, Experiment};
 use crate::table::TextTable;
 use pccs_core::SlowdownModel;
+use pccs_gables::GablesModel;
 use pccs_soc::kernel::KernelDesc;
 use pccs_soc::soc::SocConfig;
 use pccs_workloads::dnn::DnnModel;
@@ -152,42 +154,101 @@ pub struct Validation {
     pub benches: Vec<BenchValidation>,
 }
 
+/// Shared sweep state: the figure's SoC/PU, its models, and the grid.
+#[derive(Debug)]
+pub struct ValidatePrep {
+    soc: SocConfig,
+    pu: usize,
+    pccs: pccs_core::PccsModel,
+    gables: GablesModel,
+    grid: Vec<f64>,
+}
+
+/// [`Experiment`] marker for one validation figure (Figs. 8–12); one cell
+/// per benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct ValidateExperiment(pub Figure);
+
+impl Experiment for ValidateExperiment {
+    type Prep = ValidatePrep;
+    type Cell = (String, KernelDesc);
+    type CellOut = BenchValidation;
+    type Output = Validation;
+
+    fn name(&self) -> &'static str {
+        match self.0 {
+            Figure::XavierGpu => "fig8",
+            Figure::XavierCpu => "fig9",
+            Figure::SnapdragonGpu => "fig10",
+            Figure::SnapdragonCpu => "fig11",
+            Figure::XavierDla => "fig12",
+        }
+    }
+
+    fn prepare(&self, ctx: &Context) -> Result<(ValidatePrep, Vec<(String, KernelDesc)>)> {
+        let soc = self.0.soc(ctx);
+        let pu = Context::require_pu(&soc, self.0.pu_name())?;
+        let pccs = ctx.pccs_model(&soc, pu);
+        let gables = ctx.gables(&soc);
+        let grid = ctx.external_grid(&soc);
+        let cells = self.0.workloads(ctx.quality);
+        Ok((
+            ValidatePrep {
+                soc,
+                pu,
+                pccs,
+                gables,
+                grid,
+            },
+            cells,
+        ))
+    }
+
+    fn run_cell(
+        &self,
+        ctx: &Context,
+        prep: &ValidatePrep,
+        (name, kernel): &(String, KernelDesc),
+    ) -> Result<BenchValidation> {
+        let standalone = ctx.standalone(&prep.soc, prep.pu, kernel);
+        let x = standalone.bw_gbps;
+        let points = prep
+            .grid
+            .iter()
+            .map(|&y| {
+                let actual = ctx.actual_rs_pct(&prep.soc, prep.pu, kernel, &standalone, y);
+                let p = prep.pccs.relative_speed_pct(x, y);
+                let g = prep.gables.relative_speed_pct(x, y);
+                (y, actual, p, g)
+            })
+            .collect();
+        Ok(BenchValidation {
+            name: name.clone(),
+            demand_gbps: x,
+            points,
+        })
+    }
+
+    fn merge(
+        &self,
+        _ctx: &Context,
+        _prep: ValidatePrep,
+        cells: Vec<BenchValidation>,
+    ) -> Result<Validation> {
+        Ok(Validation {
+            figure: self.0,
+            benches: cells,
+        })
+    }
+}
+
 /// Runs one validation figure.
 ///
 /// # Errors
 ///
 /// Fails if the figure's PU is missing from the SoC preset.
 pub fn run(ctx: &mut Context, figure: Figure) -> Result<Validation> {
-    let soc = figure.soc(ctx);
-    let pu = Context::require_pu(&soc, figure.pu_name())?;
-    let pccs = ctx.pccs_model(&soc, pu);
-    let gables = ctx.gables(&soc);
-    let grid = ctx.external_grid(&soc);
-
-    let workloads = figure.workloads(ctx.quality);
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4);
-    let ctx_ref: &Context = ctx;
-    let benches = pccs_workloads::calibrate::parallel_map(threads, &workloads, |(name, kernel)| {
-        let standalone = ctx_ref.standalone(&soc, pu, kernel);
-        let x = standalone.bw_gbps;
-        let points = grid
-            .iter()
-            .map(|&y| {
-                let actual = ctx_ref.actual_rs_pct(&soc, pu, kernel, &standalone, y);
-                let p = pccs.relative_speed_pct(x, y);
-                let g = gables.relative_speed_pct(x, y);
-                (y, actual, p, g)
-            })
-            .collect();
-        BenchValidation {
-            name: name.clone(),
-            demand_gbps: x,
-            points,
-        }
-    });
-    Ok(Validation { figure, benches })
+    run_experiment(&ValidateExperiment(figure), ctx)
 }
 
 impl Validation {

@@ -117,7 +117,7 @@ impl Probe for SimProbe<'_> {
         for (pu, kernel) in placements {
             sim.place(Placement::kernel(*pu, kernel.clone()));
         }
-        let out = sim.run_configured();
+        let out = sim.execute();
         let rates: BTreeMap<usize, f64> = out
             .per_pu
             .iter()

@@ -256,6 +256,18 @@ impl CoRunSim {
         self
     }
 
+    /// Sets the simulation horizon — [`CoRunConfig::horizon`] is the single
+    /// source of truth for how long [`CoRunSim::execute`] runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `horizon` is zero.
+    pub fn horizon(&mut self, horizon: u64) -> &mut Self {
+        assert!(horizon > 0, "horizon must be positive");
+        self.config.horizon = horizon;
+        self
+    }
+
     /// Number of differently seeded repetitions whose rates are averaged
     /// (default 1). Averaging damps the address-phase sensitivity of short
     /// simulations.
@@ -291,12 +303,33 @@ impl CoRunSim {
         self.place(Placement::pressure(pu_idx, gbps))
     }
 
-    /// Runs the co-run for `horizon` memory cycles. The first
-    /// [`CoRunConfig::warmup_fraction`] of the horizon is excluded from the
-    /// measured rates; when [`CoRunSim::repeats`] is above one, rates are
-    /// averaged over differently seeded repetitions (the returned raw
-    /// [`CoRunOutcome::memory`] is from the last repetition).
+    /// Runs the co-run for `horizon` memory cycles, ignoring the configured
+    /// [`CoRunConfig::horizon`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "set the horizon on `CoRunConfig` (or via `CoRunSim::horizon`) and call `execute`"
+    )]
     pub fn run(&self, horizon: u64) -> CoRunOutcome {
+        self.run_at(horizon)
+    }
+
+    /// Runs the co-run at the configured horizon.
+    #[deprecated(since = "0.2.0", note = "renamed to `execute`")]
+    pub fn run_configured(&self) -> CoRunOutcome {
+        self.execute()
+    }
+
+    /// Runs the co-run at [`CoRunConfig::horizon`] — the single source of
+    /// truth for run length. The first [`CoRunConfig::warmup_fraction`] of
+    /// the horizon is excluded from the measured rates; when
+    /// [`CoRunSim::repeats`] is above one, rates are averaged over
+    /// differently seeded repetitions (the returned raw
+    /// [`CoRunOutcome::memory`] is from the last repetition).
+    pub fn execute(&self) -> CoRunOutcome {
+        self.run_at(self.config.horizon)
+    }
+
+    fn run_at(&self, horizon: u64) -> CoRunOutcome {
         assert!(horizon > 0, "horizon must be positive");
         let mut span = TraceLog::span("corun.run");
         span.counter("placements", self.placements.len() as f64);
@@ -351,12 +384,6 @@ impl CoRunSim {
             horizon,
             memory: last_memory.expect("at least one repetition"),
         }
-    }
-
-    /// Runs the co-run at the horizon configured via
-    /// [`CoRunSim::with_config`] (or the default).
-    pub fn run_configured(&self) -> CoRunOutcome {
-        self.run(self.config.horizon)
     }
 
     fn run_once(&self, horizon: u64, warmup: u64, run_seed: u64) -> SimOutcome {
@@ -427,7 +454,7 @@ impl CoRunSim {
     ) -> StandaloneProfile {
         let mut sim = CoRunSim::with_config(soc, config.clone());
         sim.place(Placement::kernel(pu_idx, kernel.clone()));
-        let out = sim.run_configured();
+        let out = sim.execute();
         let r = out.per_pu[&pu_idx];
         StandaloneProfile {
             pu_idx,
@@ -465,9 +492,10 @@ mod tests {
         let standalone = CoRunSim::standalone(&soc, gpu, &kernel, 40_000);
 
         let mut sim = CoRunSim::new(&soc);
+        sim.horizon(40_000);
         sim.place(Placement::kernel(gpu, kernel));
         sim.external_pressure(cpu, 80.0);
-        let out = sim.run(40_000);
+        let out = sim.execute();
         let rs = out.relative_speed(gpu, &standalone);
         assert!(rs < 0.97, "expected a slowdown, rs = {rs:.3}");
         assert!(rs > 0.2, "slowdown implausibly large, rs = {rs:.3}");
@@ -482,9 +510,10 @@ mod tests {
         let standalone = CoRunSim::standalone(&soc, gpu, &kernel, 40_000);
 
         let mut sim = CoRunSim::new(&soc);
+        sim.horizon(40_000);
         sim.place(Placement::kernel(gpu, kernel));
         sim.external_pressure(cpu, 60.0);
-        let out = sim.run(40_000);
+        let out = sim.execute();
         let rs = out.relative_speed(gpu, &standalone);
         assert!(rs > 0.85, "compute-bound kernel slowed to {rs:.3}");
     }
@@ -498,9 +527,10 @@ mod tests {
         let standalone = CoRunSim::standalone(&soc, gpu, &kernel, 30_000);
         let rs_at = |gbps: f64| {
             let mut sim = CoRunSim::new(&soc);
+            sim.horizon(30_000);
             sim.place(Placement::kernel(gpu, kernel.clone()));
             sim.external_pressure(cpu, gbps);
-            sim.run(30_000).relative_speed(gpu, &standalone)
+            sim.execute().relative_speed(gpu, &standalone)
         };
         let low = rs_at(20.0);
         let high = rs_at(100.0);
@@ -522,7 +552,8 @@ mod tests {
         ));
         sim.external_pressure(cpu, 40.0);
         sim.record_epochs(2_000);
-        let out = sim.run(20_000);
+        sim.horizon(20_000);
+        let out = sim.execute();
         let report = out.memory.telemetry.as_ref().expect("epochs recorded");
         assert_eq!(report.epoch_cycles, 2_000);
         assert_eq!(report.total_bytes(), out.memory.stats.total_bytes());
@@ -550,6 +581,30 @@ mod tests {
         let b = CoRunSim::standalone(&soc, gpu, &kernel, cfg.horizon);
         assert!((a.lines_per_cycle - b.lines_per_cycle).abs() < 1e-12);
         assert_eq!(a.horizon, cfg.horizon);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_execute() {
+        let soc = xavier();
+        let gpu = soc.pu_index("GPU").unwrap();
+        let kernel = KernelDesc::memory_streaming("stream", 0.5);
+        let mut sim = CoRunSim::new(&soc);
+        sim.horizon(10_000);
+        sim.place(Placement::kernel(gpu, kernel));
+        let canonical = sim.execute();
+        let shim = sim.run(10_000);
+        let configured = sim.run_configured();
+        assert_eq!(canonical.per_pu, shim.per_pu);
+        assert_eq!(canonical.per_pu, configured.per_pu);
+    }
+
+    #[test]
+    fn corun_types_cross_threads() {
+        fn assert_send<T: Send>() {}
+        assert_send::<CoRunSim>();
+        assert_send::<CoRunOutcome>();
+        assert_send::<StandaloneProfile>();
     }
 
     #[test]
@@ -582,8 +637,9 @@ mod tests {
         let kernel = KernelDesc::memory_streaming("k", 1.0);
         let standalone = CoRunSim::standalone(&soc, gpu, &kernel, 5_000);
         let mut sim = CoRunSim::new(&soc);
+        sim.horizon(5_000);
         sim.external_pressure(0, 10.0);
-        let out = sim.run(5_000);
+        let out = sim.execute();
         let _ = out.relative_speed(gpu, &standalone);
     }
 }

@@ -38,9 +38,10 @@
 //!
 //! // Same kernel under 40 GB/s of external pressure from the CPU complex.
 //! let mut sim = CoRunSim::new(&soc);
+//! sim.horizon(60_000);
 //! sim.place(Placement::kernel(gpu, kernel));
 //! sim.external_pressure(soc.pu_index("CPU").unwrap(), 40.0);
-//! let outcome = sim.run(60_000);
+//! let outcome = sim.execute();
 //! let rs = outcome.relative_speed(gpu, &profile);
 //! assert!(rs > 0.0 && rs <= 1.05);
 //! ```

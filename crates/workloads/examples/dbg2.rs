@@ -15,10 +15,11 @@ fn main() {
     print!("CPU streamcluster x={:.1}: ", prof.bw_gbps);
     for y in [14.0, 27.0, 55.0, 82.0, 110.0, 137.0] {
         let mut sim = CoRunSim::new(&soc);
+        sim.horizon(30_000);
         sim.repeats(2);
         sim.place(Placement::kernel(cpu, k.clone()));
         sim.external_pressure(gpu, y);
-        let out = sim.run(30_000);
+        let out = sim.execute();
         let act: f64 = soc
             .source_range(gpu)
             .map(|s| out.memory.source_bw_gbps(SourceId(s)))
@@ -32,10 +33,11 @@ fn main() {
     print!("DLA resnet x={:.1}:        ", prof.bw_gbps);
     for y in [14.0, 27.0, 55.0, 82.0, 110.0, 137.0] {
         let mut sim = CoRunSim::new(&soc);
+        sim.horizon(30_000);
         sim.repeats(2);
         sim.place(Placement::kernel(dla, k.clone()));
         sim.external_pressure(cpu, y);
-        let out = sim.run(30_000);
+        let out = sim.execute();
         print!("{:5.1}      ", out.relative_speed_pct(dla, &prof));
     }
     println!();

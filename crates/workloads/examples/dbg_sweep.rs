@@ -25,10 +25,11 @@ fn main() {
             10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0, 100.0, 110.0, 120.0,
         ] {
             let mut sim = CoRunSim::new(&soc);
+            sim.horizon(40_000);
             sim.repeats(2);
             sim.place(Placement::kernel(gpu, k.clone()));
             sim.external_pressure(cpu, y);
-            let out = sim.run(40_000);
+            let out = sim.execute();
             print!("{:5.1}", out.relative_speed_pct(gpu, &prof));
         }
         println!();

@@ -65,11 +65,12 @@ fn main() {
 
     // The actual co-run.
     let mut sim = CoRunSim::new(&soc);
+    sim.horizon(horizon);
     sim.repeats(2);
     for (pu, _, k) in &modules {
         sim.place(Placement::kernel(*pu, k.clone()));
     }
-    let out = sim.run(horizon);
+    let out = sim.execute();
 
     println!(
         "\n{:<28} {:>9} {:>9} {:>11} {:>11}",

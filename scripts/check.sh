@@ -40,6 +40,7 @@ step fmt    cargo fmt --all -- --check
 step clippy cargo clippy --workspace --all-targets -- -D warnings
 step build  cargo build --release --workspace
 step sched-smoke ./target/release/pccs sched --quick
+step repro-smoke ./target/release/repro oblivious --quick --jobs 2
 step doc    cargo doc --no-deps --workspace
 step doc-complete doc_complete
 step test   cargo test --release --workspace

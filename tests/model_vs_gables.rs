@@ -48,11 +48,12 @@ fn pccs_beats_gables_on_unseen_benchmarks() {
         let standalone = CoRunSim::standalone_averaged(&soc, gpu, &kernel, HORIZON, 2);
         for &y in &pressures {
             let mut sim = CoRunSim::new(&soc);
+            sim.horizon(HORIZON);
             sim.repeats(2);
             sim.place(Placement::kernel(gpu, kernel.clone()));
             sim.external_pressure(cpu, y);
             let actual = sim
-                .run(HORIZON)
+                .execute()
                 .relative_speed_pct(gpu, &standalone)
                 .min(102.0);
             pccs_err += (actual - pccs.relative_speed_pct(standalone.bw_gbps, y)).abs();
@@ -88,10 +89,11 @@ fn gables_predicts_no_slowdown_below_peak() {
     assert_eq!(gables.relative_speed_pct(standalone.bw_gbps, y), 100.0);
 
     let mut sim = CoRunSim::new(&soc);
+    sim.horizon(HORIZON);
     sim.repeats(2);
     sim.place(Placement::kernel(gpu, kernel));
     sim.external_pressure(cpu, y);
-    let actual = sim.run(HORIZON).relative_speed_pct(gpu, &standalone);
+    let actual = sim.execute().relative_speed_pct(gpu, &standalone);
     assert!(
         actual < 99.0,
         "the simulated SoC should contend below peak (measured {actual:.1}%)"

@@ -62,11 +62,12 @@ fn measured_phased_slowdown_sits_below_average_prediction() {
         let standalone = CoRunSim::standalone_averaged(&soc, gpu, k, HORIZON, 2);
         demands.push(standalone.bw_gbps);
         let mut sim = CoRunSim::new(&soc);
+        sim.horizon(HORIZON);
         sim.repeats(2);
         sim.place(Placement::kernel(gpu, k.clone()));
         sim.external_pressure(cpu, y);
         let rs = sim
-            .run(HORIZON)
+            .execute()
             .relative_speed_pct(gpu, &standalone)
             .clamp(1.0, 102.0);
         corun_time += w / (rs / 100.0);

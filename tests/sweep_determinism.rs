@@ -1,0 +1,28 @@
+//! Worker-count invariance of the sweep engine: the same experiment run
+//! serially and on four worker threads must serialize to byte-identical
+//! JSON. Every simulation is seeded per cell, the runner collects cell
+//! outputs in enumeration order, and merge never looks at completion
+//! order — so `--jobs N` can only change wall-clock time, never results.
+
+use pccs_experiments::context::{Context, Quality};
+use pccs_experiments::{fig2, oblivious};
+
+/// Serializes one full experiment pass (two profile-cache-heavy
+/// experiments) at the given worker count.
+fn run_at(jobs: usize) -> (String, String) {
+    let mut ctx = Context::new(Quality::Quick).with_jobs(jobs);
+    let o = oblivious::run(&mut ctx).expect("oblivious runs");
+    let f = fig2::run(&mut ctx).expect("fig2 runs");
+    (
+        serde_json::to_string_pretty(&o).expect("serializes"),
+        serde_json::to_string_pretty(&f).expect("serializes"),
+    )
+}
+
+#[test]
+fn parallel_sweep_is_byte_identical_to_serial() {
+    let (o1, f1) = run_at(1);
+    let (o4, f4) = run_at(4);
+    assert_eq!(o1, o4, "oblivious output depends on --jobs");
+    assert_eq!(f1, f4, "fig2 output depends on --jobs");
+}
