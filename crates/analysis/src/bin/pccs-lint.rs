@@ -1,0 +1,61 @@
+//! `pccs-lint`: lint the workspace against the PCCS repo invariants.
+//!
+//! ```text
+//! pccs-lint [--root <path>] [--json] [--list-rules]
+//! ```
+//!
+//! Exits 0 when clean, 1 when findings survive waivers, 2 on usage or I/O
+//! errors. `--json` emits one `lint.finding` JSON record per line (the
+//! telemetry JSONL format) instead of the text report.
+
+use pccs_analysis::{lint_workspace, rules::RULE_NAMES};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: pccs-lint [--root <path>] [--json] [--list-rules]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut json = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => return usage(),
+            },
+            "--json" => json = true,
+            "--list-rules" => {
+                for rule in RULE_NAMES {
+                    println!("{rule}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!("usage: pccs-lint [--root <path>] [--json] [--list-rules]");
+                return ExitCode::SUCCESS;
+            }
+            _ => return usage(),
+        }
+    }
+    let report = match lint_workspace(&root) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("pccs-lint: {err}");
+            return ExitCode::from(2);
+        }
+    };
+    if json {
+        print!("{}", report.to_jsonl());
+    } else {
+        print!("{}", report.render_text());
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

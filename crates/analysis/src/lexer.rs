@@ -1,0 +1,429 @@
+//! A hand-rolled Rust lexer, just deep enough for linting.
+//!
+//! The engine needs exactly three things from a source file: the identifier
+//! and punctuation stream with line numbers (comments and literal *contents*
+//! stripped, so `"panic!"` inside a string never trips a rule), the set of
+//! lines carrying rustdoc comments (for the `missing-docs` rule), and any
+//! `// pccs-lint: allow(<rule>)` waiver directives. A full parser — or a
+//! `syn` dependency — would be overkill and is unavailable offline; this
+//! scanner handles the token-level subtleties that actually matter: nested
+//! block comments, raw strings (`r#"…"#`), byte strings, raw identifiers,
+//! and the lifetime-vs-char-literal ambiguity at `'`.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// What a [`Token`] is, at the granularity the rules need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`unwrap`, `pub`, `HashMap`, …).
+    Ident,
+    /// A single punctuation character (`.`, `:`, `{`, `!`, …). Multi-char
+    /// operators arrive as consecutive tokens; rules match the sequence.
+    Punct,
+    /// A string/char/number literal. The text is a placeholder, never the
+    /// literal's contents.
+    Literal,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// 1-based line the token starts on.
+    pub line: u32,
+    /// The token text — the identifier itself, the punctuation character,
+    /// or `"<lit>"` for literals.
+    pub text: String,
+    /// Coarse classification.
+    pub kind: TokenKind,
+}
+
+/// The lexed view of one source file.
+#[derive(Debug, Default)]
+pub struct LexedFile {
+    /// Comment- and literal-stripped token stream.
+    pub tokens: Vec<Token>,
+    /// `line -> rules waived on that line` from `pccs-lint: allow(...)`
+    /// comment directives.
+    pub waivers: BTreeMap<u32, BTreeSet<String>>,
+    /// Lines that carry a rustdoc comment (`///`, `//!`, `/** */`, `/*! */`).
+    pub doc_lines: BTreeSet<u32>,
+}
+
+impl LexedFile {
+    /// Whether `rule` is waived for a finding on `line` — a directive on the
+    /// finding's own line or the line directly above counts.
+    pub fn is_waived(&self, rule: &str, line: u32) -> bool {
+        [line, line.saturating_sub(1)]
+            .iter()
+            .any(|l| self.waivers.get(l).is_some_and(|set| set.contains(rule)))
+    }
+}
+
+/// Scans waiver directives of the form `pccs-lint: allow(rule-a, rule-b)`
+/// out of a comment body.
+fn scan_waiver(comment: &str, line: u32, waivers: &mut BTreeMap<u32, BTreeSet<String>>) {
+    let Some(at) = comment.find("pccs-lint:") else {
+        return;
+    };
+    let rest = &comment[at + "pccs-lint:".len()..];
+    let Some(open) = rest.find("allow(") else {
+        return;
+    };
+    let body = &rest[open + "allow(".len()..];
+    let Some(close) = body.find(')') else {
+        return;
+    };
+    let entry = waivers.entry(line).or_default();
+    for rule in body[..close].split(',') {
+        let rule = rule.trim();
+        if !rule.is_empty() {
+            entry.insert(rule.to_owned());
+        }
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `src` into tokens, waivers, and doc-comment lines.
+///
+/// The lexer never fails: malformed input (an unterminated string, say)
+/// degrades to consuming the rest of the file as a literal, which is the
+/// right behaviour for a linter — rustc will reject the file anyway.
+pub fn lex(src: &str) -> LexedFile {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = LexedFile::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    let at = |i: usize| chars.get(i).copied();
+
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            _ if c.is_whitespace() => i += 1,
+            '/' if at(i + 1) == Some('/') => {
+                let start = i;
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                if text.starts_with("///") || text.starts_with("//!") {
+                    out.doc_lines.insert(line);
+                }
+                scan_waiver(&text, line, &mut out.waivers);
+            }
+            '/' if at(i + 1) == Some('*') => {
+                let start_line = line;
+                let is_doc = matches!(at(i + 2), Some('!'))
+                    || (at(i + 2) == Some('*') && at(i + 3) != Some('/'));
+                let mut depth = 1;
+                let start = i;
+                i += 2;
+                while i < chars.len() && depth > 0 {
+                    match (chars[i], at(i + 1)) {
+                        ('/', Some('*')) => {
+                            depth += 1;
+                            i += 2;
+                        }
+                        ('*', Some('/')) => {
+                            depth -= 1;
+                            i += 2;
+                        }
+                        ('\n', _) => {
+                            line += 1;
+                            i += 1;
+                        }
+                        _ => i += 1,
+                    }
+                }
+                if is_doc {
+                    for l in start_line..=line {
+                        out.doc_lines.insert(l);
+                    }
+                }
+                let text: String = chars[start..i.min(chars.len())].iter().collect();
+                scan_waiver(&text, start_line, &mut out.waivers);
+            }
+            '"' => {
+                let tok_line = line;
+                i = consume_string(&chars, i, &mut line);
+                out.tokens.push(Token {
+                    line: tok_line,
+                    text: "<lit>".into(),
+                    kind: TokenKind::Literal,
+                });
+            }
+            'r' | 'b' if starts_string_prefix(&chars, i) => {
+                let tok_line = line;
+                i = consume_prefixed_string(&chars, i, &mut line);
+                out.tokens.push(Token {
+                    line: tok_line,
+                    text: "<lit>".into(),
+                    kind: TokenKind::Literal,
+                });
+            }
+            '\'' => {
+                // Lifetime (`'a`) or char literal (`'a'`, `'\n'`)?
+                let next = at(i + 1);
+                let is_char = match next {
+                    Some('\\') => true,
+                    Some(n) if is_ident_start(n) => at(i + 2) == Some('\''),
+                    Some(_) => true,
+                    None => false,
+                };
+                if is_char {
+                    let tok_line = line;
+                    i += 1;
+                    if at(i) == Some('\\') {
+                        i += 2; // escape + escaped char
+                    } else {
+                        i += 1;
+                    }
+                    // Consume to the closing quote (handles `'\u{1F600}'`).
+                    while i < chars.len() && chars[i] != '\'' && chars[i] != '\n' {
+                        i += 1;
+                    }
+                    i += 1;
+                    out.tokens.push(Token {
+                        line: tok_line,
+                        text: "<lit>".into(),
+                        kind: TokenKind::Literal,
+                    });
+                } else {
+                    // Lifetime: skip the quote and its identifier.
+                    i += 1;
+                    while i < chars.len() && is_ident_continue(chars[i]) {
+                        i += 1;
+                    }
+                }
+            }
+            _ if is_ident_start(c) => {
+                let start = i;
+                while i < chars.len() && is_ident_continue(chars[i]) {
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    line,
+                    text: chars[start..i].iter().collect(),
+                    kind: TokenKind::Ident,
+                });
+            }
+            _ if c.is_ascii_digit() => {
+                while i < chars.len()
+                    && (is_ident_continue(chars[i])
+                        || (chars[i] == '.' && at(i + 1).is_some_and(|n| n.is_ascii_digit())))
+                {
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    line,
+                    text: "<lit>".into(),
+                    kind: TokenKind::Literal,
+                });
+            }
+            _ => {
+                out.tokens.push(Token {
+                    line,
+                    text: c.to_string(),
+                    kind: TokenKind::Punct,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Whether position `i` (at `r` or `b`) starts a raw/byte string or byte
+/// char rather than an identifier.
+fn starts_string_prefix(chars: &[char], i: usize) -> bool {
+    let at = |k: usize| chars.get(k).copied();
+    match chars[i] {
+        'r' => match at(i + 1) {
+            Some('"') => true,
+            Some('#') => {
+                // `r#"…"#` is a raw string; `r#ident` is a raw identifier.
+                let mut k = i + 1;
+                while at(k) == Some('#') {
+                    k += 1;
+                }
+                at(k) == Some('"')
+            }
+            _ => false,
+        },
+        'b' => matches!(
+            (at(i + 1), at(i + 2)),
+            (Some('"'), _) | (Some('\''), _) | (Some('r'), Some('"')) | (Some('r'), Some('#'))
+        ),
+        _ => false,
+    }
+}
+
+/// Consumes a plain `"…"` string starting at `i`; returns the index past it.
+fn consume_string(chars: &[char], mut i: usize, line: &mut u32) -> usize {
+    i += 1; // opening quote
+    while i < chars.len() {
+        match chars[i] {
+            '\\' => i += 2,
+            '"' => return i + 1,
+            '\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Consumes an `r`/`b`-prefixed string (raw, byte, raw-byte) or byte char.
+fn consume_prefixed_string(chars: &[char], mut i: usize, line: &mut u32) -> usize {
+    let at = |k: usize| chars.get(k).copied();
+    // Skip the prefix letters.
+    while matches!(at(i), Some('r') | Some('b')) {
+        i += 1;
+    }
+    if at(i) == Some('\'') {
+        // Byte char literal `b'x'`.
+        i += 1;
+        if at(i) == Some('\\') {
+            i += 1;
+        }
+        while i < chars.len() && chars[i] != '\'' && chars[i] != '\n' {
+            i += 1;
+        }
+        return i + 1;
+    }
+    let mut hashes = 0usize;
+    while at(i) == Some('#') {
+        hashes += 1;
+        i += 1;
+    }
+    if at(i) != Some('"') {
+        return i; // not actually a string; nothing consumed beyond prefix
+    }
+    if hashes == 0 {
+        return consume_string(chars, i, line);
+    }
+    i += 1;
+    while i < chars.len() {
+        if chars[i] == '\n' {
+            *line += 1;
+            i += 1;
+            continue;
+        }
+        if chars[i] == '"' {
+            let mut k = 0;
+            while k < hashes && at(i + 1 + k) == Some('#') {
+                k += 1;
+            }
+            if k == hashes {
+                return i + 1 + hashes;
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_are_stripped() {
+        let src = r##"
+            // unwrap() in a comment
+            let x = "panic!(\"no\")"; /* expect( */
+            let y = r#"unwrap()"#;
+            call(x);
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"unwrap".to_owned()));
+        assert!(!ids.contains(&"panic".to_owned()));
+        assert!(!ids.contains(&"expect".to_owned()));
+        assert!(ids.contains(&"call".to_owned()));
+    }
+
+    #[test]
+    fn lines_are_tracked_across_multiline_constructs() {
+        let src = "let a = \"x\ny\";\n/* c\nc */\nlet b = 1;\n";
+        let lexed = lex(src);
+        let b = lexed.tokens.iter().find(|t| t.text == "b").unwrap();
+        assert_eq!(b.line, 5);
+    }
+
+    #[test]
+    fn doc_lines_are_recorded() {
+        let src = "/// docs\npub fn f() {}\n//! inner\n/** block */\nstruct S;\n";
+        let lexed = lex(src);
+        assert!(lexed.doc_lines.contains(&1));
+        assert!(lexed.doc_lines.contains(&3));
+        assert!(lexed.doc_lines.contains(&4));
+        assert!(!lexed.doc_lines.contains(&2));
+    }
+
+    #[test]
+    fn waivers_parse_rule_lists() {
+        let src = "x(); // pccs-lint: allow(hot-path-panic, nondeterminism)\n";
+        let lexed = lex(src);
+        assert!(lexed.is_waived("hot-path-panic", 1));
+        assert!(lexed.is_waived("nondeterminism", 1));
+        assert!(lexed.is_waived("hot-path-panic", 2)); // line above counts
+        assert!(!lexed.is_waived("missing-docs", 1));
+        assert!(!lexed.is_waived("hot-path-panic", 3));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x }\nlet c = 'x';\nlet nl = '\\n';\n";
+        let lexed = lex(src);
+        let ids: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        // The lifetime identifier `a` is consumed with the quote, and char
+        // literal contents never surface as identifiers.
+        assert!(!ids.contains(&"a"));
+        assert!(!ids.contains(&"x") || ids.iter().filter(|&&t| t == "x").count() == 2);
+        let lits = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Literal)
+            .count();
+        assert_eq!(lits, 2, "two char literals");
+    }
+
+    #[test]
+    fn raw_identifiers_stay_identifiers() {
+        let ids = idents("let r#match = 1; let s = r#\"str\"#;");
+        assert!(ids.contains(&"match".to_owned()));
+    }
+
+    #[test]
+    fn nested_block_comments_terminate_correctly() {
+        let ids = idents("/* outer /* inner */ still comment */ real();");
+        assert_eq!(ids, vec!["real".to_owned()]);
+    }
+}

@@ -1,0 +1,546 @@
+//! The lint rules and the engine that applies them to one file.
+//!
+//! # Rules
+//!
+//! | rule | scope | what it flags |
+//! |------|-------|---------------|
+//! | `hot-path-panic` | `dram`/`soc`/`core` non-test code | `.unwrap()`, `.expect(...)`, `panic!` — simulator hot paths must return errors. `assert!`/`debug_assert!`/`unreachable!` are deliberately *not* flagged: contract checks are welcome. |
+//! | `nondeterminism` | sim/experiment crates non-test code | `Instant::now`, `SystemTime`, `HashMap`, `HashSet`, `thread_rng` — results must be byte-identical across runs and `--jobs` settings. |
+//! | `deprecated-shim` | all crates, non-test code | calls to the deprecated `CoRunSim::run_configured` shim and `#[allow(deprecated)]` escapes (the only way a call to the deprecated `run` shim survives `-D warnings`). |
+//! | `missing-docs` | library crates, non-test code | `pub` items without a rustdoc comment directly above. |
+//!
+//! Findings are suppressed with a `// pccs-lint: allow(<rule>)` comment on
+//! the finding's line or the line directly above — waivers are visible in
+//! review and greppable, unlike a config file.
+//!
+//! # Test code
+//!
+//! All rules exempt test code: files under `tests/`, `benches/`,
+//! `examples/`, and `#[cfg(test)]`-gated regions inside library files
+//! (found by brace-matching over the token stream).
+
+use crate::lexer::{lex, LexedFile, Token, TokenKind};
+use crate::report::{Finding, LintReport};
+
+/// Stable names of every rule, in report order.
+pub const RULE_NAMES: &[&str] = &[
+    "hot-path-panic",
+    "nondeterminism",
+    "deprecated-shim",
+    "missing-docs",
+];
+
+/// Crates whose non-test code is a simulator hot path.
+const HOT_PATH_CRATES: &[&str] = &["dram", "soc", "core"];
+
+/// Crates whose non-test code must be deterministic.
+const DETERMINISTIC_CRATES: &[&str] = &["dram", "soc", "core", "workloads", "experiments", "sched"];
+
+/// Identifiers that introduce nondeterminism on sight.
+const NONDETERMINISTIC_IDENTS: &[&str] = &["HashMap", "HashSet", "SystemTime", "thread_rng"];
+
+/// How a file is situated relative to the rules.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileClass {
+    /// Crate directory name under `crates/` (`dram`, `soc`, …).
+    pub crate_name: String,
+    /// Whether the path alone marks it as test/bench/example code.
+    pub is_test_path: bool,
+    /// Whether it is a binary target (`src/bin/**` or `src/main.rs`).
+    pub is_bin: bool,
+}
+
+/// Classifies a repo-relative path. Returns `None` for files the linter
+/// ignores entirely (non-Rust, outside `crates/`, generated output).
+pub fn classify(rel_path: &str) -> Option<FileClass> {
+    let norm = rel_path.replace('\\', "/");
+    if !norm.ends_with(".rs") {
+        return None;
+    }
+    let rest = norm.strip_prefix("crates/")?;
+    let (crate_name, inner) = rest.split_once('/')?;
+    if inner.starts_with("target/") {
+        return None;
+    }
+    let is_test_path = inner.starts_with("tests/")
+        || inner.starts_with("benches/")
+        || inner.starts_with("examples/")
+        || inner == "build.rs";
+    let is_bin = inner.starts_with("src/bin/") || inner == "src/main.rs";
+    Some(FileClass {
+        crate_name: crate_name.to_owned(),
+        is_test_path,
+        is_bin,
+    })
+}
+
+/// Marks every token inside a `#[cfg(test)]`-gated item.
+///
+/// Finds each `# [ cfg ( test ) ]` attribute sequence, then extends the
+/// region over the following item: to the matching `}` if the item is
+/// brace-delimited, or to the terminating `;` otherwise. Comments and
+/// string contents are already stripped, so brace counting is exact.
+fn test_region_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let text = |k: usize| tokens.get(k).map(|t| t.text.as_str());
+    let mut i = 0;
+    while i < tokens.len() {
+        let is_cfg_test = text(i) == Some("#")
+            && text(i + 1) == Some("[")
+            && text(i + 2) == Some("cfg")
+            && text(i + 3) == Some("(")
+            && text(i + 4) == Some("test")
+            && text(i + 5) == Some(")")
+            && text(i + 6) == Some("]");
+        if !is_cfg_test {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        let mut j = i + 7;
+        // Skip any further attributes on the same item.
+        while text(j) == Some("#") && text(j + 1) == Some("[") {
+            let mut depth = 0usize;
+            j += 1;
+            loop {
+                match text(j) {
+                    Some("[") => depth += 1,
+                    Some("]") => {
+                        depth -= 1;
+                        if depth == 0 {
+                            j += 1;
+                            break;
+                        }
+                    }
+                    None => break,
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+        // Extend over the item body.
+        let mut depth = 0usize;
+        let end = loop {
+            match text(j) {
+                Some("{") => depth += 1,
+                Some("}") => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break j;
+                    }
+                }
+                Some(";") if depth == 0 => break j,
+                None => break j.min(tokens.len()),
+                _ => {}
+            }
+            j += 1;
+        };
+        for m in mask
+            .iter_mut()
+            .take((end + 1).min(tokens.len()))
+            .skip(start)
+        {
+            *m = true;
+        }
+        i = end + 1;
+    }
+    mask
+}
+
+struct RuleCtx<'a> {
+    class: &'a FileClass,
+    rel_path: &'a str,
+    lexed: &'a LexedFile,
+    in_test: &'a [bool],
+}
+
+impl RuleCtx<'_> {
+    fn ident(&self, k: usize) -> Option<&str> {
+        self.lexed
+            .tokens
+            .get(k)
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text.as_str())
+    }
+
+    fn text(&self, k: usize) -> Option<&str> {
+        self.lexed.tokens.get(k).map(|t| t.text.as_str())
+    }
+
+    fn finding(&self, rule: &str, line: u32, message: String) -> Finding {
+        Finding {
+            rule: rule.to_owned(),
+            file: self.rel_path.to_owned(),
+            line,
+            message,
+        }
+    }
+}
+
+fn hot_path_panic(ctx: &RuleCtx<'_>, out: &mut Vec<Finding>) {
+    if !HOT_PATH_CRATES.contains(&ctx.class.crate_name.as_str())
+        || ctx.class.is_test_path
+        || ctx.class.is_bin
+    {
+        return;
+    }
+    for (k, tok) in ctx.lexed.tokens.iter().enumerate() {
+        if ctx.in_test[k] || tok.kind != TokenKind::Ident {
+            continue;
+        }
+        match tok.text.as_str() {
+            "unwrap" | "expect"
+                if k > 0 && ctx.text(k - 1) == Some(".") && ctx.text(k + 1) == Some("(") =>
+            {
+                out.push(ctx.finding(
+                    "hot-path-panic",
+                    tok.line,
+                    format!(
+                        ".{}() in simulator hot-path code; return a typed error \
+                         or document a waiver",
+                        tok.text
+                    ),
+                ));
+            }
+            "panic" if ctx.text(k + 1) == Some("!") => {
+                out.push(
+                    ctx.finding(
+                        "hot-path-panic",
+                        tok.line,
+                        "panic! in simulator hot-path code; return a typed error \
+                     or document a waiver"
+                            .to_owned(),
+                    ),
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+fn nondeterminism(ctx: &RuleCtx<'_>, out: &mut Vec<Finding>) {
+    if !DETERMINISTIC_CRATES.contains(&ctx.class.crate_name.as_str()) || ctx.class.is_test_path {
+        return;
+    }
+    for (k, tok) in ctx.lexed.tokens.iter().enumerate() {
+        if ctx.in_test[k] || tok.kind != TokenKind::Ident {
+            continue;
+        }
+        let name = tok.text.as_str();
+        if NONDETERMINISTIC_IDENTS.contains(&name) {
+            let hint = match name {
+                "HashMap" | "HashSet" => "iteration order varies; use BTreeMap/BTreeSet",
+                "SystemTime" => "wall-clock state; thread a timestamp in instead",
+                "thread_rng" => "unseeded RNG; use a seeded SmallRng",
+                _ => "nondeterministic",
+            };
+            out.push(ctx.finding(
+                "nondeterminism",
+                tok.line,
+                format!("{name} in deterministic sim/experiment code ({hint})"),
+            ));
+        } else if name == "Instant"
+            && ctx.text(k + 1) == Some(":")
+            && ctx.text(k + 2) == Some(":")
+            && ctx.ident(k + 3) == Some("now")
+        {
+            out.push(
+                ctx.finding(
+                    "nondeterminism",
+                    tok.line,
+                    "Instant::now in deterministic sim/experiment code; simulated \
+                 time must come from the cycle counter"
+                        .to_owned(),
+                ),
+            );
+        }
+    }
+}
+
+fn deprecated_shim(ctx: &RuleCtx<'_>, out: &mut Vec<Finding>) {
+    if ctx.class.is_test_path {
+        return;
+    }
+    for (k, tok) in ctx.lexed.tokens.iter().enumerate() {
+        if ctx.in_test[k] || tok.kind != TokenKind::Ident {
+            continue;
+        }
+        match tok.text.as_str() {
+            "run_configured" if k > 0 && matches!(ctx.text(k - 1), Some(".") | Some(":")) => {
+                out.push(
+                    ctx.finding(
+                        "deprecated-shim",
+                        tok.line,
+                        "call to deprecated CoRunSim::run_configured; use the \
+                     builder API (place/check_conformance/run_at)"
+                            .to_owned(),
+                    ),
+                );
+            }
+            // `#[allow(deprecated)]` is the only way a call to the
+            // deprecated `run` shim survives `-D warnings`.
+            "deprecated"
+                if ctx.text(k.wrapping_sub(1)) == Some("(")
+                    && ctx.ident(k.wrapping_sub(2)) == Some("allow")
+                    && ctx.text(k.wrapping_sub(3)) == Some("[") =>
+            {
+                out.push(
+                    ctx.finding(
+                        "deprecated-shim",
+                        tok.line,
+                        "#[allow(deprecated)] in non-test code; migrate off the \
+                     deprecated API instead of silencing the warning"
+                            .to_owned(),
+                    ),
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Item keywords that may directly follow `pub` and need rustdoc.
+const PUB_ITEM_KEYWORDS: &[&str] = &[
+    "fn", "struct", "enum", "trait", "mod", "type", "const", "static", "union", "unsafe", "async",
+];
+
+fn missing_docs(ctx: &RuleCtx<'_>, out: &mut Vec<Finding>) {
+    if ctx.class.is_test_path || ctx.class.is_bin {
+        return;
+    }
+    let tokens = &ctx.lexed.tokens;
+    for (k, tok) in tokens.iter().enumerate() {
+        if ctx.in_test[k] || tok.kind != TokenKind::Ident || tok.text != "pub" {
+            continue;
+        }
+        // `pub(crate)`/`pub(super)` visibility is not public API; `pub use`
+        // re-exports inherit the target's docs.
+        if ctx.text(k + 1) == Some("(") || ctx.ident(k + 1) == Some("use") {
+            continue;
+        }
+        let next = match ctx.ident(k + 1) {
+            Some(n) => n,
+            None => continue,
+        };
+        let is_item = PUB_ITEM_KEYWORDS.contains(&next);
+        // A plain identifier followed by `:` is a pub struct field.
+        let is_field = !is_item && ctx.text(k + 2) == Some(":");
+        if !is_item && !is_field {
+            continue;
+        }
+        // Walk back over any attribute groups to the item's first line.
+        let mut j = k;
+        while j >= 2 && tokens[j - 1].text == "]" {
+            let mut depth = 0usize;
+            let mut m = j - 1;
+            loop {
+                match tokens[m].text.as_str() {
+                    "]" => depth += 1,
+                    "[" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                if m == 0 {
+                    break;
+                }
+                m -= 1;
+            }
+            if m >= 1 && tokens[m - 1].text == "#" {
+                j = m - 1;
+            } else {
+                break;
+            }
+        }
+        let item_line = tokens[j].line;
+        let documented = ctx.lexed.doc_lines.contains(&(item_line.saturating_sub(1)))
+            || ctx.lexed.doc_lines.contains(&item_line);
+        if !documented {
+            let what = if is_field { "field" } else { next };
+            out.push(ctx.finding(
+                "missing-docs",
+                tok.line,
+                format!("public {what} without a rustdoc comment"),
+            ));
+        }
+    }
+}
+
+/// Lints one file's source text under its repo-relative path.
+///
+/// Returns an empty report (zero files scanned) when [`classify`] ignores
+/// the path.
+pub fn lint_source(rel_path: &str, src: &str) -> LintReport {
+    let Some(class) = classify(rel_path) else {
+        return LintReport::default();
+    };
+    let lexed = lex(src);
+    let in_test = test_region_mask(&lexed.tokens);
+    let ctx = RuleCtx {
+        class: &class,
+        rel_path,
+        lexed: &lexed,
+        in_test: &in_test,
+    };
+    let mut raw = Vec::new();
+    hot_path_panic(&ctx, &mut raw);
+    nondeterminism(&ctx, &mut raw);
+    deprecated_shim(&ctx, &mut raw);
+    missing_docs(&ctx, &mut raw);
+
+    let mut report = LintReport {
+        findings: Vec::new(),
+        files_scanned: 1,
+        waived: 0,
+    };
+    for f in raw {
+        if lexed.is_waived(&f.rule, f.line) {
+            report.waived += 1;
+        } else {
+            report.findings.push(f);
+        }
+    }
+    report.sort();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_of(path: &str, src: &str) -> Vec<String> {
+        lint_source(path, src)
+            .findings
+            .into_iter()
+            .map(|f| f.rule)
+            .collect()
+    }
+
+    #[test]
+    fn classify_sorts_paths() {
+        assert_eq!(
+            classify("crates/dram/src/bank.rs").unwrap().crate_name,
+            "dram"
+        );
+        assert!(
+            classify("crates/dram/tests/conformance.rs")
+                .unwrap()
+                .is_test_path
+        );
+        assert!(
+            classify("crates/experiments/src/bin/repro.rs")
+                .unwrap()
+                .is_bin
+        );
+        assert!(classify("README.md").is_none());
+        assert!(classify("tests/model_vs_gables.rs").is_none());
+        assert!(classify("vendor/rand/src/lib.rs").is_none());
+    }
+
+    #[test]
+    fn unwrap_in_hot_path_is_flagged() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        assert_eq!(
+            rules_of("crates/dram/src/a.rs", src),
+            vec!["hot-path-panic"]
+        );
+        // Same code outside a hot-path crate passes.
+        assert!(rules_of("crates/experiments/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn asserts_are_not_panics() {
+        let src = "fn f(x: u32) { assert!(x > 0); debug_assert_eq!(x, x); }\n";
+        assert!(rules_of("crates/dram/src/a.rs", src).is_empty());
+        let src = "fn f() { panic!(\"boom\"); }\n";
+        assert_eq!(
+            rules_of("crates/dram/src/a.rs", src),
+            vec!["hot-path-panic"]
+        );
+    }
+
+    #[test]
+    fn test_regions_are_exempt() {
+        let src = "fn ok() {}\n#[cfg(test)]\nmod tests {\n    fn f(x: Option<u32>) -> u32 { x.unwrap() }\n}\n";
+        assert!(rules_of("crates/soc/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn code_after_a_test_region_is_not_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n}\nfn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        assert_eq!(rules_of("crates/soc/src/a.rs", src), vec!["hot-path-panic"]);
+    }
+
+    #[test]
+    fn nondeterminism_sources_are_flagged() {
+        let src = "use std::collections::HashMap;\nfn t() { let _ = std::time::Instant::now(); }\n";
+        let rules = rules_of("crates/sched/src/a.rs", src);
+        assert_eq!(rules, vec!["nondeterminism", "nondeterminism"]);
+        // `Instant` alone (e.g. stored as a field type) is not flagged.
+        assert!(rules_of("crates/sched/src/a.rs", "use std::time::Instant;\n").is_empty());
+    }
+
+    #[test]
+    fn deprecated_shim_calls_and_escapes_are_flagged() {
+        let src = "fn f(s: &mut S) { s.run_configured(1); }\n";
+        assert_eq!(
+            rules_of("crates/experiments/src/a.rs", src),
+            vec!["deprecated-shim"]
+        );
+        let src = "#[allow(deprecated)]\nfn f() {}\n";
+        assert_eq!(
+            rules_of("crates/experiments/src/a.rs", src),
+            vec!["deprecated-shim"]
+        );
+        // The definition site (`fn run_configured`) is not a call.
+        let src = "/// Docs.\npub fn run_configured(&mut self) {}\n";
+        assert!(rules_of("crates/soc/src/a.rs", src).is_empty());
+        // `#[deprecated(...)]` markers are fine — they are the fix.
+        let src = "#[deprecated(note = \"x\")]\nfn f() {}\n";
+        assert!(rules_of("crates/soc/src/a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn missing_docs_flags_bare_pub_items() {
+        let src = "pub fn naked() {}\n";
+        assert_eq!(
+            rules_of("crates/gables/src/a.rs", src),
+            vec!["missing-docs"]
+        );
+        let src = "/// Documented.\npub fn fine() {}\n";
+        assert!(rules_of("crates/gables/src/a.rs", src).is_empty());
+        // Attributes between docs and item are fine.
+        let src = "/// Documented.\n#[derive(Debug, Clone)]\n#[serde(rename_all = \"kebab-case\")]\npub struct S;\n";
+        assert!(rules_of("crates/gables/src/a.rs", src).is_empty());
+        // pub(crate) and pub use are not public API.
+        let src = "pub(crate) fn internal() {}\npub use crate::other::Thing;\n";
+        assert!(rules_of("crates/gables/src/a.rs", src).is_empty());
+        // Bare pub fields are flagged; documented ones pass.
+        let src =
+            "/// S.\npub struct S {\n    pub x: u32,\n    /// Documented.\n    pub y: u32,\n}\n";
+        let report = lint_source("crates/gables/src/a.rs", src);
+        assert_eq!(report.findings.len(), 1);
+        assert_eq!(report.findings[0].line, 3);
+    }
+
+    #[test]
+    fn waivers_suppress_and_count() {
+        let src = "fn f(x: Option<u32>) -> u32 {\n    // pccs-lint: allow(hot-path-panic)\n    x.unwrap()\n}\n";
+        let report = lint_source("crates/dram/src/a.rs", src);
+        assert!(report.is_clean());
+        assert_eq!(report.waived, 1);
+        // A waiver for a different rule does not suppress.
+        let src = "fn f(x: Option<u32>) -> u32 {\n    // pccs-lint: allow(missing-docs)\n    x.unwrap()\n}\n";
+        assert!(!lint_source("crates/dram/src/a.rs", src).is_clean());
+    }
+
+    #[test]
+    fn strings_and_comments_never_trip_rules() {
+        let src =
+            "fn f() -> &'static str { \"call .unwrap() and panic!\" }\n// HashMap in a comment\n";
+        assert!(rules_of("crates/dram/src/a.rs", src).is_empty());
+    }
+}

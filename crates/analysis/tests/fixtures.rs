@@ -1,0 +1,69 @@
+//! End-to-end acceptance of the linter on the seeded fixture tree and on
+//! the real workspace: the fixture must fail with every rule represented,
+//! and the workspace itself must lint clean.
+
+use pccs_analysis::lint_workspace;
+use serde::Value;
+use std::path::Path;
+
+fn fixture_root() -> &'static Path {
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixture-tree"))
+}
+
+fn workspace_root() -> &'static Path {
+    // crates/analysis -> crates -> repo root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .unwrap()
+        .parent()
+        .unwrap()
+}
+
+#[test]
+fn seeded_fixture_trips_every_rule() {
+    let report = lint_workspace(fixture_root()).expect("fixture tree lints");
+    assert!(!report.is_clean(), "seeded fixture must produce findings");
+    let per_rule = report.per_rule();
+    assert_eq!(
+        per_rule["hot-path-panic"], 2,
+        "unwrap + panic!: {per_rule:?}"
+    );
+    assert_eq!(
+        per_rule["nondeterminism"], 2,
+        "HashMap + Instant::now: {per_rule:?}"
+    );
+    assert_eq!(
+        per_rule["deprecated-shim"], 2,
+        "allow(deprecated) + run_configured call: {per_rule:?}"
+    );
+    assert_eq!(per_rule["missing-docs"], 1, "{per_rule:?}");
+    assert_eq!(report.waived, 1, "the waived unwrap counts as waived");
+    // Findings carry fixture-relative paths for stable reports.
+    assert!(report
+        .findings
+        .iter()
+        .all(|f| f.file == "crates/dram/src/seeded.rs"));
+}
+
+#[test]
+fn the_workspace_lints_clean() {
+    let report = lint_workspace(workspace_root()).expect("workspace lints");
+    assert!(
+        report.is_clean(),
+        "workspace must lint clean:\n{}",
+        report.render_text()
+    );
+}
+
+#[test]
+fn jsonl_export_of_fixture_findings_parses() {
+    let report = lint_workspace(fixture_root()).expect("fixture tree lints");
+    for line in report.to_jsonl().lines() {
+        let v: Value = serde_json::from_str(line).expect("valid JSON line");
+        let Value::Object(map) = v else {
+            panic!("record is not an object: {line}");
+        };
+        assert_eq!(map["type"], Value::String("lint.finding".into()));
+        assert!(matches!(map["rule"], Value::String(_)));
+    }
+}

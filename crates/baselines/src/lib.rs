@@ -15,8 +15,11 @@
 //! application of interest, which is exactly what is impossible at SoC
 //! design time for future workloads. PCCS needs only calibrator runs.
 
+/// Bubble-up (Mars et al., MICRO'11): an empirically measured per-application.
 pub mod bubbleup;
+/// ESP-style interference prediction (Mishra et al., ICAC'17): a black-box.
 pub mod esp;
+/// Co-run lookup table (Zhu et al., IPDPS'17): predictions read directly.
 pub mod lookup;
 
 pub use bubbleup::BubbleUp;

@@ -213,7 +213,14 @@ pub fn corun(args: &Args) -> Result<(), ArgError> {
     let bench = args.require("bench")?;
     let kernel = bench_kernel(&soc, pu, bench)?;
     let external = args.get_f64("external", 40.0)?;
-    let horizon = args.get_f64("horizon", DEFAULT_HORIZON as f64)? as u64;
+    // `--quick` quarters the horizon for smoke runs (scripts/check.sh);
+    // an explicit `--horizon` still wins.
+    let default_horizon = if args.has("quick") {
+        DEFAULT_HORIZON / 4
+    } else {
+        DEFAULT_HORIZON
+    };
+    let horizon = args.get_f64("horizon", default_horizon as f64)? as u64;
     if horizon == 0 {
         return Err(ArgError("--horizon must be positive".into()));
     }
@@ -228,6 +235,9 @@ pub fn corun(args: &Args) -> Result<(), ArgError> {
 
     let mut sim = CoRunSim::new(&soc);
     sim.horizon(horizon);
+    if args.has("conformance") {
+        sim.check_conformance();
+    }
     sim.place(Placement::kernel(pu, kernel));
     let pressure = if external > 0.0 {
         let p = pressure_pu(&soc, pu)?;
@@ -278,6 +288,16 @@ pub fn corun(args: &Args) -> Result<(), ArgError> {
         })
         .collect();
     print!("{}", export::render_summary(&rows));
+
+    if let Some(report) = &out.memory.conformance {
+        println!("{}", report.summary());
+        if !report.is_clean() {
+            return Err(ArgError(format!(
+                "DDR protocol conformance violations detected ({} total)",
+                report.total_violations
+            )));
+        }
+    }
 
     if let Some(path) = metrics_out {
         let mut config = BTreeMap::new();
@@ -472,6 +492,28 @@ pub fn policies(args: &Args) -> Result<(), ArgError> {
         println!();
     }
     Ok(())
+}
+
+/// `pccs lint` — runs the repo-invariant linter ([`pccs_analysis`]) over
+/// the workspace. Exits non-zero when findings survive waivers; `--json`
+/// emits the telemetry JSONL records instead of the text report.
+pub fn lint(args: &Args) -> Result<(), ArgError> {
+    let root = Path::new(args.get("root").unwrap_or("."));
+    let report = pccs_analysis::lint_workspace(root)
+        .map_err(|e| ArgError(format!("linting {}: {e}", root.display())))?;
+    if args.has("json") {
+        print!("{}", report.to_jsonl());
+    } else {
+        print!("{}", report.render_text());
+    }
+    if report.is_clean() {
+        Ok(())
+    } else {
+        Err(ArgError(format!(
+            "{} lint finding(s); fix or waive with `// pccs-lint: allow(<rule>)`",
+            report.findings.len()
+        )))
+    }
 }
 
 #[cfg(test)]

@@ -9,16 +9,19 @@
 //!                   --external 40 --budget 0.05 [--model model.json]
 //! pccs corun       --soc xavier --pu GPU --bench streamcluster
 //!                  [--external 40] [--metrics-out out.jsonl] [--epoch 1000]
+//!                  [--quick] [--conformance]
 //! pccs sched       [--soc xavier] [--mix contended] [--policy pccs]
 //!                  [--scale 1.0] [--quick] [--metrics-out out.jsonl]
 //! pccs policies    [--victim 48]
+//! pccs lint        [--root .] [--json]
 //! ```
 //!
 //! `calibrate` runs the paper's processor-centric construction on the
 //! simulated SoC and stores the model as JSON; `predict` evaluates a stored
 //! model; `explore-freq` runs the Section 4.3 frequency-selection use case;
 //! `corun` co-runs a benchmark against external pressure and can export the
-//! epoch telemetry (`--metrics-out`/`--epoch`); `sched` replays a job mix
+//! epoch telemetry (`--metrics-out`/`--epoch`) — `--quick` shortens the
+//! horizon and `--conformance` attaches the DDR protocol sanitizer; `sched` replays a job mix
 //! under a placement policy (the contention-aware scheduling runtime of
 //! `pccs-sched`) and can export its per-decision records; `policies`
 //! reproduces the Section 2.3 scheduling-policy comparison.
@@ -42,11 +45,12 @@ USAGE:
                     [--budget <fraction>] [--model <model.json>]
   pccs corun        --soc <s> --pu <p> --bench <name> [--external <GB/s>]
                     [--horizon <cycles>] [--metrics-out <events.jsonl>]
-                    [--epoch <cycles>]
+                    [--epoch <cycles>] [--quick] [--conformance]
   pccs sched        [--soc <s>] [--mix <contended|inference-burst|steady-stream>]
                     [--policy <round-robin|greedy|pccs|oracle>] [--scale <f>]
                     [--quick] [--jobs <N>] [--metrics-out <events.jsonl>]
   pccs policies     [--victim <GB/s>]
+  pccs lint         [--root <path>] [--json]
 
 Run `pccs <command> --help` equivalents by reading the crate docs.";
 
@@ -66,6 +70,7 @@ fn main() -> ExitCode {
         Some("corun") => commands::corun(&args),
         Some("sched") => commands::sched(&args),
         Some("policies") => commands::policies(&args),
+        Some("lint") => commands::lint(&args),
         Some(other) => Err(args::ArgError(format!("unknown command '{other}'"))),
         None => {
             println!("{USAGE}");

@@ -31,12 +31,19 @@
 //! assert!(rs > 0.0 && rs <= 100.0);
 //! ```
 
+/// Model construction from calibration measurements (Section 3.2).
 pub mod builder;
+/// Error types for model construction.
 pub mod error;
+/// The three-region slowdown model (Equations 2–5 of the paper) and its.
 pub mod model;
+/// Multi-phase program handling (Section 3.2, "Handling multi-phase.
 pub mod phased;
+/// Contention-region classification (Equation 1 of the paper).
 pub mod region;
+/// System-level co-run prediction: several kernels resident on distinct.
 pub mod system;
+/// The common interface of co-run slowdown models.
 pub mod traits;
 
 pub use builder::{CalibrationData, ModelBuilder};

@@ -19,17 +19,31 @@ pub struct Bank {
     ready_at: u64,
     /// Cycle at which the currently open row may be precharged (tRAS).
     ras_done_at: u64,
+    /// Cycle at which a READ may next issue (write-to-read turnaround,
+    /// tWTR after the last write burst to this bank).
+    read_ready_at: u64,
     /// Column accesses served from the currently open row.
     hits_since_open: u64,
 }
 
 /// The outcome of issuing a request to a bank.
+///
+/// Besides the row-buffer outcome and data timing, the issue reports the
+/// cycle of every implied DRAM command (the controller collapses the
+/// PRE/ACT/CAS sequence into one service window), so observers such as the
+/// protocol conformance sanitizer can reconstruct the command stream.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BankIssue {
     /// Row-buffer outcome the request observed.
     pub outcome: RowOutcome,
     /// Cycle at which the first data beat may appear on the bus.
     pub data_ready: u64,
+    /// Cycle of the implied PRECHARGE (row conflicts only).
+    pub pre_at: Option<u64>,
+    /// Cycle of the implied ACTIVATE (misses and conflicts).
+    pub act_at: Option<u64>,
+    /// Cycle of the column (RD/WR) command.
+    pub cas_at: u64,
 }
 
 impl Bank {
@@ -53,6 +67,24 @@ impl Bank {
     /// Whether the bank can accept a request at `cycle`.
     pub fn is_ready(&self, cycle: u64) -> bool {
         self.ready_at <= cycle
+    }
+
+    /// Whether the bank can accept a request of `kind` at `cycle`. Reads
+    /// additionally respect the write-to-read turnaround (tWTR).
+    pub fn is_ready_for(&self, kind: ReqKind, cycle: u64) -> bool {
+        self.is_ready(cycle) && (kind != ReqKind::Read || self.read_ready_at <= cycle)
+    }
+
+    /// The earliest cycle the implied ACTIVATE of a request for `row`
+    /// issued at `cycle` could appear on the command bus, or `None` for a
+    /// row hit. Used by the controller to pace activates (tRRD / tFAW)
+    /// without mutating bank state.
+    pub fn prospective_act_at(&self, row: u64, cycle: u64, timing: &DramTiming) -> Option<u64> {
+        match self.probe(row) {
+            RowOutcome::Hit => None,
+            RowOutcome::Miss => Some(cycle),
+            RowOutcome::Conflict => Some(cycle.max(self.ras_done_at) + timing.t_rp),
+        }
     }
 
     /// What row-buffer outcome a request for `row` would observe now.
@@ -85,6 +117,10 @@ impl Bank {
             self.ready_at,
             cycle
         );
+        debug_assert!(
+            kind != ReqKind::Read || self.read_ready_at <= cycle,
+            "read issued inside the write-to-read turnaround window"
+        );
         let outcome = self.probe(row);
         // A conflicting precharge must respect tRAS of the previous activate.
         let start = match outcome {
@@ -92,6 +128,12 @@ impl Bank {
             _ => cycle,
         };
         let data_ready = start + timing.access_latency(outcome);
+        let (pre_at, act_at) = match outcome {
+            RowOutcome::Hit => (None, None),
+            RowOutcome::Miss => (None, Some(start)),
+            RowOutcome::Conflict => (Some(start), Some(start + timing.t_rp)),
+        };
+        let cas_at = data_ready - timing.t_cl;
         // Column accesses pipeline: once the row is open, the bank can take
         // the next column command after tCCD (or the burst, whichever is
         // longer), not after the previous data finished transferring. The
@@ -114,8 +156,16 @@ impl Bank {
         if kind == ReqKind::Write {
             // Write recovery delays the *precharge* of this row, not the
             // next column access: consecutive writes to an open row stream
-            // at tCCD; only a subsequent row closure pays tWR.
-            self.ras_done_at = self.ras_done_at.max(data_ready + timing.t_wr);
+            // at tCCD; only a subsequent row closure pays tWR, measured from
+            // the end of the write burst (JEDEC).
+            self.ras_done_at = self
+                .ras_done_at
+                .max(data_ready + burst_cycles + timing.t_wr);
+            // The write-to-read turnaround starts at the end of the write
+            // burst (JEDEC tWTR); same-bank writes keep streaming at tCCD.
+            self.read_ready_at = self
+                .read_ready_at
+                .max(data_ready + burst_cycles + timing.t_wtr);
         }
         match outcome {
             RowOutcome::Hit => self.hits_since_open += 1,
@@ -126,6 +176,9 @@ impl Bank {
         BankIssue {
             outcome,
             data_ready,
+            pre_at,
+            act_at,
+            cas_at,
         }
     }
 
@@ -135,6 +188,17 @@ impl Bank {
         self.hits_since_open = 0;
         self.ready_at = self.ready_at.max(until);
         self.ras_done_at = self.ras_done_at.max(until);
+    }
+
+    /// The earliest cycle an all-bank refresh sequence may begin on this
+    /// bank: any in-flight access must have completed and, when a row is
+    /// open, its tRAS must allow the implied precharge.
+    pub fn refresh_pre_at(&self, cycle: u64) -> u64 {
+        let mut at = cycle.max(self.ready_at);
+        if self.open_row.is_some() {
+            at = at.max(self.ras_done_at);
+        }
+        at
     }
 
     /// Closes the open row (e.g. an explicit precharge by the controller).

@@ -105,6 +105,20 @@ impl DramConfig {
         self.row_bytes / u64::from(self.line_bytes)
     }
 
+    /// Number of bank groups per channel. DDR4-style devices organize
+    /// banks into four groups (ACTIVATE spacing inside a group pays
+    /// tRRD_L, across groups tRRD_S); devices with fewer than four banks
+    /// degenerate to one bank per group.
+    pub fn bank_group_count(&self) -> usize {
+        self.banks_per_channel.min(4)
+    }
+
+    /// The bank group a bank index belongs to (banks interleave across
+    /// groups, matching the usual consecutive-bank striping).
+    pub fn bank_group(&self, bank: usize) -> usize {
+        bank % self.bank_group_count()
+    }
+
     /// Converts a bandwidth in GB/s into bytes per command-clock cycle of
     /// this memory system.
     pub fn gbps_to_bytes_per_cycle(&self, gbps: f64) -> f64 {

@@ -6,19 +6,27 @@
 //!
 //! * The per-request command sequence (PRE/ACT/RD) is collapsed into one
 //!   service window computed from the row-buffer outcome; tRAS is enforced
-//!   on row conflicts.
+//!   on row conflicts, tWTR on reads after writes, and ACTIVATEs are paced
+//!   per channel by tRRD_S/L and the four-activate window (tFAW).
 //! * The channel data bus serializes transfers; a bank may overlap its next
 //!   access with a queued transfer (bank-level pipelining), so sustained
 //!   throughput is bus-limited exactly at the configured peak.
-//! * Refresh is not modelled (uniform tax on all sources).
+//! * All-bank refresh runs every tREFI with an honest PRE→REF sequence
+//!   (a uniform tax on all sources, but it keeps bandwidth honest).
+//!
+//! The emitted command stream is JEDEC-auditable: enable the
+//! [`crate::conformance`] sanitizer via
+//! [`MemoryController::enable_conformance`] to replay it against reference
+//! timing constraints.
 
 use crate::bank::Bank;
 use crate::config::DramConfig;
+use crate::conformance::{CmdKind, CommandRecord, ConformanceChecker, ConformanceReport};
 use crate::mapping::AddressMapping;
 use crate::policy::{Candidate, ScheduleInput, SchedulingPolicy};
-use crate::request::{DecodedAddr, MemoryRequest, SourceId};
+use crate::request::{DecodedAddr, MemoryRequest, ReqKind, SourceId};
 use crate::stats::MemoryStats;
-use crate::timing::RowOutcome;
+use crate::timing::{DramTiming, RowOutcome};
 use pccs_telemetry::{Recorder, RowEvent, StallEvent, TelemetryReport};
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap};
@@ -52,6 +60,37 @@ struct ChannelState {
     next_issue_at: u64,
     /// Next cycle at which an all-bank refresh is due (u64::MAX = never).
     next_refresh_at: u64,
+    /// Recent ACTIVATE command timestamps with their bank group, pruned to
+    /// the tFAW/tRRD horizon; paces activates per channel.
+    acts: Vec<(u64, usize)>,
+}
+
+/// Whether an ACTIVATE at `act_at` in `group` respects tRRD_S/L and tFAW
+/// against the channel's recent ACT history. The exact mirror of the
+/// conformance checker's replay rule, so a filtered schedule is clean by
+/// construction.
+fn act_is_legal(acts: &[(u64, usize)], act_at: u64, group: usize, timing: &DramTiming) -> bool {
+    for &(a, g) in acts {
+        let need = if g == group {
+            timing.t_rrd_l
+        } else {
+            timing.t_rrd_s
+        };
+        if need > 0 && act_at.abs_diff(a) < need {
+            return false;
+        }
+    }
+    if timing.t_faw > 0 && acts.len() >= 4 {
+        let mut all: Vec<u64> = acts.iter().map(|&(a, _)| a).collect();
+        all.push(act_at);
+        all.sort_unstable();
+        for w in all.windows(5) {
+            if w[4] - w[0] < timing.t_faw {
+                return false;
+            }
+        }
+    }
+    true
 }
 
 /// A multi-channel memory controller with a pluggable scheduling policy.
@@ -66,6 +105,9 @@ pub struct MemoryController {
     completions: BinaryHeap<Reverse<(u64, u64, usize)>>,
     /// Optional telemetry sink; `None` costs one branch per hook site.
     recorder: Option<Box<dyn Recorder>>,
+    /// Optional protocol conformance observer; `None` costs one branch per
+    /// issued request.
+    conformance: Option<ConformanceChecker>,
 }
 
 impl MemoryController {
@@ -91,6 +133,7 @@ impl MemoryController {
                 } else {
                     config.timing.t_refi
                 },
+                acts: Vec::new(),
             })
             .collect();
         Self {
@@ -102,7 +145,28 @@ impl MemoryController {
             pending_per_source: BTreeMap::new(),
             completions: BinaryHeap::new(),
             recorder: None,
+            conformance: None,
         }
+    }
+
+    /// Attaches the protocol conformance sanitizer, validating the emitted
+    /// command stream against `reference` timing (usually the same values
+    /// the controller schedules with; pass a known-good timing set to audit
+    /// a deliberately broken configuration). Costs one small record per
+    /// DRAM command, so it is opt-in.
+    pub fn enable_conformance(&mut self, reference: DramTiming) {
+        self.conformance = Some(ConformanceChecker::with_reference(&self.config, reference));
+    }
+
+    /// Whether the conformance sanitizer is attached.
+    pub fn has_conformance(&self) -> bool {
+        self.conformance.is_some()
+    }
+
+    /// Replays the observed command stream and returns the conformance
+    /// report, or `None` when the sanitizer was never enabled.
+    pub fn conformance_report(&self) -> Option<ConformanceReport> {
+        self.conformance.as_ref().map(ConformanceChecker::finish)
     }
 
     /// Attaches a telemetry recorder that will receive per-cycle queue
@@ -216,15 +280,45 @@ impl MemoryController {
         let burst = self.config.burst_cycles();
         // All-bank refresh: blocks every bank of the channel for tRFC. A
         // uniform tax on all sources (it cannot change *relative* speeds),
-        // but it keeps effective bandwidth honest.
+        // but it keeps effective bandwidth honest. The sequence is
+        // protocol-honest: wait for in-flight accesses and tRAS, precharge
+        // any open rows, then REF after tRP.
         {
             let t_rfc = self.config.timing.t_rfc;
             let t_refi = self.config.timing.t_refi;
+            let t_rp = self.config.timing.t_rp;
             let channel = &mut self.channels[ch_idx];
             if cycle >= channel.next_refresh_at {
-                let until = cycle + t_rfc;
+                let pre_at = channel
+                    .banks
+                    .iter()
+                    .map(|b| b.refresh_pre_at(cycle))
+                    .max()
+                    .unwrap_or(cycle);
+                let any_open = channel.banks.iter().any(|b| b.open_row().is_some());
+                let ref_at = if any_open { pre_at + t_rp } else { pre_at };
+                if let Some(c) = self.conformance.as_mut() {
+                    for (bank_idx, bank) in channel.banks.iter().enumerate() {
+                        if bank.open_row().is_some() {
+                            c.observe(CommandRecord {
+                                cycle: pre_at,
+                                channel: ch_idx,
+                                bank: bank_idx,
+                                kind: CmdKind::Pre,
+                                row: None,
+                            });
+                        }
+                    }
+                    c.observe(CommandRecord {
+                        cycle: ref_at,
+                        channel: ch_idx,
+                        bank: 0,
+                        kind: CmdKind::RefAb,
+                        row: None,
+                    });
+                }
                 for bank in &mut channel.banks {
-                    bank.refresh_until(until);
+                    bank.refresh_until(ref_at + t_rfc);
                 }
                 channel.next_refresh_at = channel.next_refresh_at.saturating_add(t_refi);
             }
@@ -270,7 +364,7 @@ impl MemoryController {
                 .enumerate()
                 .filter(|(_, q)| {
                     let bank = &channel.banks[q.decoded.bank];
-                    if !bank.is_ready(cycle) {
+                    if !bank.is_ready_for(q.req.kind, cycle) {
                         return false;
                     }
                     let row_hit = bank.open_row() == Some(q.decoded.row);
@@ -280,6 +374,16 @@ impl MemoryController {
                         && bank.hits_since_open() < ROW_STREAK_CAP
                     {
                         return false;
+                    }
+                    // ACT pacing: a request whose implied ACTIVATE would
+                    // violate tRRD or tFAW is not schedulable this cycle.
+                    if let Some(act_at) =
+                        bank.prospective_act_at(q.decoded.row, cycle, &self.config.timing)
+                    {
+                        let group = self.config.bank_group(q.decoded.bank);
+                        if !act_is_legal(&channel.acts, act_at, group, &self.config.timing) {
+                            return false;
+                        }
                     }
                     true
                 })
@@ -322,6 +426,44 @@ impl MemoryController {
         );
         let finish = issue.data_ready + burst;
         channel.next_issue_at = cycle + burst;
+        if let Some(act_at) = issue.act_at {
+            let horizon = self.config.timing.t_faw.max(self.config.timing.t_rrd_l);
+            channel.acts.retain(|&(a, _)| a + horizon > cycle);
+            channel
+                .acts
+                .push((act_at, self.config.bank_group(q.decoded.bank)));
+        }
+        if let Some(c) = self.conformance.as_mut() {
+            if let Some(pre_at) = issue.pre_at {
+                c.observe(CommandRecord {
+                    cycle: pre_at,
+                    channel: ch_idx,
+                    bank: q.decoded.bank,
+                    kind: CmdKind::Pre,
+                    row: None,
+                });
+            }
+            if let Some(act_at) = issue.act_at {
+                c.observe(CommandRecord {
+                    cycle: act_at,
+                    channel: ch_idx,
+                    bank: q.decoded.bank,
+                    kind: CmdKind::Act,
+                    row: Some(q.decoded.row),
+                });
+            }
+            c.observe(CommandRecord {
+                cycle: issue.cas_at,
+                channel: ch_idx,
+                bank: q.decoded.bank,
+                kind: if q.req.kind == ReqKind::Write {
+                    CmdKind::Wr
+                } else {
+                    CmdKind::Rd
+                },
+                row: Some(q.decoded.row),
+            });
+        }
 
         if let Some(n) = self.pending_per_source.get_mut(&q.req.source) {
             *n = n.saturating_sub(1);

@@ -37,20 +37,35 @@
 //! assert!(achieved > 0.0);
 //! ```
 
+/// Bank state machine.
 pub mod bank;
+/// Memory-system configuration and the presets used throughout the paper.
 pub mod config;
+/// DDR protocol conformance sanitizer.
+pub mod conformance;
+/// The memory controller: per-channel request queues, bank state, and the.
 pub mod controller;
+/// Physical-address-to-DRAM-coordinate mapping.
 pub mod mapping;
+/// Multi-memory-controller SoCs.
 pub mod multi;
+/// Memory-controller scheduling policies (Table 2 of the paper).
 pub mod policy;
+/// Memory request and address types.
 pub mod request;
+/// The top-level DRAM simulation loop: traffic sources feeding a memory.
 pub mod sim;
+/// Per-source and aggregate memory-system statistics.
 pub mod stats;
+/// DRAM device timing parameters.
 pub mod timing;
+/// Trace-driven simulation support.
 pub mod trace;
+/// Synthetic traffic generators.
 pub mod traffic;
 
 pub use config::DramConfig;
+pub use conformance::{ConformanceChecker, ConformanceReport};
 pub use policy::PolicyKind;
 pub use request::{MemoryRequest, ReqKind, SourceId};
 pub use sim::{DramSystem, SimOutcome};

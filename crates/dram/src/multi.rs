@@ -11,6 +11,7 @@
 //! all channels of all MCs.
 
 use crate::config::DramConfig;
+use crate::conformance::ConformanceReport;
 use crate::controller::MemoryController;
 use crate::policy::PolicyKind;
 use crate::request::{MemoryRequest, SourceId};
@@ -77,6 +78,15 @@ impl MultiMcSystem {
         }
     }
 
+    /// Attaches the protocol conformance sanitizer to every controller;
+    /// the per-MC reports are merged into [`SimOutcome::conformance`].
+    pub fn enable_conformance(&mut self) {
+        let timing = self.per_mc.timing;
+        for mc in &mut self.mcs {
+            mc.enable_conformance(timing);
+        }
+    }
+
     /// Routes a global address: which MC, and the translated address whose
     /// *local* decode lands on the right local channel with unchanged
     /// bank/row/column coordinates. Lines interleave across MCs first, so
@@ -121,11 +131,18 @@ impl MultiMcSystem {
         let mut stats = MemoryStats::new();
         stats.elapsed_cycles = horizon;
         let mut telemetry: Option<TelemetryReport> = None;
+        let mut conformance: Option<ConformanceReport> = None;
         for mut mc in self.mcs {
             if let Some(report) = mc.take_report(horizon) {
                 match &mut telemetry {
                     Some(merged) => merged.merge(&report),
                     None => telemetry = Some(report),
+                }
+            }
+            if let Some(report) = mc.conformance_report() {
+                match &mut conformance {
+                    Some(merged) => merged.merge(&report),
+                    None => conformance = Some(report),
                 }
             }
             let s = mc.into_stats();
@@ -175,6 +192,7 @@ impl MultiMcSystem {
             progress,
             measured,
             telemetry,
+            conformance,
         }
     }
 

@@ -562,11 +562,12 @@ impl SchedulingPolicy for Sms {
 
         let target = if self.rng.gen_bool(self.p_shortest) {
             // Shortest job first: least pending work controller-wide.
+            // `sources` is non-empty (candidates were), so the min exists;
+            // `?` keeps the no-candidate contract without a panic path.
             sources
                 .iter()
                 .copied()
-                .min_by_key(|s| (input.pending_per_source.get(s).copied().unwrap_or(0), *s))
-                .expect("non-empty sources")
+                .min_by_key(|s| (input.pending_per_source.get(s).copied().unwrap_or(0), *s))?
         } else {
             // Round-robin across currently present sources.
             let idx = self.round_robin_next % sources.len();

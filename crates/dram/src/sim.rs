@@ -2,10 +2,12 @@
 //! controller for a fixed horizon.
 
 use crate::config::DramConfig;
+use crate::conformance::ConformanceReport;
 use crate::controller::MemoryController;
 use crate::policy::PolicyKind;
 use crate::request::SourceId;
 use crate::stats::MemoryStats;
+use crate::timing::DramTiming;
 use crate::traffic::TrafficSource;
 use pccs_telemetry::{Recorder, TelemetryReport};
 use serde::{Deserialize, Serialize};
@@ -51,6 +53,20 @@ impl DramSystem {
     /// in [`SimOutcome::telemetry`].
     pub fn set_recorder(&mut self, recorder: Box<dyn Recorder>) {
         self.controller.set_recorder(recorder);
+    }
+
+    /// Attaches the DDR protocol conformance sanitizer, validating the
+    /// emitted command stream against this system's own timing; the report
+    /// lands in [`SimOutcome::conformance`].
+    pub fn enable_conformance(&mut self) {
+        let timing = self.controller.config().timing;
+        self.controller.enable_conformance(timing);
+    }
+
+    /// Like [`DramSystem::enable_conformance`] but validating against an
+    /// explicit `reference` timing (to audit a deliberately broken config).
+    pub fn enable_conformance_against(&mut self, reference: DramTiming) {
+        self.controller.enable_conformance(reference);
     }
 
     /// Runs the simulation for `horizon` memory-controller cycles and
@@ -113,6 +129,7 @@ impl DramSystem {
             .map(|g| (g.source_id(), g.progress()))
             .collect();
         let telemetry = self.controller.take_report(horizon);
+        let conformance = self.controller.conformance_report();
         let stats = self.controller.into_stats();
         let measured = MeasureWindow {
             cycles: horizon - warmup,
@@ -134,6 +151,7 @@ impl DramSystem {
             progress,
             measured,
             telemetry,
+            conformance,
         }
     }
 }
@@ -157,6 +175,9 @@ pub struct SimOutcome {
     pub measured: MeasureWindow,
     /// Epoch time-series, when a recorder was attached before the run.
     pub telemetry: Option<TelemetryReport>,
+    /// Protocol conformance report, when the sanitizer was enabled before
+    /// the run (see [`DramSystem::enable_conformance`]).
+    pub conformance: Option<ConformanceReport>,
 }
 
 /// Per-source counts accumulated after the warmup cut-off.
@@ -396,6 +417,44 @@ mod tests {
         assert!(report.epochs.len() <= 20);
         // Mid-run epochs should be busy on a 40 GB/s stream.
         assert!(report.epochs.iter().any(|e| e.total_bytes() > 0));
+    }
+
+    #[test]
+    fn conformance_clean_on_normal_run() {
+        let mut sys = system(PolicyKind::FrFcfs);
+        sys.add_generator(
+            StreamTraffic::builder(SourceId(0))
+                .demand_gbps(80.0)
+                .row_locality(0.6)
+                .window(128)
+                .build(),
+        );
+        sys.enable_conformance();
+        let out = sys.run(30_000);
+        let report = out.conformance.as_ref().expect("sanitizer enabled");
+        assert!(report.commands > 0);
+        assert!(report.is_clean(), "{}", report.summary());
+    }
+
+    #[test]
+    fn conformance_flags_broken_timing() {
+        let mut config = DramConfig::cmp_study();
+        // A controller scheduling with a halved tRCD emits ACT→CAS gaps the
+        // reference DDR4 bin forbids.
+        config.timing.t_rcd /= 2;
+        let mut sys = DramSystem::new(config, PolicyKind::FrFcfs);
+        sys.add_generator(
+            StreamTraffic::builder(SourceId(0))
+                .demand_gbps(60.0)
+                .row_locality(0.2)
+                .window(128)
+                .build(),
+        );
+        sys.enable_conformance_against(crate::timing::DramTiming::ddr4_3200());
+        let out = sys.run(30_000);
+        let report = out.conformance.as_ref().expect("sanitizer enabled");
+        assert!(!report.is_clean());
+        assert!(report.per_kind.contains_key("trcd"), "{}", report.summary());
     }
 
     #[test]

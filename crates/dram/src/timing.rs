@@ -32,6 +32,18 @@ pub struct DramTiming {
     pub t_refi: u64,
     /// Refresh cycle time: how long an all-bank refresh blocks the banks.
     pub t_rfc: u64,
+    /// Activate-to-activate delay between banks in *different* bank groups
+    /// of the same rank (JEDEC tRRD_S; 0 disables the constraint).
+    pub t_rrd_s: u64,
+    /// Activate-to-activate delay between banks in the *same* bank group
+    /// (JEDEC tRRD_L; devices without bank groups use `t_rrd_l == t_rrd_s`).
+    pub t_rrd_l: u64,
+    /// Four-activate window: any sliding window of `t_faw` cycles may
+    /// contain at most four ACTIVATEs per rank (0 disables the constraint).
+    pub t_faw: u64,
+    /// Write-to-read turnaround: cycles from the end of a write burst until
+    /// a READ command may issue to the same bank (JEDEC tWTR).
+    pub t_wtr: u64,
 }
 
 impl DramTiming {
@@ -47,6 +59,10 @@ impl DramTiming {
             t_ccd: 8,
             t_refi: 12_480, // 7.8 us at the 1600 MHz command clock
             t_rfc: 560,     // ~350 ns
+            t_rrd_s: 4,     // max(4 nCK, 2.5 ns)
+            t_rrd_l: 8,     // 4.9 ns
+            t_faw: 34,      // 21 ns
+            t_wtr: 12,      // tWTR_L, 7.5 ns
         }
     }
 
@@ -63,6 +79,10 @@ impl DramTiming {
             t_ccd: 8,
             t_refi: 8_320, // 3.9 us at 2133 MHz (per-bank refresh averaged)
             t_rfc: 380,    // ~180 ns LPDDR4 per-bank RFCpb aggregated
+            t_rrd_s: 16,   // 7.5 ns; LPDDR4 has no bank groups, so S == L
+            t_rrd_l: 16,
+            t_faw: 86, // 40 ns
+            t_wtr: 22, // 10 ns
         }
     }
 
@@ -119,6 +139,16 @@ mod tests {
     fn refresh_parameters_are_sane() {
         for t in [DramTiming::ddr4_3200(), DramTiming::lpddr4x_4266()] {
             assert!(t.t_refi > 10 * t.t_rfc, "refresh overhead must be small");
+        }
+    }
+
+    #[test]
+    fn activate_pacing_parameters_are_ordered() {
+        for t in [DramTiming::ddr4_3200(), DramTiming::lpddr4x_4266()] {
+            assert!(t.t_rrd_s <= t.t_rrd_l, "same-group ACT spacing is wider");
+            // Four back-to-back ACTs at tRRD_S each must not already
+            // satisfy the four-activate window, or tFAW would be inert.
+            assert!(t.t_faw > 3 * t.t_rrd_s, "tFAW must bite beyond tRRD");
         }
     }
 

@@ -200,7 +200,7 @@ impl TrafficSource for TraceSource {
         if !ready {
             return None;
         }
-        let r = self.records.pop_front().expect("checked above");
+        let r = self.records.pop_front()?;
         let id = self.issued;
         self.issued += 1;
         self.outstanding += 1;

@@ -296,7 +296,9 @@ impl TrafficSource for StreamTraffic {
         let addr = self
             .walker
             .as_mut()
-            .expect("bind must be called before poll")
+            // Lifecycle contract: `add_generator` always binds before the
+            // first poll; returning None here would silently mask a misuse.
+            .expect("bind must be called before poll") // pccs-lint: allow(hot-path-panic)
             .next_addr(&mut self.rng);
 
         let id = self.issued;

@@ -1,0 +1,179 @@
+//! Property-based acceptance of the DDR4 conformance sanitizer.
+//!
+//! Two obligations, from opposite directions:
+//!
+//! 1. **Soundness of the controller**: random multi-source traffic through
+//!    every scheduling policy must replay with *zero* timing violations —
+//!    the controller's enforcement and the sanitizer's JEDEC rules must
+//!    agree exactly, or every co-run result built on the controller is
+//!    suspect.
+//! 2. **Sensitivity of the sanitizer**: a controller deliberately
+//!    scheduled with broken timing parameters, replayed against the
+//!    correct reference bin, must be flagged — otherwise rule 1 passes
+//!    vacuously.
+
+use pccs_dram::config::DramConfig;
+use pccs_dram::policy::PolicyKind;
+use pccs_dram::request::SourceId;
+use pccs_dram::sim::DramSystem;
+use pccs_dram::timing::DramTiming;
+use pccs_dram::traffic::StreamTraffic;
+use proptest::prelude::*;
+
+const ALL_POLICIES: [PolicyKind; 5] = [
+    PolicyKind::Fcfs,
+    PolicyKind::FrFcfs,
+    PolicyKind::Atlas,
+    PolicyKind::Tcm,
+    PolicyKind::Sms,
+];
+
+/// Builds a system under `config`/`policy` with `sources` random streams
+/// and the sanitizer attached, runs it, and returns the report.
+fn run_random_traffic(
+    config: DramConfig,
+    policy: PolicyKind,
+    sources: &[(f64, f64, f64)], // (demand GB/s, row locality, write fraction)
+    seed: u64,
+    horizon: u64,
+) -> pccs_dram::conformance::ConformanceReport {
+    let mut sys = DramSystem::new(config, policy);
+    for (idx, &(gbps, locality, writes)) in sources.iter().enumerate() {
+        sys.add_generator(
+            StreamTraffic::builder(SourceId(idx))
+                .demand_gbps(gbps)
+                .row_locality(locality)
+                .write_fraction(writes)
+                .seed(seed ^ idx as u64)
+                .build(),
+        );
+    }
+    sys.enable_conformance();
+    let out = sys.run(horizon);
+    out.conformance.expect("sanitizer enabled")
+}
+
+fn arb_sources() -> impl Strategy<Value = Vec<(f64, f64, f64)>> {
+    prop::collection::vec((5.0f64..60.0, 0.1f64..0.95, 0.0f64..0.5), 1..4)
+}
+
+proptest! {
+    #[test]
+    fn every_policy_replays_clean_on_random_traffic(
+        sources in arb_sources(),
+        seed in 0u64..1000,
+    ) {
+        for policy in ALL_POLICIES {
+            let report = run_random_traffic(
+                DramConfig::cmp_study(),
+                policy,
+                &sources,
+                seed,
+                12_000,
+            );
+            prop_assert!(report.commands > 0, "{policy:?} issued no commands");
+            prop_assert!(
+                report.is_clean(),
+                "{policy:?} violated timing: {}",
+                report.summary()
+            );
+        }
+    }
+
+    #[test]
+    fn lpddr4x_bin_replays_clean_too(
+        sources in arb_sources(),
+        seed in 0u64..1000,
+    ) {
+        // The Xavier preset uses the LPDDR4X timing bin and 16 banks, which
+        // exercises the 4-bank-group tRRD_S/tRRD_L split differently.
+        let report = run_random_traffic(
+            DramConfig::xavier(),
+            PolicyKind::FrFcfs,
+            &sources,
+            seed,
+            12_000,
+        );
+        prop_assert!(report.is_clean(), "{}", report.summary());
+    }
+}
+
+/// Deliberately mis-schedules with `break_timing` applied, validates
+/// against the unbroken bin, and returns the per-kind violation counts.
+fn violations_with_broken(
+    horizon: u64,
+    break_timing: impl Fn(&mut DramTiming),
+) -> std::collections::BTreeMap<String, u64> {
+    let reference = DramConfig::cmp_study();
+    let mut config = reference.clone();
+    break_timing(&mut config.timing);
+    let mut sys = DramSystem::new(config, PolicyKind::FrFcfs);
+    // Low locality forces frequent precharge/activate cycling so the
+    // activate- and precharge-related constraints are exercised densely.
+    sys.add_generator(
+        StreamTraffic::builder(SourceId(0))
+            .demand_gbps(60.0)
+            .row_locality(0.2)
+            .build(),
+    );
+    sys.add_generator(
+        StreamTraffic::builder(SourceId(1))
+            .demand_gbps(40.0)
+            .row_locality(0.3)
+            .write_fraction(0.4)
+            .seed(7)
+            .build(),
+    );
+    sys.enable_conformance_against(reference.timing);
+    let out = sys.run(horizon);
+    out.conformance.expect("sanitizer enabled").per_kind
+}
+
+#[test]
+fn halved_trcd_is_flagged() {
+    let per_kind = violations_with_broken(20_000, |t| t.t_rcd /= 2);
+    assert!(per_kind.contains_key("trcd"), "{per_kind:?}");
+}
+
+#[test]
+fn halved_trp_is_flagged() {
+    let per_kind = violations_with_broken(20_000, |t| t.t_rp /= 2);
+    assert!(per_kind.contains_key("trp"), "{per_kind:?}");
+}
+
+#[test]
+fn zeroed_activate_pacing_is_flagged() {
+    let per_kind = violations_with_broken(20_000, |t| {
+        t.t_rrd_s = 0;
+        t.t_rrd_l = 0;
+        t.t_faw = 0;
+    });
+    assert!(
+        per_kind.contains_key("trrd-s")
+            || per_kind.contains_key("trrd-l")
+            || per_kind.contains_key("tfaw"),
+        "{per_kind:?}"
+    );
+}
+
+#[test]
+fn shortened_tras_is_flagged() {
+    let per_kind = violations_with_broken(20_000, |t| t.t_ras /= 3);
+    assert!(per_kind.contains_key("tras"), "{per_kind:?}");
+}
+
+#[test]
+fn stretched_refresh_interval_is_flagged() {
+    // Two stretched refresh gaps (4 x 12480 cycles each) must fit inside
+    // the horizon for the checker to observe a REF-to-REF distance.
+    let per_kind = violations_with_broken(120_000, |t| t.t_refi *= 4);
+    assert!(per_kind.contains_key("refresh-late"), "{per_kind:?}");
+}
+
+#[test]
+fn unbroken_timing_is_not_flagged_by_the_same_harness() {
+    // Control: the harness itself (reference validation path included)
+    // reports clean when nothing is broken.
+    let per_kind = violations_with_broken(60_000, |_| {});
+    assert!(per_kind.is_empty(), "{per_kind:?}");
+}

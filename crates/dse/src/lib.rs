@@ -30,10 +30,15 @@
 //! println!("clock the GPU at {} MHz", sel.chosen_mhz);
 //! ```
 
+/// Area and power proxy models for quantifying over-provisioning.
 pub mod cost;
+/// Core-count and memory-subsystem exploration (the "PU-related.
 pub mod explore;
+/// PU frequency selection under a co-run slowdown constraint (Section 4.3,.
 pub mod freq;
+/// Memory-subsystem design exploration (Section 3.4, "Memory sub-system.
 pub mod memory;
+/// Power-budgeted frequency selection — the extension the paper's.
 pub mod power_budget;
 
 pub use cost::{area_rel, dynamic_power_rel};

@@ -82,6 +82,7 @@ pub fn explore_memory_configs(
                 sim.external_pressure(pressure, external_gbps);
                 sim.execute()
                     .relative_speed_pct(pu_idx, &profile)
+                    .expect("kernel PU is placed")
                     .min(102.0)
             });
 

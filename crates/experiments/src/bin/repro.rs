@@ -28,7 +28,8 @@ use pccs_experiments::{
 use pccs_telemetry::{export, RunManifest, TraceLog};
 use serde_json::{Number, Value};
 use std::collections::BTreeMap;
-use std::time::Instant;
+// Wall-clock timing is reporting-only here; it never feeds simulation state.
+use std::time::Instant; // pccs-lint: allow(nondeterminism)
 
 const ALL: &[&str] = &[
     "fig2",
@@ -158,9 +159,9 @@ fn main() {
         Value::Object(c)
     };
 
-    let t0 = Instant::now();
+    let t0 = Instant::now(); // pccs-lint: allow(nondeterminism)
     for name in &selected {
-        let t = Instant::now();
+        let t = Instant::now(); // pccs-lint: allow(nondeterminism)
         let span_name = format!("repro.{name}");
         let _span = TraceLog::span(&span_name);
         let (report, json) = match name.as_str() {

@@ -21,12 +21,12 @@
 use pccs_soc::corun::{CoRunConfig, CoRunSim, StandaloneProfile};
 use pccs_soc::kernel::KernelDesc;
 use pccs_soc::soc::SocConfig;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// Exact cache key: serialized machine + kernel + measurement config.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 struct ProfileKey {
     /// `serde_json` serialization of the full [`SocConfig`].
     soc: String,
@@ -79,7 +79,7 @@ impl CacheStats {
 /// the interleaving; only the miss counter can over-count under contention.
 #[derive(Debug, Default)]
 pub struct ProfileCache {
-    entries: Mutex<HashMap<ProfileKey, StandaloneProfile>>,
+    entries: Mutex<BTreeMap<ProfileKey, StandaloneProfile>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -171,10 +171,12 @@ mod tests {
 
         cache.standalone(&soc, gpu, &kernel, &cfg);
         // Re-clock the GPU without renaming the SoC: must be a fresh miss,
-        // not a poisoned hit on the nominal profile.
+        // not a poisoned hit on the nominal profile. Derate far enough that
+        // the slowed GPU is demand-bound (a mild derate still saturates the
+        // memory ceiling and would yield an identical profile).
         let slow = soc.with_pu(
             gpu,
-            soc.pus[gpu].with_frequency(soc.pus[gpu].freq_mhz * 0.5),
+            soc.pus[gpu].with_frequency(soc.pus[gpu].freq_mhz * 0.1),
         );
         let slowed = cache.standalone(&slow, gpu, &kernel, &cfg);
         assert_eq!(cache.stats().misses, 2);

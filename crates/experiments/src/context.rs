@@ -15,7 +15,7 @@ use pccs_soc::corun::{CoRunConfig, CoRunSim, Placement, StandaloneProfile};
 use pccs_soc::kernel::KernelDesc;
 use pccs_soc::soc::SocConfig;
 use pccs_workloads::calibrate::{build_model, CalibrationConfig};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Mutex;
 
 /// Measurement fidelity of an experiment run.
@@ -39,7 +39,7 @@ pub struct Context {
     pub snapdragon: SocConfig,
     /// Worker threads for sweep cells and calibration (0 = all cores).
     jobs: usize,
-    models: Mutex<HashMap<(String, usize), (PccsModel, CalibrationData)>>,
+    models: Mutex<BTreeMap<(String, usize), (PccsModel, CalibrationData)>>,
     profiles: ProfileCache,
 }
 
@@ -51,7 +51,7 @@ impl Context {
             xavier: SocConfig::xavier(),
             snapdragon: SocConfig::snapdragon855(),
             jobs: 0,
-            models: Mutex::new(HashMap::new()),
+            models: Mutex::new(BTreeMap::new()),
             profiles: ProfileCache::new(),
         }
     }
@@ -208,7 +208,9 @@ impl Context {
         sim.place(Placement::kernel(pu_idx, kernel.clone()));
         sim.external_pressure(pressure_pu, external_gbps);
         let out = sim.execute();
-        out.relative_speed_pct(pu_idx, standalone).min(102.0)
+        out.relative_speed_pct(pu_idx, standalone)
+            .expect("kernel PU is placed")
+            .min(102.0)
     }
 
     /// The paper's external-pressure grid: 10 %…100 % of the SoC peak in

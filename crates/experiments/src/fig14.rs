@@ -149,7 +149,10 @@ impl Experiment for Fig14Experiment {
                 .filter(|&(j, _)| j != i)
                 .map(|(_, s)| s.bw_gbps)
                 .sum();
-            let actual = out.relative_speed_pct(*pu, &standalones[i]).min(102.0);
+            let actual = out
+                .relative_speed_pct(*pu, &standalones[i])
+                .expect("mix PU is placed")
+                .min(102.0);
             let pccs_model = &prep.models.iter().find(|(p, _)| p == pu).expect("model").1;
             per_pu.push(MixPuResult {
                 pu: (*pu_name).to_owned(),

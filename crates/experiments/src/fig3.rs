@@ -97,7 +97,10 @@ impl Experiment for Fig3Experiment {
         sim.place(Placement::kernel(prep.gpu, kernel.clone()));
         sim.external_pressure(prep.cpu, y);
         let out = sim.execute();
-        Ok(out.relative_speed_pct(prep.gpu, standalone).min(102.0))
+        Ok(out
+            .relative_speed_pct(prep.gpu, standalone)
+            .expect("GPU is placed")
+            .min(102.0))
     }
 
     fn merge(&self, _ctx: &Context, prep: Fig3Prep, cells: Vec<f64>) -> Result<Fig3> {

@@ -29,23 +29,41 @@
 //! drives them: `repro --quick fig3 table7`, `repro validate --jobs 4`,
 //! or `repro all`.
 
+/// Cross-experiment memoization of standalone profiles.
 pub mod cache;
+/// Shared experiment context: SoC presets, measurement quality, and caches.
 pub mod context;
+/// Typed failures of the experiment harness.
 pub mod error;
+/// Figure 13: predicting the multi-phase CFD program with (a) its average.
 pub mod fig13;
+/// Figure 14 (with Table 8): the eleven real 3-PU co-run workloads —.
 pub mod fig14;
+/// Figure 2: the percentage of requested memory bandwidth that is met on a.
 pub mod fig2;
+/// Figure 3: achieved relative speed of synthetic kernels under external.
 pub mod fig3;
+/// Figure 5 and Table 3: the memory-controller policy study on the 16-core.
 pub mod fig5;
+/// Figure 6: the three-region interference-classification chart, rendered.
 pub mod fig6;
+/// Validation of the source-obliviousness insight (Section 3.2).
 pub mod oblivious;
+/// The unified experiment API and its parallel sweep engine.
 pub mod runner;
+/// The scheduling study: every bundled placement policy replayed on every.
 pub mod sched_study;
+/// Minimal text-table rendering for experiment reports.
 pub mod table;
+/// Table 10: the related-work comparison, made quantitative.
 pub mod table10;
+/// Table 5: linear bandwidth scaling of the PCCS parameters (Section 3.3).
 pub mod table5;
+/// Table 7: constructed PCCS model parameters for every PU of both SoCs.
 pub mod table7;
+/// Table 9 and Figure 15: the SoC-design use case — selecting the lowest.
 pub mod table9;
+/// Figures 8–12: empirical validation of the slowdown model on benchmark.
 pub mod validate;
 
 pub use cache::{CacheStats, ProfileCache};

@@ -146,6 +146,7 @@ impl Experiment for ObliviousExperiment {
                 composition: cell.label.clone(),
                 rs_pct: out
                     .relative_speed_pct(prep.gpu, &prep.standalone)
+                    .expect("GPU is placed")
                     .min(102.0),
             },
         ))

@@ -18,7 +18,7 @@ use pccs_soc::corun::{CoRunConfig, CoRunSim, Placement};
 use pccs_soc::kernel::KernelDesc;
 use pccs_soc::soc::SocConfig;
 use pccs_telemetry::TraceLog;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 /// Floor for measured rates, lines per cycle.
 const MIN_RATE: f64 = 1e-9;
@@ -62,8 +62,8 @@ impl SchedConfig {
 pub struct SimProbe<'a> {
     soc: &'a SocConfig,
     config: CoRunConfig,
-    corun_cache: HashMap<String, BTreeMap<usize, f64>>,
-    standalone_cache: HashMap<String, (f64, f64)>,
+    corun_cache: BTreeMap<String, BTreeMap<usize, f64>>,
+    standalone_cache: BTreeMap<String, (f64, f64)>,
 }
 
 impl<'a> SimProbe<'a> {
@@ -72,8 +72,8 @@ impl<'a> SimProbe<'a> {
         Self {
             soc,
             config,
-            corun_cache: HashMap::new(),
-            standalone_cache: HashMap::new(),
+            corun_cache: BTreeMap::new(),
+            standalone_cache: BTreeMap::new(),
         }
     }
 

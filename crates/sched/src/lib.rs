@@ -39,10 +39,15 @@
 //! assert_eq!(report.jobs.len(), mix.jobs.len());
 //! ```
 
+/// The scheduling engine: replays a job stream against the co-run.
 pub mod engine;
+/// Jobs: units of schedulable work.
 pub mod job;
+/// Named multi-programmed job mixes.
 pub mod mixes;
+/// Placement policies.
 pub mod policy;
+/// Schedule evaluation artifacts: per-job outcomes, per-decision records,.
 pub mod report;
 
 pub use engine::{run_schedule, SchedConfig};

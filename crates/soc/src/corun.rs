@@ -17,6 +17,7 @@ use pccs_telemetry::{EpochRecorder, TraceLog};
 
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::fmt;
 
 /// Default simulation horizon in memory cycles; ~30 µs at 2133 MHz, enough
 /// for tens of thousands of lines per PU.
@@ -160,6 +161,40 @@ pub struct StandaloneProfile {
     pub horizon: u64,
 }
 
+/// Errors from relative-speed accounting on a [`CoRunOutcome`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CoRunError {
+    /// The asked-about PU had no work placed in this co-run.
+    NotPlaced {
+        /// The PU index that was queried.
+        pu_idx: usize,
+    },
+    /// The standalone profile belongs to a different PU than the one asked
+    /// about — comparing them would silently mix machines.
+    ProfileMismatch {
+        /// PU the profile was measured on.
+        profile_pu: usize,
+        /// PU the caller asked about.
+        pu_idx: usize,
+    },
+}
+
+impl fmt::Display for CoRunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoRunError::NotPlaced { pu_idx } => {
+                write!(f, "PU {pu_idx} was not placed in this co-run")
+            }
+            CoRunError::ProfileMismatch { profile_pu, pu_idx } => write!(
+                f,
+                "profile belongs to PU {profile_pu} but asked about PU {pu_idx}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CoRunError {}
+
 /// Per-PU measurements from one co-run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct PuRunResult {
@@ -186,29 +221,43 @@ impl CoRunOutcome {
     /// Achieved relative speed of PU `pu_idx` against its standalone
     /// profile, as a fraction (1.0 = no slowdown).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `pu_idx` was not placed in this co-run or the profile is
-    /// for a different PU.
-    pub fn relative_speed(&self, pu_idx: usize, standalone: &StandaloneProfile) -> f64 {
-        assert_eq!(
-            standalone.pu_idx, pu_idx,
-            "profile belongs to PU {} but asked about PU {}",
-            standalone.pu_idx, pu_idx
-        );
+    /// Returns [`CoRunError::NotPlaced`] if `pu_idx` had no work placed in
+    /// this co-run and [`CoRunError::ProfileMismatch`] if the profile was
+    /// measured on a different PU.
+    pub fn relative_speed(
+        &self,
+        pu_idx: usize,
+        standalone: &StandaloneProfile,
+    ) -> Result<f64, CoRunError> {
+        if standalone.pu_idx != pu_idx {
+            return Err(CoRunError::ProfileMismatch {
+                profile_pu: standalone.pu_idx,
+                pu_idx,
+            });
+        }
         let r = self
             .per_pu
             .get(&pu_idx)
-            .unwrap_or_else(|| panic!("PU {pu_idx} was not placed in this co-run"));
+            .ok_or(CoRunError::NotPlaced { pu_idx })?;
         if standalone.lines_per_cycle <= 0.0 {
-            return 1.0;
+            return Ok(1.0);
         }
-        r.lines_per_cycle / standalone.lines_per_cycle
+        Ok(r.lines_per_cycle / standalone.lines_per_cycle)
     }
 
     /// Achieved relative speed as a percentage (the paper's `RS`).
-    pub fn relative_speed_pct(&self, pu_idx: usize, standalone: &StandaloneProfile) -> f64 {
-        100.0 * self.relative_speed(pu_idx, standalone)
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CoRunOutcome::relative_speed`].
+    pub fn relative_speed_pct(
+        &self,
+        pu_idx: usize,
+        standalone: &StandaloneProfile,
+    ) -> Result<f64, CoRunError> {
+        Ok(100.0 * self.relative_speed(pu_idx, standalone)?)
     }
 }
 
@@ -219,6 +268,7 @@ pub struct CoRunSim {
     config: CoRunConfig,
     placements: Vec<Placement>,
     epoch: Option<u64>,
+    conformance: bool,
 }
 
 impl CoRunSim {
@@ -236,7 +286,18 @@ impl CoRunSim {
             config,
             placements: Vec::new(),
             epoch: None,
+            conformance: false,
         }
+    }
+
+    /// Enables the DDR protocol conformance sanitizer on the underlying
+    /// memory controller; the report lands in
+    /// [`SimOutcome::conformance`](pccs_dram::sim::SimOutcome) of
+    /// [`CoRunOutcome::memory`]. With repeats above one, the report covers
+    /// the last repetition (matching [`CoRunOutcome::memory`]).
+    pub fn check_conformance(&mut self) -> &mut Self {
+        self.conformance = true;
+        self
     }
 
     /// Enables epoch telemetry: the memory controller samples per-source
@@ -337,9 +398,7 @@ impl CoRunSim {
         span.counter("horizon", horizon as f64);
         let warmup = (horizon as f64 * self.config.warmup_fraction) as u64;
         let mut acc: BTreeMap<usize, (f64, f64, u64)> = BTreeMap::new();
-        let mut last_memory = None;
-        for rep in 0..self.config.repeats {
-            let memory = self.run_once(horizon, warmup, u64::from(rep));
+        let accumulate = |acc: &mut BTreeMap<usize, (f64, f64, u64)>, memory: &SimOutcome| {
             for placement in &self.placements {
                 let range = self.soc.source_range(placement.pu_idx);
                 let lines: u64 = range
@@ -363,16 +422,23 @@ impl CoRunSim {
                 e.1 += bw;
                 e.2 += lines;
             }
-            last_memory = Some(memory);
+        };
+        // Run repetition zero eagerly so the returned raw memory outcome is
+        // always present without an unwrap on the accumulator.
+        let mut memory = self.run_once(horizon, warmup, 0);
+        accumulate(&mut acc, &memory);
+        for rep in 1..self.config.repeats {
+            memory = self.run_once(horizon, warmup, u64::from(rep));
+            accumulate(&mut acc, &memory);
         }
-        let n = f64::from(self.config.repeats);
+        let n = f64::from(self.config.repeats.max(1));
         let per_pu = acc
             .into_iter()
             .map(|(pu, (rate, bw, lines))| {
                 (
                     pu,
                     PuRunResult {
-                        lines: lines / u64::from(self.config.repeats),
+                        lines: lines / u64::from(self.config.repeats.max(1)),
                         lines_per_cycle: rate / n,
                         bw_gbps: bw / n,
                     },
@@ -382,7 +448,7 @@ impl CoRunSim {
         CoRunOutcome {
             per_pu,
             horizon,
-            memory: last_memory.expect("at least one repetition"),
+            memory,
         }
     }
 
@@ -390,6 +456,9 @@ impl CoRunSim {
         let mut sys = DramSystem::new(self.soc.dram.clone(), self.config.policy);
         if let Some(epoch) = self.epoch {
             sys.set_recorder(Box::new(EpochRecorder::new(epoch)));
+        }
+        if self.conformance {
+            sys.enable_conformance();
         }
         for placement in &self.placements {
             let pu = &self.soc.pus[placement.pu_idx];
@@ -496,7 +565,7 @@ mod tests {
         sim.place(Placement::kernel(gpu, kernel));
         sim.external_pressure(cpu, 80.0);
         let out = sim.execute();
-        let rs = out.relative_speed(gpu, &standalone);
+        let rs = out.relative_speed(gpu, &standalone).unwrap();
         assert!(rs < 0.97, "expected a slowdown, rs = {rs:.3}");
         assert!(rs > 0.2, "slowdown implausibly large, rs = {rs:.3}");
     }
@@ -514,7 +583,7 @@ mod tests {
         sim.place(Placement::kernel(gpu, kernel));
         sim.external_pressure(cpu, 60.0);
         let out = sim.execute();
-        let rs = out.relative_speed(gpu, &standalone);
+        let rs = out.relative_speed(gpu, &standalone).unwrap();
         assert!(rs > 0.85, "compute-bound kernel slowed to {rs:.3}");
     }
 
@@ -530,7 +599,7 @@ mod tests {
             sim.horizon(30_000);
             sim.place(Placement::kernel(gpu, kernel.clone()));
             sim.external_pressure(cpu, gbps);
-            sim.execute().relative_speed(gpu, &standalone)
+            sim.execute().relative_speed(gpu, &standalone).unwrap()
         };
         let low = rs_at(20.0);
         let high = rs_at(100.0);
@@ -630,7 +699,6 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "not placed")]
     fn relative_speed_requires_placement() {
         let soc = xavier();
         let gpu = soc.pu_index("GPU").unwrap();
@@ -640,6 +708,42 @@ mod tests {
         sim.horizon(5_000);
         sim.external_pressure(0, 10.0);
         let out = sim.execute();
-        let _ = out.relative_speed(gpu, &standalone);
+        assert_eq!(
+            out.relative_speed(gpu, &standalone),
+            Err(CoRunError::NotPlaced { pu_idx: gpu })
+        );
+        let wrong_pu = StandaloneProfile {
+            pu_idx: 0,
+            ..standalone
+        };
+        assert_eq!(
+            out.relative_speed(gpu, &wrong_pu),
+            Err(CoRunError::ProfileMismatch {
+                profile_pu: 0,
+                pu_idx: gpu
+            })
+        );
+        assert!(CoRunError::NotPlaced { pu_idx: gpu }
+            .to_string()
+            .contains("not placed"));
+    }
+
+    #[test]
+    fn conformance_flows_through_corun() {
+        let soc = xavier();
+        let gpu = soc.pu_index("GPU").unwrap();
+        let cpu = soc.pu_index("CPU").unwrap();
+        let mut sim = CoRunSim::new(&soc);
+        sim.place(Placement::kernel(
+            gpu,
+            KernelDesc::memory_streaming("stream", 0.5),
+        ));
+        sim.external_pressure(cpu, 40.0);
+        sim.check_conformance();
+        sim.horizon(15_000);
+        let out = sim.execute();
+        let report = out.memory.conformance.as_ref().expect("sanitizer on");
+        assert!(report.commands > 0);
+        assert!(report.is_clean(), "{}", report.summary());
     }
 }

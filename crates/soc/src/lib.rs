@@ -42,15 +42,21 @@
 //! sim.place(Placement::kernel(gpu, kernel));
 //! sim.external_pressure(soc.pu_index("CPU").unwrap(), 40.0);
 //! let outcome = sim.execute();
-//! let rs = outcome.relative_speed(gpu, &profile);
+//! let rs = outcome.relative_speed(gpu, &profile).unwrap();
 //! assert!(rs > 0.0 && rs <= 1.05);
 //! ```
 
+/// Co-run simulation and achieved-relative-speed measurement.
 pub mod corun;
+/// The PU executor: a compute-coupled traffic source.
 pub mod executor;
+/// Kernel descriptors.
 pub mod kernel;
+/// External memory-pressure generation.
 pub mod pressure;
+/// Processing-unit (PU) models.
 pub mod pu;
+/// Whole-SoC configuration: a set of PUs sharing one memory subsystem.
 pub mod soc;
 
 pub use corun::{CoRunOutcome, CoRunSim, Placement, StandaloneProfile};

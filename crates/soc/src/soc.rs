@@ -46,17 +46,9 @@ impl SocConfig {
         self.pus.iter().position(|p| p.name == name)
     }
 
-    /// The PU named `name`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if no PU carries that name; use [`SocConfig::pu_index`] for a
-    /// fallible lookup.
-    pub fn pu(&self, name: &str) -> &PuConfig {
-        let idx = self
-            .pu_index(name)
-            .unwrap_or_else(|| panic!("SoC {} has no PU named {name}", self.name));
-        &self.pus[idx]
+    /// The PU named `name`, if present.
+    pub fn pu(&self, name: &str) -> Option<&PuConfig> {
+        self.pu_index(name).map(|idx| &self.pus[idx])
     }
 
     /// Theoretical peak memory bandwidth in GB/s.
@@ -139,8 +131,9 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "no PU named")]
-    fn unknown_pu_panics() {
-        SocConfig::snapdragon855().pu("DLA");
+    fn unknown_pu_is_none() {
+        let soc = SocConfig::snapdragon855();
+        assert!(soc.pu("DLA").is_none());
+        assert_eq!(soc.pu("GPU").map(|p| p.name.as_str()), Some("GPU"));
     }
 }

@@ -19,6 +19,7 @@ mod manifest;
 mod recorder;
 mod trace;
 
+/// Exporters: JSONL event stream, CSV time-series, and a human-readable.
 pub mod export;
 
 pub use histogram::LatencyHistogram;

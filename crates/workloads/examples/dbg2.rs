@@ -24,7 +24,11 @@ fn main() {
             .source_range(gpu)
             .map(|s| out.memory.source_bw_gbps(SourceId(s)))
             .sum();
-        print!("{:5.1}({:4.0})", out.relative_speed_pct(cpu, &prof), act);
+        print!(
+            "{:5.1}({:4.0})",
+            out.relative_speed_pct(cpu, &prof).unwrap(),
+            act
+        );
     }
     println!();
     // DLA victim vs CPU pressure
@@ -38,7 +42,7 @@ fn main() {
         sim.place(Placement::kernel(dla, k.clone()));
         sim.external_pressure(cpu, y);
         let out = sim.execute();
-        print!("{:5.1}      ", out.relative_speed_pct(dla, &prof));
+        print!("{:5.1}      ", out.relative_speed_pct(dla, &prof).unwrap());
     }
     println!();
 }

@@ -30,7 +30,7 @@ fn main() {
             sim.place(Placement::kernel(gpu, k.clone()));
             sim.external_pressure(cpu, y);
             let out = sim.execute();
-            print!("{:5.1}", out.relative_speed_pct(gpu, &prof));
+            print!("{:5.1}", out.relative_speed_pct(gpu, &prof).unwrap());
         }
         println!();
     }

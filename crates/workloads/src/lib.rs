@@ -30,11 +30,17 @@
 //! # Ok::<(), pccs_core::ModelBuildError>(())
 //! ```
 
+/// The processor-centric model-construction pipeline (Section 3.2).
 pub mod calibrate;
+/// DNN inference traffic proxies for the DLA.
 pub mod dnn;
+/// DNN layer graphs: per-layer compute and traffic accounting.
 pub mod layers;
+/// The eleven three-PU co-run workloads of Table 8.
 pub mod mixes;
+/// Phase detection over bandwidth time series.
 pub mod phases;
+/// Rodinia benchmark traffic proxies.
 pub mod rodinia;
 
 pub use calibrate::{build_model, CalibrationConfig};

@@ -85,7 +85,10 @@ fn main() {
             .map(|(_, p)| p.bw_gbps)
             .sum();
         let predicted = models[i].relative_speed_pct(x, y);
-        let actual = out.relative_speed_pct(*pu, &profiles[i]).min(102.0);
+        let actual = out
+            .relative_speed_pct(*pu, &profiles[i])
+            .expect("mix PU is placed")
+            .min(102.0);
         println!("{name:<28} {x:>9.1} {y:>9.1} {predicted:>10.1} {actual:>10.1}");
     }
     println!("\nA design is viable when every module's predicted RS meets its QoS budget.");

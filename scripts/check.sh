@@ -39,8 +39,13 @@ doc_complete() {
 step fmt    cargo fmt --all -- --check
 step clippy cargo clippy --workspace --all-targets -- -D warnings
 step build  cargo build --release --workspace
+step lint   ./target/release/pccs-lint --root .
 step sched-smoke ./target/release/pccs sched --quick
 step repro-smoke ./target/release/repro oblivious --quick --jobs 2
+# Conformance smoke: a short co-run with the DDR protocol sanitizer
+# attached must replay with zero JEDEC timing violations.
+step conformance-smoke ./target/release/pccs corun --soc xavier --pu GPU \
+  --bench streamcluster --quick --conformance
 step doc    cargo doc --no-deps --workspace
 step doc-complete doc_complete
 step test   cargo test --release --workspace

@@ -5,5 +5,5 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release -p pccs-experiments
-./target/release/repro --curves --json results/json all | tee results/repro-output.txt
+./target/release/repro --curves --metrics-out results/json all | tee results/repro-output.txt
 echo "results written to results/"

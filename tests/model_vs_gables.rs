@@ -55,6 +55,7 @@ fn pccs_beats_gables_on_unseen_benchmarks() {
             let actual = sim
                 .execute()
                 .relative_speed_pct(gpu, &standalone)
+                .unwrap()
                 .min(102.0);
             pccs_err += (actual - pccs.relative_speed_pct(standalone.bw_gbps, y)).abs();
             gables_err += (actual - gables.relative_speed_pct(standalone.bw_gbps, y)).abs();
@@ -93,7 +94,7 @@ fn gables_predicts_no_slowdown_below_peak() {
     sim.repeats(2);
     sim.place(Placement::kernel(gpu, kernel));
     sim.external_pressure(cpu, y);
-    let actual = sim.execute().relative_speed_pct(gpu, &standalone);
+    let actual = sim.execute().relative_speed_pct(gpu, &standalone).unwrap();
     assert!(
         actual < 99.0,
         "the simulated SoC should contend below peak (measured {actual:.1}%)"

