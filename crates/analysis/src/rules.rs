@@ -8,6 +8,7 @@
 //! | `nondeterminism` | sim/experiment crates non-test code | `Instant::now`, `SystemTime`, `HashMap`, `HashSet`, `thread_rng` — results must be byte-identical across runs and `--jobs` settings. |
 //! | `deprecated-shim` | all crates, non-test code | calls to the deprecated `CoRunSim::run_configured` shim and `#[allow(deprecated)]` escapes (the only way a call to the deprecated `run` shim survives `-D warnings`). |
 //! | `missing-docs` | library crates, non-test code | `pub` items without a rustdoc comment directly above. |
+//! | `raw-stderr` | `dram`/`soc`/`core`/`sched`/`experiments` library code | `println!`/`eprintln!`/`print!`/`eprint!` — library crates must route output through telemetry or return it to the CLI layer, not write to the process streams. |
 //!
 //! Findings are suppressed with a `// pccs-lint: allow(<rule>)` comment on
 //! the finding's line or the line directly above — waivers are visible in
@@ -28,6 +29,7 @@ pub const RULE_NAMES: &[&str] = &[
     "nondeterminism",
     "deprecated-shim",
     "missing-docs",
+    "raw-stderr",
 ];
 
 /// Crates whose non-test code is a simulator hot path.
@@ -38,6 +40,13 @@ const DETERMINISTIC_CRATES: &[&str] = &["dram", "soc", "core", "workloads", "exp
 
 /// Identifiers that introduce nondeterminism on sight.
 const NONDETERMINISTIC_IDENTS: &[&str] = &["HashMap", "HashSet", "SystemTime", "thread_rng"];
+
+/// Crates whose library code must not write to stdout/stderr directly;
+/// output routes through telemetry reports or returns to the CLI layer.
+const QUIET_CRATES: &[&str] = &["dram", "soc", "core", "sched", "experiments"];
+
+/// Print-family macros the `raw-stderr` rule flags.
+const PRINT_MACROS: &[&str] = &["println", "eprintln", "print", "eprint"];
 
 /// How a file is situated relative to the rules.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -299,6 +308,31 @@ fn deprecated_shim(ctx: &RuleCtx<'_>, out: &mut Vec<Finding>) {
     }
 }
 
+fn raw_stderr(ctx: &RuleCtx<'_>, out: &mut Vec<Finding>) {
+    if !QUIET_CRATES.contains(&ctx.class.crate_name.as_str())
+        || ctx.class.is_test_path
+        || ctx.class.is_bin
+    {
+        return;
+    }
+    for (k, tok) in ctx.lexed.tokens.iter().enumerate() {
+        if ctx.in_test[k] || tok.kind != TokenKind::Ident {
+            continue;
+        }
+        if PRINT_MACROS.contains(&tok.text.as_str()) && ctx.text(k + 1) == Some("!") {
+            out.push(ctx.finding(
+                "raw-stderr",
+                tok.line,
+                format!(
+                    "{}! in library code; route output through telemetry or \
+                     return it to the CLI layer",
+                    tok.text
+                ),
+            ));
+        }
+    }
+}
+
 /// Item keywords that may directly follow `pub` and need rustdoc.
 const PUB_ITEM_KEYWORDS: &[&str] = &[
     "fn", "struct", "enum", "trait", "mod", "type", "const", "static", "union", "unsafe", "async",
@@ -390,6 +424,7 @@ pub fn lint_source(rel_path: &str, src: &str) -> LintReport {
     nondeterminism(&ctx, &mut raw);
     deprecated_shim(&ctx, &mut raw);
     missing_docs(&ctx, &mut raw);
+    raw_stderr(&ctx, &mut raw);
 
     let mut report = LintReport {
         findings: Vec::new(),
@@ -524,6 +559,36 @@ mod tests {
         let report = lint_source("crates/gables/src/a.rs", src);
         assert_eq!(report.findings.len(), 1);
         assert_eq!(report.findings[0].line, 3);
+    }
+
+    #[test]
+    fn raw_stderr_flags_print_macros_in_library_code() {
+        let src = "fn f() { println!(\"hi\"); eprintln!(\"oops\"); }\n";
+        assert_eq!(
+            rules_of("crates/sched/src/a.rs", src),
+            vec!["raw-stderr", "raw-stderr"]
+        );
+        assert_eq!(
+            rules_of("crates/experiments/src/a.rs", src),
+            vec!["raw-stderr", "raw-stderr"]
+        );
+        // Binaries, tests, and non-quiet crates may print.
+        assert!(rules_of("crates/experiments/src/bin/repro.rs", src).is_empty());
+        assert!(rules_of("crates/sched/tests/a.rs", src).is_empty());
+        assert!(rules_of("crates/cli/src/a.rs", src).is_empty());
+        // A `println` identifier without `!` (e.g. a local fn) passes, as
+        // does a print-macro name inside a string or comment.
+        assert!(rules_of("crates/sched/src/a.rs", "fn println_like() {}\n").is_empty());
+        assert!(rules_of(
+            "crates/sched/src/a.rs",
+            "// println! in a comment\nfn f() -> &'static str { \"print!\" }\n"
+        )
+        .is_empty());
+        // Waivers suppress like every other rule.
+        let src = "fn f() {\n    // pccs-lint: allow(raw-stderr)\n    eprintln!(\"x\");\n}\n";
+        let report = lint_source("crates/soc/src/a.rs", src);
+        assert!(report.is_clean());
+        assert_eq!(report.waived, 1);
     }
 
     #[test]

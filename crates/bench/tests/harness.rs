@@ -1,0 +1,48 @@
+//! End-to-end check of the `pccs bench` harness.
+//!
+//! One test function on purpose: the harness drives the process-global
+//! metrics registry (reset + enable/disable), so concurrent test threads
+//! would race on it.
+
+use pccs_bench::{run_all, validate};
+
+#[test]
+fn quick_bench_is_schema_valid_deterministic_and_cheap() {
+    let first = run_all(true);
+    let second = run_all(true);
+
+    // Both runs pass the schema contract `scripts/check.sh` enforces.
+    validate(&first.to_json()).expect("first run validates");
+    validate(&second.to_json()).expect("second run validates");
+
+    // Structure is byte-identical across reruns: same workload names,
+    // same extra keys per workload, same metric names. Values may vary.
+    let names = |r: &pccs_bench::BenchReport| -> Vec<String> {
+        let mut n: Vec<String> = r.workloads.keys().cloned().collect();
+        for (w, m) in &r.workloads {
+            n.extend(m.extra.keys().map(|k| format!("{w}.extra.{k}")));
+        }
+        n.extend(r.metrics.keys().cloned());
+        n
+    };
+    assert_eq!(names(&first), names(&second));
+    assert_eq!(first.schema, second.schema);
+
+    // The registry publishes once per run end, so its overhead on the
+    // co-run workload is well under the 5% budget; the margin here is
+    // generous to absorb shared-CI timing noise.
+    let overhead = first.workloads["corun_contended"].extra["metrics_overhead_pct"];
+    assert!(
+        overhead <= 25.0,
+        "metrics registry overhead {overhead:.2}% exceeds the generous 25% test margin \
+         (budget is 5%)"
+    );
+
+    // Throughput numbers exist and are positive.
+    assert!(first.workloads["corun_contended"].cycles_per_sec.unwrap() > 0.0);
+    assert!(first.workloads["sweep_oblivious"].cells_per_sec.unwrap() > 0.0);
+    assert!(first.workloads["sched_replay"].cycles_per_sec.unwrap() > 0.0);
+
+    // The harness leaves the registry enabled for whoever runs next.
+    assert!(pccs_telemetry::metrics::is_enabled());
+}

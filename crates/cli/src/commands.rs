@@ -516,6 +516,78 @@ pub fn lint(args: &Args) -> Result<(), ArgError> {
     }
 }
 
+/// `pccs bench` — runs the fixed benchmark workloads ([`pccs_bench`]) and
+/// writes the schema-validated `BENCH_<host>_<date>.json` baseline (plus a
+/// CSV companion next to it). `--quick` shrinks horizons for CI smoke use;
+/// `--out` overrides the canonical file name.
+pub fn bench(args: &Args) -> Result<(), ArgError> {
+    let quick = args.has("quick");
+    eprintln!(
+        "running pccs bench ({} workload sizes) ...",
+        if quick { "quick" } else { "full" }
+    );
+    let report = pccs_bench::run_all(quick);
+    let json = report.to_json();
+    pccs_bench::validate(&json).map_err(|e| ArgError(format!("bench report invalid: {e}")))?;
+    let path = args
+        .get("out")
+        .map(str::to_owned)
+        .unwrap_or_else(|| report.filename());
+    let mut text = serde_json::to_string_pretty(&json)
+        .map_err(|e| ArgError(format!("serialization failed: {e}")))?;
+    text.push('\n');
+    fs::write(&path, text).map_err(|e| ArgError(format!("writing {path}: {e}")))?;
+    let csv_path = if let Some(stripped) = path.strip_suffix(".json") {
+        format!("{stripped}.csv")
+    } else {
+        format!("{path}.csv")
+    };
+    fs::write(&csv_path, report.to_csv())
+        .map_err(|e| ArgError(format!("writing {csv_path}: {e}")))?;
+    for (name, w) in &report.workloads {
+        let rate = match (w.cycles_per_sec, w.cells_per_sec) {
+            (Some(c), _) => format!("{c:>12.0} cycles/s"),
+            (_, Some(c)) => format!("{c:>12.1} cells/s"),
+            _ => "            —".to_owned(),
+        };
+        println!("{name:<18} {:>8.3}s  {rate}", w.wall_secs);
+    }
+    let overhead = report.workloads["corun_contended"].extra["metrics_overhead_pct"];
+    println!("metrics registry overhead: {overhead:.2}% (budget 5%)");
+    println!("baseline written to {path} (+ {csv_path})");
+    Ok(())
+}
+
+/// `pccs trace-check` — validates a Chrome/Perfetto trace exported by
+/// `repro --trace-out`: JSON well-formedness, balanced B/E spans per lane,
+/// monotonic timestamps, and optional minimum nesting depth
+/// (`--min-depth`) and counter-track count (`--min-counters`).
+pub fn trace_check(args: &Args) -> Result<(), ArgError> {
+    let path = args.require("file")?;
+    let min_depth = args.get_usize("min-depth", 0)?;
+    let min_counters = args.get_usize("min-counters", 0)?;
+    let text = fs::read_to_string(path).map_err(|e| ArgError(format!("reading {path}: {e}")))?;
+    let check = pccs_telemetry::perfetto::check_trace(&text)
+        .map_err(|e| ArgError(format!("{path}: {e}")))?;
+    println!(
+        "{path}: {} events, {} lanes, max depth {}, {} counter tracks",
+        check.events, check.lanes, check.max_depth, check.counter_tracks
+    );
+    if check.max_depth < min_depth {
+        return Err(ArgError(format!(
+            "{path}: max span depth {} < required {min_depth}",
+            check.max_depth
+        )));
+    }
+    if check.counter_tracks < min_counters {
+        return Err(ArgError(format!(
+            "{path}: {} counter tracks < required {min_counters}",
+            check.counter_tracks
+        )));
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

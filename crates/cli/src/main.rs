@@ -14,6 +14,8 @@
 //!                  [--scale 1.0] [--quick] [--metrics-out out.jsonl]
 //! pccs policies    [--victim 48]
 //! pccs lint        [--root .] [--json]
+//! pccs bench       [--quick] [--out BENCH.json]
+//! pccs trace-check --file trace.json [--min-depth 3] [--min-counters 10]
 //! ```
 //!
 //! `calibrate` runs the paper's processor-centric construction on the
@@ -24,7 +26,10 @@
 //! horizon and `--conformance` attaches the DDR protocol sanitizer; `sched` replays a job mix
 //! under a placement policy (the contention-aware scheduling runtime of
 //! `pccs-sched`) and can export its per-decision records; `policies`
-//! reproduces the Section 2.3 scheduling-policy comparison.
+//! reproduces the Section 2.3 scheduling-policy comparison; `bench` runs
+//! the fixed benchmark workloads and writes the `BENCH_<host>_<date>.json`
+//! baseline (DESIGN.md §9); `trace-check` validates a Chrome/Perfetto
+//! trace exported with `repro --trace-out`.
 
 mod args;
 mod commands;
@@ -51,6 +56,8 @@ USAGE:
                     [--quick] [--jobs <N>] [--metrics-out <events.jsonl>]
   pccs policies     [--victim <GB/s>]
   pccs lint         [--root <path>] [--json]
+  pccs bench        [--quick] [--out <BENCH.json>]
+  pccs trace-check  --file <trace.json> [--min-depth <N>] [--min-counters <N>]
 
 Run `pccs <command> --help` equivalents by reading the crate docs.";
 
@@ -71,6 +78,8 @@ fn main() -> ExitCode {
         Some("sched") => commands::sched(&args),
         Some("policies") => commands::policies(&args),
         Some("lint") => commands::lint(&args),
+        Some("bench") => commands::bench(&args),
+        Some("trace-check") => commands::trace_check(&args),
         Some(other) => Err(args::ArgError(format!("unknown command '{other}'"))),
         None => {
             println!("{USAGE}");

@@ -236,6 +236,10 @@ impl MemoryController {
         *self.pending_per_source.entry(req.source).or_insert(0) += 1;
         self.policy.on_enqueue(req.source);
         channel.queue.push(QueuedRequest { req, decoded });
+        let depth = channel.queue.len() as u64;
+        if depth > self.stats.scheduler.queue_hwm {
+            self.stats.scheduler.queue_hwm = depth;
+        }
         Ok(())
     }
 

@@ -163,7 +163,11 @@ impl MultiMcSystem {
             stats.scheduler.bus_blocked += s.scheduler.bus_blocked;
             stats.scheduler.no_candidate += s.scheduler.no_candidate;
             stats.scheduler.idle += s.scheduler.idle;
+            // A high-watermark merges by max: the deepest single channel
+            // queue anywhere in the system, not a sum across controllers.
+            stats.scheduler.queue_hwm = stats.scheduler.queue_hwm.max(s.scheduler.queue_hwm);
         }
+        stats.publish_metrics();
 
         let completed: BTreeMap<SourceId, u64> = self
             .generators

@@ -131,6 +131,7 @@ impl DramSystem {
         let telemetry = self.controller.take_report(horizon);
         let conformance = self.controller.conformance_report();
         let stats = self.controller.into_stats();
+        stats.publish_metrics();
         let measured = MeasureWindow {
             cycles: horizon - warmup,
             progress: progress

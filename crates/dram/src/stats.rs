@@ -58,6 +58,14 @@ impl SourceStats {
     pub fn latency_percentile(&self, p: f64) -> u64 {
         self.latency.percentile(p)
     }
+
+    /// Like [`SourceStats::latency_percentile`] but distinguishes "no
+    /// requests served" (`None`) from a genuine zero-cycle latency, and
+    /// reports the exact sample when only one request was served (see
+    /// [`LatencyHistogram::try_percentile`]).
+    pub fn try_latency_percentile(&self, p: f64) -> Option<u64> {
+        self.latency.try_percentile(p)
+    }
 }
 
 /// Statistics for an entire simulation run.
@@ -83,6 +91,9 @@ pub struct SchedulerStats {
     pub no_candidate: u64,
     /// Channel-cycles with an empty queue.
     pub idle: u64,
+    /// Peak per-channel queue occupancy observed over the run (a
+    /// high-watermark, so merges take the max rather than the sum).
+    pub queue_hwm: u64,
 }
 
 impl MemoryStats {
@@ -159,6 +170,31 @@ impl MemoryStats {
     pub fn effective_bw_pct(&self, config: &DramConfig) -> f64 {
         100.0 * self.effective_bw_gbps(config) / config.peak_bw_gbps()
     }
+
+    /// Publishes this run's totals into the process-global metrics
+    /// registry (`dram.*` names; see DESIGN.md §9). Called once at the end
+    /// of a run, never from the per-cycle loop, so registry cost stays off
+    /// the hot path.
+    pub fn publish_metrics(&self) {
+        use pccs_telemetry::metrics;
+        if !metrics::is_enabled() {
+            return;
+        }
+        metrics::add("dram.cycles", self.elapsed_cycles);
+        metrics::add("dram.bytes", self.total_bytes());
+        metrics::add("dram.requests.served", self.total_served());
+        let sum = |f: fn(&SourceStats) -> u64| self.per_source.values().map(f).sum::<u64>();
+        metrics::add("dram.requests.enqueued", sum(|s| s.enqueued));
+        metrics::add("dram.requests.rejected", sum(|s| s.rejected));
+        metrics::add("dram.row.hits", sum(|s| s.row_hits));
+        metrics::add("dram.row.misses", sum(|s| s.row_misses));
+        metrics::add("dram.row.conflicts", sum(|s| s.row_conflicts));
+        metrics::add("dram.sched.issued", self.scheduler.issued);
+        metrics::add("dram.sched.bus_blocked", self.scheduler.bus_blocked);
+        metrics::add("dram.sched.no_candidate", self.scheduler.no_candidate);
+        metrics::add("dram.sched.idle", self.scheduler.idle);
+        metrics::observe_max("dram.queue.hwm", self.scheduler.queue_hwm);
+    }
 }
 
 #[cfg(test)]
@@ -214,6 +250,38 @@ mod tests {
         m.source_mut(SourceId(0)).bytes = 64_000;
         assert!((m.effective_bw_gbps(&c) - c.peak_bw_gbps()).abs() < 1e-9);
         assert!((m.effective_bw_pct(&c) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn publish_metrics_flushes_totals_to_registry() {
+        use pccs_telemetry::metrics;
+        let mut m = MemoryStats::new();
+        m.elapsed_cycles = 500;
+        m.record_served(SourceId(0), 64, RowOutcome::Hit, 30);
+        m.record_served(SourceId(1), 64, RowOutcome::Conflict, 90);
+        m.source_mut(SourceId(0)).enqueued = 3;
+        m.scheduler.issued = 2;
+        m.scheduler.queue_hwm = 7;
+        // The registry is process-global and tests run concurrently, so
+        // assert on deltas of handles read before and after.
+        let served = metrics::counter("dram.requests.served");
+        let cycles = metrics::counter("dram.cycles");
+        let hwm = metrics::gauge("dram.queue.hwm");
+        let (served0, cycles0) = (served.get(), cycles.get());
+        m.publish_metrics();
+        assert_eq!(served.get() - served0, 2);
+        assert_eq!(cycles.get() - cycles0, 500);
+        assert!(hwm.get() >= 7);
+    }
+
+    #[test]
+    fn try_percentile_distinguishes_empty_sources() {
+        let mut m = MemoryStats::new();
+        assert_eq!(m.source_mut(SourceId(0)).try_latency_percentile(99.0), None);
+        m.record_served(SourceId(0), 64, RowOutcome::Hit, 12_345);
+        let s = &m.per_source[&SourceId(0)];
+        assert_eq!(s.try_latency_percentile(50.0), Some(12_345));
+        assert_eq!(s.latency_percentile(50.0), 12_345);
     }
 
     #[test]

@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! repro [--quick] [--curves] [--jobs N] [--metrics-out <dir>]
+//!       [--trace-out <file>]
 //!       [all | validate | fig2 fig3 fig5 fig6 table5 table7 fig8 fig9
 //!        fig10 fig11 fig12 fig13 fig14 table9 table10 oblivious sched]
 //! ```
@@ -18,6 +19,10 @@
 //! `{manifest, result}` object whose manifest records the configuration,
 //! crate version, start time, and wall time — plus the phase spans as
 //! `<dir>/trace.jsonl` (see DESIGN.md for the JSONL schema).
+//! `--trace-out <file>` enables the hierarchical profiler and writes a
+//! Chrome/Perfetto trace (open it at <https://ui.perfetto.dev>) with
+//! per-worker span lanes and one counter track per `pccs` metric, sampled
+//! at every experiment boundary (DESIGN.md §9).
 
 use pccs_experiments::context::{Context, Quality};
 use pccs_experiments::validate::Figure;
@@ -25,7 +30,7 @@ use pccs_experiments::{
     fig13, fig14, fig2, fig3, fig5, fig6, oblivious, sched_study, table10, table5, table7, table9,
     validate,
 };
-use pccs_telemetry::{export, RunManifest, TraceLog};
+use pccs_telemetry::{export, metrics, perfetto, Profiler, RunManifest, TraceLog};
 use serde_json::{Number, Value};
 use std::collections::BTreeMap;
 // Wall-clock timing is reporting-only here; it never feeds simulation state.
@@ -70,6 +75,7 @@ fn main() {
     // `--metrics-out` is the canonical export flag (matching `pccs corun`
     // and `pccs sched`); `--json` stays as an alias.
     let json_dir: Option<String> = opt_value("--metrics-out").or_else(|| opt_value("--json"));
+    let trace_out: Option<String> = opt_value("--trace-out");
     if let Some(dir) = &json_dir {
         if let Err(e) = std::fs::create_dir_all(dir) {
             eprintln!("cannot create --metrics-out dir {dir}: {e}");
@@ -91,7 +97,7 @@ fn main() {
     let mut i = 0;
     while i < args.len() {
         let a = &args[i];
-        if a == "--json" || a == "--metrics-out" || a == "--jobs" {
+        if a == "--json" || a == "--metrics-out" || a == "--jobs" || a == "--trace-out" {
             i += 2; // skip the flag and its value
             continue;
         }
@@ -138,6 +144,12 @@ fn main() {
         // Phase spans (model construction, sweeps) end up in trace.jsonl.
         TraceLog::enable();
     }
+    if trace_out.is_some() {
+        // Hierarchical spans for the Perfetto export; counter tracks are
+        // sampled from the metrics registry at each experiment boundary.
+        Profiler::enable();
+    }
+    let mut counter_samples: Vec<perfetto::CounterSample> = Vec::new();
     let config_snapshot = {
         let mut c = BTreeMap::new();
         c.insert(
@@ -164,6 +176,7 @@ fn main() {
         let t = Instant::now(); // pccs-lint: allow(nondeterminism)
         let span_name = format!("repro.{name}");
         let _span = TraceLog::span(&span_name);
+        let _prof = Profiler::scope(&span_name);
         let (report, json) = match name.as_str() {
             "fig2" => jsonify(fig2::run(&mut ctx), fig2::Fig2::format),
             "fig3" => jsonify(fig3::run(&mut ctx), fig3::Fig3::format),
@@ -203,6 +216,12 @@ fn main() {
                 eprintln!("warning: could not write {path}: {e}");
             }
         }
+        if trace_out.is_some() {
+            counter_samples.extend(perfetto::counters_from_snapshot(
+                &metrics::snapshot(),
+                Profiler::now_us(),
+            ));
+        }
         println!("[{name} took {:.1?}]\n", t.elapsed());
     }
     if let Some(dir) = &json_dir {
@@ -210,6 +229,19 @@ fn main() {
         let path = format!("{dir}/trace.jsonl");
         if let Err(e) = std::fs::write(&path, export::jsonl_events(None, None, &spans)) {
             eprintln!("warning: could not write {path}: {e}");
+        }
+    }
+    if let Some(path) = &trace_out {
+        Profiler::disable();
+        let spans = Profiler::drain();
+        let text = perfetto::trace_json(&spans, &counter_samples);
+        match std::fs::write(path, &text) {
+            Ok(()) => println!(
+                "trace: {} spans, {} counter samples -> {path} (open at ui.perfetto.dev)",
+                spans.len(),
+                counter_samples.len()
+            ),
+            Err(e) => eprintln!("warning: could not write {path}: {e}"),
         }
     }
     let cache = ctx.profile_cache_stats();

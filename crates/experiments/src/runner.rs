@@ -27,7 +27,7 @@
 
 use crate::context::Context;
 use crate::error::Result;
-use pccs_telemetry::TraceLog;
+use pccs_telemetry::{metrics, Profiler, TraceLog};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -122,17 +122,22 @@ impl SweepRunner {
     ///
     /// Panics if a worker thread panics (the panic is propagated).
     pub fn run<E: Experiment + Sync>(&self, exp: &E, ctx: &Context) -> Result<E::Output> {
+        let _prof = Profiler::scope(&format!("sweep.{}", exp.name()));
         let mut span = TraceLog::span(&format!("sweep.{}", exp.name()));
         let cache_before = ctx.profile_cache_stats();
         let (prep, cells) = exp.prepare(ctx)?;
         let workers = self.jobs().min(cells.len().max(1));
         span.counter("cells", cells.len() as f64);
         span.counter("jobs", workers as f64);
+        let cell_scope = format!("cell.{}", exp.name());
 
         let outs: Vec<Result<E::CellOut>> = if workers <= 1 {
             cells
                 .iter()
-                .map(|cell| exp.run_cell(ctx, &prep, cell))
+                .map(|cell| {
+                    let _cell_prof = Profiler::scope(&cell_scope);
+                    exp.run_cell(ctx, &prep, cell)
+                })
                 .collect()
         } else {
             // Work-stealing over an atomic cursor: workers grab the next
@@ -142,16 +147,31 @@ impl SweepRunner {
             let cursor = AtomicUsize::new(0);
             let slots: Vec<Mutex<Option<Result<E::CellOut>>>> =
                 cells.iter().map(|_| Mutex::new(None)).collect();
+            // Cells claimed by each worker; cells that did not go to worker
+            // 0 count as "steals" in the published sweep metrics.
+            let claimed: Vec<AtomicUsize> = (0..workers).map(|_| AtomicUsize::new(0)).collect();
             std::thread::scope(|scope| {
-                for _ in 0..workers {
-                    scope.spawn(|| loop {
+                // Shadow the shared state as references so the `move`
+                // closures (which need `worker` by value) only copy &-refs.
+                let (cursor, cells, slots) = (&cursor, &cells, &slots);
+                let (claimed, cell_scope, prep) = (&claimed, &cell_scope, &prep);
+                for worker_claimed in claimed.iter().take(workers) {
+                    scope.spawn(move || loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         let Some(cell) = cells.get(i) else { break };
-                        let out = exp.run_cell(ctx, &prep, cell);
+                        worker_claimed.fetch_add(1, Ordering::Relaxed);
+                        let _cell_prof = Profiler::scope(cell_scope);
+                        let out = exp.run_cell(ctx, prep, cell);
                         *slots[i].lock().expect("cell slot") = Some(out);
                     });
                 }
             });
+            let stolen: usize = claimed
+                .iter()
+                .skip(1)
+                .map(|c| c.load(Ordering::Relaxed))
+                .sum();
+            metrics::add("sweep.steals", stolen as u64);
             slots
                 .into_iter()
                 .map(|slot| {
@@ -161,6 +181,8 @@ impl SweepRunner {
                 })
                 .collect()
         };
+        metrics::add("sweep.cells", cells.len() as u64);
+        metrics::observe_max("sweep.workers", workers as u64);
 
         let mut results = Vec::with_capacity(outs.len());
         for out in outs {
@@ -168,14 +190,14 @@ impl SweepRunner {
         }
 
         let cache_after = ctx.profile_cache_stats();
-        span.counter(
-            "profile_cache_hits",
-            (cache_after.hits - cache_before.hits) as f64,
+        let (cache_hits, cache_misses) = (
+            cache_after.hits - cache_before.hits,
+            cache_after.misses - cache_before.misses,
         );
-        span.counter(
-            "profile_cache_misses",
-            (cache_after.misses - cache_before.misses) as f64,
-        );
+        metrics::add("profile_cache.hits", cache_hits);
+        metrics::add("profile_cache.misses", cache_misses);
+        span.counter("profile_cache_hits", cache_hits as f64);
+        span.counter("profile_cache_misses", cache_misses as f64);
         exp.merge(ctx, prep, results)
     }
 }

@@ -17,7 +17,7 @@ use crate::report::{DecisionRecord, JobOutcome, ScheduleReport};
 use pccs_soc::corun::{CoRunConfig, CoRunSim, Placement};
 use pccs_soc::kernel::KernelDesc;
 use pccs_soc::soc::SocConfig;
-use pccs_telemetry::TraceLog;
+use pccs_telemetry::{metrics, Profiler, TraceLog};
 use std::collections::BTreeMap;
 
 /// Floor for measured rates, lines per cycle.
@@ -292,6 +292,7 @@ pub fn run_schedule(
             soc.name
         );
     }
+    let _prof = Profiler::scope("sched.replay");
     let mut span = TraceLog::span("sched.run");
     span.counter("jobs", jobs.len() as f64);
 
@@ -465,6 +466,8 @@ pub fn run_schedule(
     span.counter("events", steps as f64);
     span.counter("decisions", decisions.len() as f64);
     let makespan = outcomes.iter().map(|o| o.finish).fold(0.0, f64::max);
+    metrics::add("sched.jobs", jobs.len() as u64);
+    metrics::add("sched.decisions", decisions.len() as u64);
     ScheduleReport {
         policy: policy.name().to_owned(),
         soc: soc.name.clone(),

@@ -13,7 +13,7 @@ use crate::soc::SocConfig;
 use pccs_dram::policy::PolicyKind;
 use pccs_dram::request::SourceId;
 use pccs_dram::sim::{DramSystem, SimOutcome};
-use pccs_telemetry::{EpochRecorder, TraceLog};
+use pccs_telemetry::{metrics, EpochRecorder, Profiler, TraceLog};
 
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -392,6 +392,7 @@ impl CoRunSim {
 
     fn run_at(&self, horizon: u64) -> CoRunOutcome {
         assert!(horizon > 0, "horizon must be positive");
+        let _prof = Profiler::scope("sim.execute");
         let mut span = TraceLog::span("corun.run");
         span.counter("placements", self.placements.len() as f64);
         span.counter("repeats", f64::from(self.config.repeats));
@@ -453,6 +454,8 @@ impl CoRunSim {
     }
 
     fn run_once(&self, horizon: u64, warmup: u64, run_seed: u64) -> SimOutcome {
+        let _prof = Profiler::scope("sim.rep");
+        metrics::add("sim.runs", 1);
         let mut sys = DramSystem::new(self.soc.dram.clone(), self.config.policy);
         if let Some(epoch) = self.epoch {
             sys.set_recorder(Box::new(EpochRecorder::new(epoch)));

@@ -87,11 +87,17 @@ impl LatencyHistogram {
     }
 
     /// Value at or below which `p` percent of samples fall (`p` in
-    /// `[0, 100]`), reported as the upper edge of the containing bin and
-    /// clamped to the exact maximum. Returns 0 when empty.
-    pub fn percentile(&self, p: f64) -> u64 {
+    /// `[0, 100]`), or `None` when the histogram is empty. A single-sample
+    /// histogram reports the exact sample (the sum) at every percentile
+    /// rather than a bin midpoint; with two or more samples the result is
+    /// the upper edge of the containing bin, clamped to the exact maximum.
+    pub fn try_percentile(&self, p: f64) -> Option<u64> {
         if self.count == 0 {
-            return 0;
+            return None;
+        }
+        if self.count == 1 {
+            // One sample: sum *is* that sample, exactly.
+            return Some(self.sum);
         }
         let p = p.clamp(0.0, 100.0);
         let rank = ((p / 100.0 * self.count as f64).ceil() as u64).max(1);
@@ -99,10 +105,16 @@ impl LatencyHistogram {
         for (bin, &c) in self.counts.iter().enumerate() {
             seen += c;
             if seen >= rank {
-                return bin_range(bin).1.min(self.max);
+                return Some(bin_range(bin).1.min(self.max));
             }
         }
-        self.max
+        Some(self.max)
+    }
+
+    /// [`LatencyHistogram::try_percentile`] with empty mapped to 0, for
+    /// callers that render tables and want a numeric placeholder.
+    pub fn percentile(&self, p: f64) -> u64 {
+        self.try_percentile(p).unwrap_or(0)
     }
 
     /// Median sample (upper bin edge).
@@ -210,15 +222,37 @@ mod tests {
         assert_eq!(h.p50(), 0);
         assert_eq!(h.p99(), 0);
         assert_eq!(h.mean(), 0.0);
+        // try_percentile distinguishes "no data" from "zero latency".
+        assert_eq!(h.try_percentile(50.0), None);
+        assert_eq!(h.try_percentile(95.0), None);
+        assert_eq!(h.try_percentile(99.0), None);
     }
 
     #[test]
-    fn single_sample_percentiles() {
+    fn single_sample_percentiles_are_exact() {
         let mut h = LatencyHistogram::new();
-        h.record(37);
-        assert_eq!(h.p50(), 37);
-        assert_eq!(h.p99(), 37);
-        assert_eq!(h.max(), 37);
+        // 12_345 sits in a log bin ~1.5k wide; the single-sample path must
+        // report the sample itself, not a bin edge.
+        h.record(12_345);
+        assert_eq!(h.try_percentile(50.0), Some(12_345));
+        assert_eq!(h.try_percentile(95.0), Some(12_345));
+        assert_eq!(h.try_percentile(99.0), Some(12_345));
+        assert_eq!(h.p50(), 12_345);
+        assert_eq!(h.p99(), 12_345);
+        assert_eq!(h.max(), 12_345);
+    }
+
+    #[test]
+    fn two_sample_percentiles_split_by_rank() {
+        let mut h = LatencyHistogram::new();
+        // Two exact-bin samples (below 2^SUB_BITS each bin holds one
+        // value), so bin edges are the samples themselves: p50's rank-1
+        // lands on the low sample, p95/p99's rank-2 on the high one.
+        h.record(3);
+        h.record(7);
+        assert_eq!(h.try_percentile(50.0), Some(3));
+        assert_eq!(h.try_percentile(95.0), Some(7));
+        assert_eq!(h.try_percentile(99.0), Some(7));
     }
 
     #[test]

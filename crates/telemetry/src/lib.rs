@@ -13,17 +13,34 @@
 //!   time plus counters) for model-construction and experiment phases.
 //! - [`export`] — JSONL event stream, CSV time-series, and human-readable
 //!   summary-table renderers, plus the [`RunManifest`] provenance record.
+//!
+//! The performance-observability layer (DESIGN.md §9) adds three more:
+//!
+//! - [`metrics`] — process-global registry of named counters and
+//!   high-watermark gauges; simulators publish local stats into it once
+//!   per run.
+//! - [`Profiler`] — hierarchical scoped profiler with per-thread lanes,
+//!   nesting depth, and self-time per phase.
+//! - [`perfetto`] — Chrome/Perfetto `trace.json` exporter for profiler
+//!   spans and counter tracks, plus the structural validator behind
+//!   `pccs trace-check`.
 
 mod histogram;
 mod manifest;
+mod profiler;
 mod recorder;
 mod trace;
 
 /// Exporters: JSONL event stream, CSV time-series, and a human-readable.
 pub mod export;
+/// Process-global metrics registry: named counters and watermark gauges.
+pub mod metrics;
+/// Chrome/Perfetto trace exporter and structural validator.
+pub mod perfetto;
 
 pub use histogram::LatencyHistogram;
 pub use manifest::RunManifest;
+pub use profiler::{summary as profiler_summary, PhaseStats, ProfScope, ProfSpan, Profiler};
 pub use recorder::{
     EpochRecorder, EpochSample, NoopRecorder, Recorder, RowEvent, StallEvent, TelemetryReport,
 };

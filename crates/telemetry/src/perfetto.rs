@@ -1,0 +1,391 @@
+//! Chrome/Perfetto trace exporter and validator.
+//!
+//! [`trace_json`] turns recorded [`ProfSpan`]s and [`CounterSample`]s into
+//! the Chrome Trace Event Format (the JSON flavor `ui.perfetto.dev` and
+//! `chrome://tracing` both load): each span becomes a `B`/`E` duration
+//! pair on `pid` 1 with `tid` = lane + 1, each lane gets a `thread_name`
+//! metadata record, and counter samples become `C` events that Perfetto
+//! renders as counter tracks. Events are emitted already sorted per lane
+//! with ties broken so that an `E` at timestamp *t* precedes a `B` at the
+//! same *t* — that keeps zero-width adjacency well-nested for strict
+//! parsers, and is the ordering [`check_trace`] verifies.
+//!
+//! [`check_trace`] is the other half: it re-parses an exported trace and
+//! checks structural health (valid JSON, balanced `B`/`E` pairs per tid,
+//! monotonic timestamps per lane) and reports nesting depth and counter
+//! track counts, so both the golden test and `pccs trace-check` share one
+//! verdict.
+
+use crate::profiler::ProfSpan;
+use crate::recorder::TelemetryReport;
+use serde::{Number, Value};
+use std::collections::BTreeMap;
+
+/// One sample on a named counter track.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CounterSample {
+    /// Track name (e.g. `dram.requests.served`).
+    pub track: String,
+    /// Microseconds on the profiler timebase ([`crate::Profiler::now_us`]).
+    pub ts_us: u64,
+    /// Sampled value.
+    pub value: f64,
+}
+
+/// The tid counter tracks are attached to (span lanes start at tid 1).
+const COUNTER_TID: u64 = 0;
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_owned(), v))
+            .collect::<BTreeMap<String, Value>>(),
+    )
+}
+
+fn string(s: &str) -> Value {
+    Value::String(s.to_owned())
+}
+
+fn uint(u: u64) -> Value {
+    Value::Number(Number::U(u))
+}
+
+/// Renders spans and counter samples as a Chrome Trace Event Format JSON
+/// document. Deterministic for a fixed input: events are sorted by
+/// `(tid, ts, E-before-B, depth)` and object keys are emitted in
+/// `BTreeMap` order.
+pub fn trace_json(spans: &[ProfSpan], counters: &[CounterSample]) -> String {
+    // (tid, ts, rank, depth_key, payload): at equal timestamps on a lane,
+    // E events close deepest-first (rank 0, inverted depth) before B
+    // events open shallowest-first (rank 1, natural depth).
+    let mut keyed: Vec<(u64, u64, u8, u32, Value)> = Vec::new();
+    let mut lanes: Vec<u32> = Vec::new();
+    for span in spans {
+        let tid = u64::from(span.lane) + 1;
+        if !lanes.contains(&span.lane) {
+            lanes.push(span.lane);
+        }
+        // Floor the rendered duration at 1 µs: a sub-microsecond scope
+        // rounds to dur 0, and its E at the same ts would sort before its
+        // own B under the E-before-B tie-break.
+        let end_ts = span.start_us + span.dur_us.max(1);
+        let begin = obj(vec![
+            ("name", string(&span.name)),
+            ("ph", string("B")),
+            ("pid", uint(1)),
+            ("tid", uint(tid)),
+            ("ts", uint(span.start_us)),
+        ]);
+        let end = obj(vec![
+            ("name", string(&span.name)),
+            ("ph", string("E")),
+            ("pid", uint(1)),
+            ("tid", uint(tid)),
+            ("ts", uint(end_ts)),
+        ]);
+        keyed.push((tid, span.start_us, 1, span.depth, begin));
+        keyed.push((tid, end_ts, 0, u32::MAX - span.depth, end));
+    }
+    for sample in counters {
+        let event = obj(vec![
+            (
+                "args",
+                obj(vec![("value", Value::Number(Number::F(sample.value)))]),
+            ),
+            ("name", string(&sample.track)),
+            ("ph", string("C")),
+            ("pid", uint(1)),
+            ("tid", uint(COUNTER_TID)),
+            ("ts", uint(sample.ts_us)),
+        ]);
+        keyed.push((COUNTER_TID, sample.ts_us, 2, 0, event));
+    }
+    keyed.sort_by_key(|a| (a.0, a.1, a.2, a.3));
+
+    lanes.sort_unstable();
+    let mut events: Vec<Value> = Vec::new();
+    events.push(obj(vec![
+        ("args", obj(vec![("name", string("pccs"))])),
+        ("name", string("process_name")),
+        ("ph", string("M")),
+        ("pid", uint(1)),
+        ("tid", uint(COUNTER_TID)),
+    ]));
+    for lane in lanes {
+        let label = if lane == 0 {
+            "lane-0 (main)".to_owned()
+        } else {
+            format!("lane-{lane}")
+        };
+        events.push(obj(vec![
+            ("args", obj(vec![("name", string(&label))])),
+            ("name", string("thread_name")),
+            ("ph", string("M")),
+            ("pid", uint(1)),
+            ("tid", uint(u64::from(lane) + 1)),
+        ]));
+    }
+    events.extend(keyed.into_iter().map(|(_, _, _, _, event)| event));
+
+    let document = obj(vec![
+        ("displayTimeUnit", string("ms")),
+        ("traceEvents", Value::Array(events)),
+    ]);
+    let mut out = String::new();
+    document.render(&mut out);
+    out
+}
+
+/// Counter samples derived from an epoch-sampled [`TelemetryReport`],
+/// placing one point per epoch on the profiler timebase. Cycle positions
+/// within the report are mapped linearly onto the `[start_us, end_us]`
+/// wall-clock window the run occupied.
+pub fn counters_from_report(
+    report: &TelemetryReport,
+    start_us: u64,
+    end_us: u64,
+) -> Vec<CounterSample> {
+    let mut samples = Vec::new();
+    let Some(last) = report.epochs.last() else {
+        return samples;
+    };
+    let span_cycles = last.end_cycle.max(1);
+    let window = end_us.saturating_sub(start_us);
+    for epoch in &report.epochs {
+        let ts_us = start_us + window * epoch.end_cycle / span_cycles;
+        let mut push = |track: &str, value: f64| {
+            samples.push(CounterSample {
+                track: track.to_owned(),
+                ts_us,
+                value,
+            });
+        };
+        push("epoch.served", epoch.served as f64);
+        push("epoch.row.hits", epoch.row_hits as f64);
+        push("epoch.row.misses", epoch.row_misses as f64);
+        push("epoch.row.conflicts", epoch.row_conflicts as f64);
+        push("epoch.sched.issued", epoch.issued as f64);
+        push("epoch.sched.bus_blocked", epoch.bus_blocked as f64);
+        push("epoch.sched.no_candidate", epoch.no_candidate as f64);
+        push("epoch.sched.idle", epoch.idle as f64);
+        push("epoch.queue.depth_avg", epoch.queue_depth_avg);
+        push("epoch.queue.depth_max", epoch.queue_depth_max as f64);
+        for (source, bytes) in &epoch.bytes_per_source {
+            samples.push(CounterSample {
+                track: format!("epoch.bytes.src{source}"),
+                ts_us,
+                value: *bytes as f64,
+            });
+        }
+    }
+    samples
+}
+
+/// Counter samples from a metrics-registry snapshot, one point per metric
+/// at `ts_us`. Sampling the registry at phase boundaries turns cumulative
+/// counters into step curves in the trace viewer.
+pub fn counters_from_snapshot(snapshot: &BTreeMap<String, u64>, ts_us: u64) -> Vec<CounterSample> {
+    snapshot
+        .iter()
+        .map(|(name, value)| CounterSample {
+            track: name.clone(),
+            ts_us,
+            value: *value as f64,
+        })
+        .collect()
+}
+
+/// Structural summary of a validated trace, from [`check_trace`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceCheck {
+    /// Total events in `traceEvents`.
+    pub events: usize,
+    /// Distinct tids carrying `B`/`E` span events.
+    pub lanes: usize,
+    /// Deepest observed `B` nesting across all lanes.
+    pub max_depth: usize,
+    /// Distinct counter track names (`ph == "C"`).
+    pub counter_tracks: usize,
+}
+
+/// Parses a Chrome Trace Event Format document and verifies it is
+/// structurally sound: valid JSON, every `E` closes the matching open `B`
+/// on its tid, no span left open at the end, and timestamps are
+/// non-decreasing per tid in file order. Returns the observed shape or a
+/// description of the first violation.
+pub fn check_trace(text: &str) -> Result<TraceCheck, String> {
+    let document = serde_json::from_str::<Value>(text).map_err(|e| format!("invalid JSON: {e}"))?;
+    let events = document
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .ok_or_else(|| "missing traceEvents array".to_owned())?;
+
+    let mut stacks: BTreeMap<u64, Vec<String>> = BTreeMap::new();
+    let mut last_ts: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut span_tids: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
+    let mut tracks: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+    let mut max_depth = 0usize;
+
+    for (index, event) in events.iter().enumerate() {
+        let ph = event.get("ph").and_then(Value::as_str).unwrap_or("");
+        if ph == "M" {
+            continue;
+        }
+        let name = event
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("event {index}: missing name"))?;
+        let tid = event
+            .get("tid")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("event {index}: missing tid"))?;
+        let ts = event
+            .get("ts")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("event {index}: missing or non-integer ts"))?;
+        if let Some(prev) = last_ts.get(&tid) {
+            if ts < *prev {
+                return Err(format!(
+                    "event {index}: ts {ts} goes backwards on tid {tid} (prev {prev})"
+                ));
+            }
+        }
+        last_ts.insert(tid, ts);
+        match ph {
+            "B" => {
+                span_tids.insert(tid);
+                let stack = stacks.entry(tid).or_default();
+                stack.push(name.to_owned());
+                max_depth = max_depth.max(stack.len());
+            }
+            "E" => {
+                let stack = stacks.entry(tid).or_default();
+                match stack.pop() {
+                    Some(open) if open == name => {}
+                    Some(open) => {
+                        return Err(format!(
+                            "event {index}: E \"{name}\" closes open span \"{open}\" on tid {tid}"
+                        ));
+                    }
+                    None => {
+                        return Err(format!(
+                            "event {index}: E \"{name}\" with no open span on tid {tid}"
+                        ));
+                    }
+                }
+            }
+            "C" => {
+                tracks.insert(name.to_owned());
+            }
+            other => {
+                return Err(format!("event {index}: unsupported phase \"{other}\""));
+            }
+        }
+    }
+    for (tid, stack) in &stacks {
+        if let Some(open) = stack.last() {
+            return Err(format!("span \"{open}\" left open on tid {tid}"));
+        }
+    }
+    Ok(TraceCheck {
+        events: events.len(),
+        lanes: span_tids.len(),
+        max_depth,
+        counter_tracks: tracks.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(name: &str, lane: u32, depth: u32, start_us: u64, dur_us: u64) -> ProfSpan {
+        ProfSpan {
+            name: name.to_owned(),
+            lane,
+            depth,
+            start_us,
+            dur_us,
+            self_us: dur_us,
+        }
+    }
+
+    #[test]
+    fn export_then_check_round_trips() {
+        let spans = vec![
+            span("outer", 0, 0, 0, 100),
+            span("mid", 0, 1, 10, 50),
+            span("leaf", 0, 2, 20, 10),
+            span("worker", 1, 0, 5, 40),
+        ];
+        let counters = vec![
+            CounterSample {
+                track: "dram.cycles".to_owned(),
+                ts_us: 50,
+                value: 1000.0,
+            },
+            CounterSample {
+                track: "dram.requests.served".to_owned(),
+                ts_us: 50,
+                value: 64.0,
+            },
+        ];
+        let text = trace_json(&spans, &counters);
+        let check = check_trace(&text).expect("trace must validate");
+        assert_eq!(check.lanes, 2);
+        assert_eq!(check.max_depth, 3);
+        assert_eq!(check.counter_tracks, 2);
+        // 4 spans * 2 + 2 counters + 3 metadata (process + 2 lanes).
+        assert_eq!(check.events, 13);
+        // Determinism: same input, same bytes.
+        assert_eq!(text, trace_json(&spans, &counters));
+    }
+
+    #[test]
+    fn zero_width_adjacency_stays_well_nested() {
+        // Sibling B at the same ts as the previous sibling's E: E must be
+        // emitted first or the stack check would interleave them.
+        let spans = vec![
+            span("parent", 0, 0, 0, 20),
+            span("a", 0, 1, 0, 10),
+            span("b", 0, 1, 10, 10),
+        ];
+        let text = trace_json(&spans, &[]);
+        let check = check_trace(&text).expect("adjacent siblings must nest");
+        assert_eq!(check.max_depth, 2);
+    }
+
+    #[test]
+    fn zero_duration_stack_stays_well_nested() {
+        // Sub-microsecond scopes round to dur 0; the 1 µs render floor
+        // keeps each E strictly after its own B.
+        let spans = vec![
+            span("w", 1, 0, 7, 0),
+            span("inner", 1, 1, 7, 0),
+            span("leaf", 1, 2, 7, 0),
+        ];
+        let check = check_trace(&trace_json(&spans, &[])).expect("zero-width stack must nest");
+        assert_eq!(check.max_depth, 3);
+    }
+
+    #[test]
+    fn check_rejects_unbalanced_and_backwards() {
+        let unbalanced = r#"{"traceEvents":[
+            {"name":"a","ph":"B","pid":1,"tid":1,"ts":0}
+        ]}"#;
+        assert!(check_trace(unbalanced).is_err());
+        let backwards = r#"{"traceEvents":[
+            {"name":"a","ph":"B","pid":1,"tid":1,"ts":10},
+            {"name":"a","ph":"E","pid":1,"tid":1,"ts":5}
+        ]}"#;
+        assert!(check_trace(backwards).is_err());
+        let mismatched = r#"{"traceEvents":[
+            {"name":"a","ph":"B","pid":1,"tid":1,"ts":0},
+            {"name":"b","ph":"E","pid":1,"tid":1,"ts":5}
+        ]}"#;
+        assert!(check_trace(mismatched).is_err());
+        assert!(check_trace("not json").is_err());
+    }
+}

@@ -41,7 +41,16 @@ step clippy cargo clippy --workspace --all-targets -- -D warnings
 step build  cargo build --release --workspace
 step lint   ./target/release/pccs-lint --root .
 step sched-smoke ./target/release/pccs sched --quick
-step repro-smoke ./target/release/repro oblivious --quick --jobs 2
+# Repro smoke also exports a Perfetto trace, validated below.
+step repro-smoke ./target/release/repro oblivious --quick --jobs 2 \
+  --trace-out target/trace-smoke.json
+# Trace smoke: the exported trace must be structurally sound with the
+# nesting depth and counter coverage DESIGN.md §9 promises.
+step trace-check ./target/release/pccs trace-check --file target/trace-smoke.json \
+  --min-depth 3 --min-counters 10
+# Bench smoke: a quick `pccs bench` run must produce a schema-valid
+# BENCH_*.json (the CLI validates before writing; failure exits non-zero).
+step bench-smoke ./target/release/pccs bench --quick --out target/BENCH_smoke.json
 # Conformance smoke: a short co-run with the DDR protocol sanitizer
 # attached must replay with zero JEDEC timing violations.
 step conformance-smoke ./target/release/pccs corun --soc xavier --pu GPU \

@@ -4,6 +4,11 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo build --release -p pccs-experiments
+cargo build --release -p pccs-experiments -p pccs-cli
 ./target/release/repro --curves --metrics-out results/json all | tee results/repro-output.txt
 echo "results written to results/"
+
+# Refresh the committed benchmark baseline (BENCH_<host>_<date>.json at the
+# repo root; full workload sizes — see DESIGN.md §9.3).
+./target/release/pccs bench
+echo "benchmark baseline refreshed"
