@@ -36,14 +36,22 @@ pub const RULE_NAMES: &[&str] = &[
 const HOT_PATH_CRATES: &[&str] = &["dram", "soc", "core"];
 
 /// Crates whose non-test code must be deterministic.
-const DETERMINISTIC_CRATES: &[&str] = &["dram", "soc", "core", "workloads", "experiments", "sched"];
+const DETERMINISTIC_CRATES: &[&str] = &[
+    "dram",
+    "soc",
+    "core",
+    "workloads",
+    "experiments",
+    "sched",
+    "serve",
+];
 
 /// Identifiers that introduce nondeterminism on sight.
 const NONDETERMINISTIC_IDENTS: &[&str] = &["HashMap", "HashSet", "SystemTime", "thread_rng"];
 
 /// Crates whose library code must not write to stdout/stderr directly;
 /// output routes through telemetry reports or returns to the CLI layer.
-const QUIET_CRATES: &[&str] = &["dram", "soc", "core", "sched", "experiments"];
+const QUIET_CRATES: &[&str] = &["dram", "soc", "core", "sched", "serve", "experiments"];
 
 /// Print-family macros the `raw-stderr` rule flags.
 const PRINT_MACROS: &[&str] = &["println", "eprintln", "print", "eprint"];

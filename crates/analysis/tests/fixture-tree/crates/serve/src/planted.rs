@@ -1,0 +1,9 @@
+//! Seeded violation for the serving crate: `serve` is on the
+//! deterministic-crates list, so an unordered map in non-test code must
+//! trip the nondeterminism rule (iteration order would leak into the
+//! serving loop's event order).
+
+/// A queue keyed by request class with unstable iteration order.
+pub fn planted_queue() -> std::collections::HashMap<String, u64> {
+    Default::default()
+}

@@ -29,8 +29,8 @@ fn seeded_fixture_trips_every_rule() {
         "unwrap + panic!: {per_rule:?}"
     );
     assert_eq!(
-        per_rule["nondeterminism"], 2,
-        "HashMap + Instant::now: {per_rule:?}"
+        per_rule["nondeterminism"], 3,
+        "HashMap + Instant::now in dram, HashMap in serve: {per_rule:?}"
     );
     assert_eq!(
         per_rule["deprecated-shim"], 2,
@@ -42,7 +42,16 @@ fn seeded_fixture_trips_every_rule() {
     assert!(report
         .findings
         .iter()
-        .all(|f| f.file == "crates/dram/src/seeded.rs"));
+        .all(|f| f.file == "crates/dram/src/seeded.rs" || f.file == "crates/serve/src/planted.rs"));
+    // The serve crate is on the deterministic list: its planted HashMap
+    // must surface as exactly one nondeterminism finding.
+    let serve: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.file == "crates/serve/src/planted.rs")
+        .collect();
+    assert_eq!(serve.len(), 1, "{serve:?}");
+    assert_eq!(serve[0].rule, "nondeterminism");
 }
 
 #[test]

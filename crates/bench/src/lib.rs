@@ -1,7 +1,7 @@
 //! Benchmark harness: fixed workloads behind `pccs bench` and the
 //! deterministic-schema `BENCH_<host>_<date>.json` baseline trajectory.
 //!
-//! [`run_all`] executes three fixed workloads and reports throughput
+//! [`run_all`] executes four fixed workloads and reports throughput
 //! numbers every later PR can be compared against (methodology in
 //! DESIGN.md §9):
 //!
@@ -13,6 +13,10 @@
 //! - `sched_replay` — the contended job mix replayed under the
 //!   contention-oblivious greedy policy. Reports makespan cycles/sec and
 //!   the decision count.
+//! - `serve_replay` — the online serving loop (`pccs-serve`) driving the
+//!   contended request classes through a Poisson arrival stream under the
+//!   greedy policy. Reports makespan cycles/sec, completed requests/sec,
+//!   and the p99 completion latency.
 //! - `sweep_oblivious` — the oblivious-placement experiment sweep at quick
 //!   fidelity across all cores. Reports **cells/sec**.
 //!
@@ -29,6 +33,8 @@ use pccs_experiments::oblivious;
 use pccs_sched::engine::{run_schedule, SchedConfig};
 use pccs_sched::mixes;
 use pccs_sched::policy::ObliviousGreedy;
+use pccs_serve::request::contended_classes;
+use pccs_serve::{boxed_models, paper_models, run_serve, ServeConfig};
 use pccs_soc::corun::{CoRunSim, Placement, DEFAULT_HORIZON};
 use pccs_soc::soc::SocConfig;
 use pccs_telemetry::export::csv_field;
@@ -59,12 +65,19 @@ pub const REQUIRED_METRICS: &[&str] = &[
     "dram.sched.issued",
     "profile_cache.misses",
     "sched.decisions",
+    "serve.completed",
+    "serve.offered",
     "sim.runs",
     "sweep.cells",
 ];
 
-/// The three fixed workload names, in report (sorted) order.
-pub const WORKLOADS: &[&str] = &["corun_contended", "sched_replay", "sweep_oblivious"];
+/// The four fixed workload names, in report (sorted) order.
+pub const WORKLOADS: &[&str] = &[
+    "corun_contended",
+    "sched_replay",
+    "serve_replay",
+    "sweep_oblivious",
+];
 
 /// Measured numbers for one fixed workload.
 #[derive(Debug, Clone, PartialEq, Serialize)]
@@ -142,7 +155,7 @@ impl BenchReport {
 }
 
 /// Validates a parsed report against the [`SCHEMA`] contract: schema tag,
-/// host/date, all three workloads with positive wall time, cycles/sec and
+/// host/date, all four workloads with positive wall time, cycles/sec and
 /// cells/sec where the workload promises them, the registry-overhead
 /// measurement, and every [`REQUIRED_METRICS`] name.
 ///
@@ -190,6 +203,7 @@ pub fn validate(report: &Value) -> Result<(), String> {
     };
     per_sec("corun_contended", "cycles_per_sec")?;
     per_sec("sched_replay", "cycles_per_sec")?;
+    per_sec("serve_replay", "cycles_per_sec")?;
     per_sec("sweep_oblivious", "cells_per_sec")?;
     let overhead = workloads
         .get("corun_contended")
@@ -339,13 +353,46 @@ fn run_sched_replay(soc: &SocConfig, quick: bool) -> WorkloadMetrics {
     let decisions_before = metrics::counter("sched.decisions").get();
     let mut policy = ObliviousGreedy;
     let t = Instant::now();
-    let report = run_schedule(soc, &mix.name, &mix.jobs, &mut policy, &cfg);
+    let report = run_schedule(soc, &mix.name, &mix.jobs, &mut policy, &cfg)
+        .expect("bundled mix is schedulable");
     let wall = t.elapsed().as_secs_f64();
     let decisions = metrics::counter("sched.decisions").get() - decisions_before;
     let makespan = report.makespan.max(1.0) as u64;
     let mut extra = BTreeMap::new();
     extra.insert("decisions".to_owned(), decisions as f64);
     extra.insert("jobs".to_owned(), report.jobs.len() as f64);
+    WorkloadMetrics {
+        wall_secs: wall,
+        iterations: 1,
+        cycles: Some(makespan),
+        cycles_per_sec: Some(makespan as f64 / wall.max(f64::MIN_POSITIVE)),
+        cells: None,
+        cells_per_sec: None,
+        extra,
+    }
+}
+
+fn run_serve_replay(soc: &SocConfig, quick: bool) -> WorkloadMetrics {
+    let classes = contended_classes();
+    let cfg = if quick {
+        ServeConfig::quick()
+    } else {
+        ServeConfig::default()
+    };
+    let mut policy = ObliviousGreedy;
+    let models = boxed_models(&paper_models(soc));
+    let t = Instant::now();
+    let report = run_serve(soc, &classes, &mut policy, models, &cfg)
+        .expect("bundled request classes are servable");
+    let wall = t.elapsed().as_secs_f64();
+    let makespan = report.makespan.max(1.0) as u64;
+    let mut extra = BTreeMap::new();
+    extra.insert(
+        "requests_per_sec".to_owned(),
+        report.completed as f64 / wall.max(f64::MIN_POSITIVE),
+    );
+    extra.insert("p99_latency_cycles".to_owned(), report.p99_latency as f64);
+    extra.insert("offered".to_owned(), report.offered as f64);
     WorkloadMetrics {
         wall_secs: wall,
         iterations: 1,
@@ -398,6 +445,7 @@ pub fn run_all(quick: bool) -> BenchReport {
         run_corun_contended(&soc, quick),
     );
     workloads.insert("sched_replay".to_owned(), run_sched_replay(&soc, quick));
+    workloads.insert("serve_replay".to_owned(), run_serve_replay(&soc, quick));
     workloads.insert("sweep_oblivious".to_owned(), run_sweep_oblivious());
     BenchReport {
         schema: SCHEMA.to_owned(),

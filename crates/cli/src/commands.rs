@@ -12,6 +12,10 @@ use pccs_gables::GablesModel;
 use pccs_sched::engine::{run_schedule, SchedConfig};
 use pccs_sched::policy::{policy_by_name, PccsPolicy, Policy};
 use pccs_sched::{mixes, JobOutcome};
+use pccs_serve::{
+    boxed_models, calibrated_models, paper_models, run_serve, AdmissionPolicy, ArrivalProcess,
+    ServeConfig,
+};
 use pccs_soc::corun::{CoRunSim, Placement, DEFAULT_HORIZON};
 use pccs_soc::pu::PuKind;
 use pccs_soc::soc::SocConfig;
@@ -387,7 +391,8 @@ pub fn sched(args: &Args) -> Result<(), ArgError> {
         soc.name,
         policy.name()
     );
-    let report = run_schedule(&soc, &mix.name, &mix.jobs, policy.as_mut(), &cfg);
+    let report = run_schedule(&soc, &mix.name, &mix.jobs, policy.as_mut(), &cfg)
+        .map_err(|e| ArgError(e.to_string()))?;
 
     println!(
         "{:<12} {:<5} {:>10} {:>10} {:>8} {:>9}",
@@ -438,6 +443,171 @@ pub fn sched(args: &Args) -> Result<(), ArgError> {
             "telemetry written to {path} ({} decisions, {} job outcomes)",
             report.decisions.len(),
             report.jobs.len()
+        );
+    }
+    Ok(())
+}
+
+/// `pccs serve` — the online serving loop: open-loop arrivals, admission
+/// control, batching, and SLO accounting on top of the placement policies.
+pub fn serve(args: &Args) -> Result<(), ArgError> {
+    let started = std::time::Instant::now();
+    let quick = args.has("quick");
+    let soc = soc_by_name(args.get("soc").unwrap_or("xavier"))?;
+    let classes = pccs_serve::request::contended_classes();
+
+    let rate = args.get_f64("rate", 8.0)?;
+    if rate <= 0.0 {
+        return Err(ArgError("--rate must be positive".into()));
+    }
+    let arrivals = match args.get("arrivals").unwrap_or("poisson") {
+        "poisson" => ArrivalProcess::Poisson {
+            rate_per_mcycle: rate,
+        },
+        "bursty" => ArrivalProcess::bursty(rate),
+        "trace" => {
+            let path = args.require("trace-file")?;
+            let text =
+                fs::read_to_string(path).map_err(|e| ArgError(format!("reading {path}: {e}")))?;
+            pccs_serve::arrivals::parse_trace(&text).map_err(|e| ArgError(e.to_string()))?
+        }
+        other => {
+            return Err(ArgError(format!(
+                "unknown arrival process '{other}' (known: poisson, bursty, trace)"
+            )))
+        }
+    };
+    let admission = match args.get("admission").unwrap_or("open") {
+        "open" => AdmissionPolicy::Open,
+        "strict" => AdmissionPolicy::Strict,
+        spec => {
+            let frac: f64 = spec
+                .strip_prefix('p')
+                .unwrap_or(spec)
+                .parse()
+                .map_err(|_| {
+                    ArgError(format!(
+                        "unknown admission policy '{spec}' (known: open, strict, p<frac> e.g. p0.1)"
+                    ))
+                })?;
+            if !(0.0..=1.0).contains(&frac) {
+                return Err(ArgError(
+                    "admission miss threshold must be in [0, 1]".into(),
+                ));
+            }
+            AdmissionPolicy::MissProb(frac)
+        }
+    };
+
+    // The PCCS policy and the admission controller share one calibrated
+    // model set; contention-oblivious policies pair with the paper's
+    // published models so admission stays contention-aware.
+    let policy_name = args.get("policy").unwrap_or("pccs");
+    let (models, mut policy): (Vec<PccsModel>, Box<dyn Policy>) =
+        if policy_name.eq_ignore_ascii_case("pccs") {
+            let mut cal = if quick {
+                CalibrationConfig::quick()
+            } else {
+                pccs_sched::policy::default_calibration()
+            };
+            cal.threads = args.get_usize("jobs", 0)?;
+            let models = calibrated_models(&soc, &cal).map_err(|e| ArgError(e.to_string()))?;
+            let policy = Box::new(PccsPolicy::new(boxed_models(&models)));
+            (models, policy)
+        } else {
+            let policy = policy_by_name(&soc, policy_name).ok_or_else(|| {
+                ArgError(format!(
+                    "unknown policy '{policy_name}' (known: round-robin, greedy, pccs, oracle)"
+                ))
+            })?;
+            (paper_models(&soc), policy)
+        };
+
+    let mut cfg = if quick {
+        ServeConfig::quick()
+    } else {
+        ServeConfig::default()
+    };
+    cfg.arrivals = arrivals;
+    cfg.duration = args.get("duration").map_or(Ok(cfg.duration), |raw| {
+        raw.parse::<u64>()
+            .map_err(|_| ArgError(format!("--duration must be an integer, got '{raw}'")))
+    })?;
+    cfg.seed = args.get("seed").map_or(Ok(cfg.seed), |raw| {
+        raw.parse::<u64>()
+            .map_err(|_| ArgError(format!("--seed must be an integer, got '{raw}'")))
+    })?;
+    cfg.admission = admission;
+    cfg.batch.max_batch = args.get_usize("batch", cfg.batch.max_batch)?;
+    let metrics_out = args.get("metrics-out");
+    if metrics_out.is_some() {
+        TraceLog::enable();
+    }
+
+    eprintln!(
+        "serving {} on {} under policy '{}', admission {} ...",
+        cfg.arrivals.describe(),
+        soc.name,
+        policy.name(),
+        cfg.admission.describe()
+    );
+    let report = run_serve(&soc, &classes, policy.as_mut(), boxed_models(&models), &cfg)
+        .map_err(|e| ArgError(e.to_string()))?;
+
+    println!(
+        "{:<12} {:>8} {:>9} {:>6} {:>10} {:>10} {:>10} {:>8}",
+        "class", "offered", "admitted", "shed", "p50", "p95", "p99", "miss %"
+    );
+    for c in &report.classes {
+        println!(
+            "{:<12} {:>8} {:>9} {:>6} {:>10} {:>10} {:>10} {:>8.1}",
+            c.class,
+            c.offered,
+            c.admitted,
+            c.shed,
+            c.p50_latency,
+            c.p95_latency,
+            c.p99_latency,
+            c.miss_rate_pct
+        );
+    }
+    println!(
+        "served {}/{} requests ({} shed, {} missed)  makespan {:.0} cycles  \
+         throughput {:.2}/Mcycle  p99 {} cycles  miss rate {:.1}%  recalibrations {}",
+        report.completed,
+        report.offered,
+        report.shed,
+        report.missed,
+        report.makespan,
+        report.throughput_per_mcycle,
+        report.p99_latency,
+        report.miss_rate_pct,
+        report.recalibrations
+    );
+
+    if let Some(path) = metrics_out {
+        let mut config = BTreeMap::new();
+        let mut put = |k: &str, v: Value| {
+            config.insert(k.to_owned(), v);
+        };
+        put("soc", Value::String(soc.name.clone()));
+        put("policy", Value::String(report.policy.clone()));
+        put("arrivals", Value::String(report.arrivals.clone()));
+        put("admission", Value::String(report.admission.clone()));
+        put("seed", Value::Number(Number::U(report.seed)));
+        put("quick", Value::Bool(quick));
+        let mut manifest = RunManifest::new("pccs-cli", env!("CARGO_PKG_VERSION"), "serve")
+            .with_config(Value::Object(config));
+        manifest.set_wall_secs(started.elapsed().as_secs_f64());
+        let spans = TraceLog::drain();
+        let mut jsonl = export::jsonl_events(Some(&manifest), None, &spans);
+        jsonl.push_str(&export::jsonl_records("request", &report.outcomes));
+        jsonl.push_str(&export::jsonl_records("class_slo", &report.classes));
+        fs::write(path, jsonl).map_err(|e| ArgError(format!("writing {path}: {e}")))?;
+        println!(
+            "telemetry written to {path} ({} requests, {} classes)",
+            report.outcomes.len(),
+            report.classes.len()
         );
     }
     Ok(())

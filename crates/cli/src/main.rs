@@ -12,6 +12,9 @@
 //!                  [--quick] [--conformance]
 //! pccs sched       [--soc xavier] [--mix contended] [--policy pccs]
 //!                  [--scale 1.0] [--quick] [--metrics-out out.jsonl]
+//! pccs serve       [--soc xavier] [--arrivals poisson] [--rate 8]
+//!                  [--policy pccs] [--admission open] [--duration 2000000]
+//!                  [--seed 42] [--batch 4] [--quick] [--metrics-out out.jsonl]
 //! pccs policies    [--victim 48]
 //! pccs lint        [--root .] [--json]
 //! pccs bench       [--quick] [--out BENCH.json]
@@ -25,7 +28,9 @@
 //! epoch telemetry (`--metrics-out`/`--epoch`) — `--quick` shortens the
 //! horizon and `--conformance` attaches the DDR protocol sanitizer; `sched` replays a job mix
 //! under a placement policy (the contention-aware scheduling runtime of
-//! `pccs-sched`) and can export its per-decision records; `policies`
+//! `pccs-sched`) and can export its per-decision records; `serve` runs the
+//! online serving loop of `pccs-serve` — open-loop arrivals, PCCS-guided
+//! admission control, batching, and per-class SLO accounting; `policies`
 //! reproduces the Section 2.3 scheduling-policy comparison; `bench` runs
 //! the fixed benchmark workloads and writes the `BENCH_<host>_<date>.json`
 //! baseline (DESIGN.md §9); `trace-check` validates a Chrome/Perfetto
@@ -54,6 +59,11 @@ USAGE:
   pccs sched        [--soc <s>] [--mix <contended|inference-burst|steady-stream>]
                     [--policy <round-robin|greedy|pccs|oracle>] [--scale <f>]
                     [--quick] [--jobs <N>] [--metrics-out <events.jsonl>]
+  pccs serve        [--soc <s>] [--arrivals <poisson|bursty|trace>] [--rate <per-Mcycle>]
+                    [--trace-file <arrivals.txt>] [--policy <round-robin|greedy|pccs|oracle>]
+                    [--admission <open|strict|p<frac>>] [--duration <cycles>]
+                    [--seed <N>] [--batch <N>] [--quick] [--jobs <N>]
+                    [--metrics-out <events.jsonl>]
   pccs policies     [--victim <GB/s>]
   pccs lint         [--root <path>] [--json]
   pccs bench        [--quick] [--out <BENCH.json>]
@@ -76,6 +86,7 @@ fn main() -> ExitCode {
         Some("explore-freq") => commands::explore_freq(&args),
         Some("corun") => commands::corun(&args),
         Some("sched") => commands::sched(&args),
+        Some("serve") => commands::serve(&args),
         Some("policies") => commands::policies(&args),
         Some("lint") => commands::lint(&args),
         Some("bench") => commands::bench(&args),

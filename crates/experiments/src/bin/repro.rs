@@ -27,8 +27,8 @@
 use pccs_experiments::context::{Context, Quality};
 use pccs_experiments::validate::Figure;
 use pccs_experiments::{
-    fig13, fig14, fig2, fig3, fig5, fig6, oblivious, sched_study, table10, table5, table7, table9,
-    validate,
+    fig13, fig14, fig2, fig3, fig5, fig6, oblivious, sched_study, serve_study, table10, table5,
+    table7, table9, validate,
 };
 use pccs_telemetry::{export, metrics, perfetto, Profiler, RunManifest, TraceLog};
 use serde_json::{Number, Value};
@@ -54,6 +54,7 @@ const ALL: &[&str] = &[
     "table10",
     "oblivious",
     "sched",
+    "serve",
 ];
 
 /// The `validate` selector: the five per-benchmark validation figures.
@@ -195,6 +196,7 @@ fn main() {
             "table10" => jsonify(table10::run(&mut ctx), table10::Table10::format),
             "oblivious" => jsonify(oblivious::run(&mut ctx), oblivious::Oblivious::format),
             "sched" => jsonify(sched_study::run(&mut ctx), sched_study::SchedStudy::format),
+            "serve" => jsonify(serve_study::run(&mut ctx), serve_study::ServeStudy::format),
             _ => unreachable!("validated above"),
         };
         println!("{report}");

@@ -33,6 +33,18 @@ pub enum ExperimentError {
         /// The policy requested.
         policy: String,
     },
+    /// The scheduling or serving engine rejected the job stream — e.g. a
+    /// mix references a PU kind absent from the chosen SoC preset.
+    Sched {
+        /// The underlying engine error, rendered.
+        detail: String,
+    },
+    /// The serving loop rejected its configuration — e.g. a request class
+    /// that cannot run anywhere on the chosen SoC preset.
+    Serve {
+        /// The underlying serving error, rendered.
+        detail: String,
+    },
 }
 
 impl fmt::Display for ExperimentError {
@@ -52,11 +64,29 @@ impl fmt::Display for ExperimentError {
                 f,
                 "unknown scheduling policy '{policy}' (available: round-robin, greedy, pccs, oracle)"
             ),
+            Self::Sched { detail } => write!(f, "scheduling engine: {detail}"),
+            Self::Serve { detail } => write!(f, "serving loop: {detail}"),
         }
     }
 }
 
 impl std::error::Error for ExperimentError {}
+
+impl From<pccs_sched::SchedError> for ExperimentError {
+    fn from(err: pccs_sched::SchedError) -> Self {
+        Self::Sched {
+            detail: err.to_string(),
+        }
+    }
+}
+
+impl From<pccs_serve::ServeError> for ExperimentError {
+    fn from(err: pccs_serve::ServeError) -> Self {
+        Self::Serve {
+            detail: err.to_string(),
+        }
+    }
+}
 
 /// Shorthand result for experiment `run` functions.
 pub type Result<T> = std::result::Result<T, ExperimentError>;

@@ -53,6 +53,8 @@ pub mod oblivious;
 pub mod runner;
 /// The scheduling study: every bundled placement policy replayed on every.
 pub mod sched_study;
+/// The serving study: latency-throughput curves of the online serving loop.
+pub mod serve_study;
 /// Minimal text-table rendering for experiment reports.
 pub mod table;
 /// Table 10: the related-work comparison, made quantitative.

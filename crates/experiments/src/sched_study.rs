@@ -104,7 +104,7 @@ impl Experiment for SchedStudyExperiment {
     ) -> Result<Vec<StudyRow>> {
         let mut rows = Vec::new();
         for mut policy in policies(ctx, soc) {
-            let report = run_schedule(soc, &mix.name, &mix.jobs, policy.as_mut(), engine_cfg);
+            let report = run_schedule(soc, &mix.name, &mix.jobs, policy.as_mut(), engine_cfg)?;
             rows.push(StudyRow {
                 soc: soc.name.clone(),
                 mix: mix.name.clone(),

@@ -25,7 +25,8 @@ fn main() {
             }
             println!("== {} / {} ==", soc.name, mix.name);
             for mut policy in all_policies(&soc) {
-                let report = run_schedule(&soc, &mix.name, &mix.jobs, policy.as_mut(), &cfg);
+                let report = run_schedule(&soc, &mix.name, &mix.jobs, policy.as_mut(), &cfg)
+                    .expect("bundled mixes are schedulable");
                 let placements: Vec<String> = report
                     .jobs
                     .iter()

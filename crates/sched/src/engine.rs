@@ -9,6 +9,7 @@
 //! what makes the oracle policy affordable: its candidate probes and the
 //! engine's own measurements share the same simulations.
 
+use crate::error::SchedError;
 use crate::job::Job;
 use crate::policy::{
     DecisionInput, PendingJob, PhaseEstimate, PlacementOption, Policy, Probe, PuSlot, Resident,
@@ -268,29 +269,37 @@ fn build_input(
 /// while the whole machine is idle, the longest-waiting job is placed on
 /// its fastest standalone PU (recorded with policy `"forced"`).
 ///
+/// # Errors
+///
+/// Returns [`SchedError::DuplicateJobId`] when two jobs share an id, and
+/// [`SchedError::UnschedulableJob`] when a job cannot run on any PU of
+/// `soc` (e.g. a DLA-only job on the Snapdragon preset).
+///
 /// # Panics
 ///
-/// Panics if `jobs` contain duplicate ids, if a job cannot run on any PU of
-/// `soc` (e.g. a DLA-only job on the Snapdragon preset), or if the engine
-/// exceeds [`SchedConfig::max_steps`] without finishing.
+/// Panics if the engine exceeds [`SchedConfig::max_steps`] without
+/// finishing (defensive livelock bound; never reached by bundled policies).
 pub fn run_schedule(
     soc: &SocConfig,
     mix_name: &str,
     jobs: &[Job],
     policy: &mut dyn Policy,
     cfg: &SchedConfig,
-) -> ScheduleReport {
+) -> Result<ScheduleReport, SchedError> {
     let mut ids: Vec<usize> = jobs.iter().map(|j| j.id).collect();
     ids.sort_unstable();
-    ids.dedup();
-    assert_eq!(ids.len(), jobs.len(), "job ids must be unique");
+    for w in ids.windows(2) {
+        if w[0] == w[1] {
+            return Err(SchedError::DuplicateJobId { id: w[0] });
+        }
+    }
     for job in jobs {
-        assert!(
-            soc.pus.iter().any(|pu| job.runs_on(pu.kind)),
-            "job '{}' cannot run on any PU of {}",
-            job.name,
-            soc.name
-        );
+        if !soc.pus.iter().any(|pu| job.runs_on(pu.kind)) {
+            return Err(SchedError::UnschedulableJob {
+                job: job.name.clone(),
+                soc: soc.name.clone(),
+            });
+        }
     }
     let _prof = Profiler::scope("sched.replay");
     let mut span = TraceLog::span("sched.run");
@@ -468,14 +477,14 @@ pub fn run_schedule(
     let makespan = outcomes.iter().map(|o| o.finish).fold(0.0, f64::max);
     metrics::add("sched.jobs", jobs.len() as u64);
     metrics::add("sched.decisions", decisions.len() as u64);
-    ScheduleReport {
+    Ok(ScheduleReport {
         policy: policy.name().to_owned(),
         soc: soc.name.clone(),
         mix: mix_name.to_owned(),
         makespan,
         jobs: outcomes,
         decisions,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -503,7 +512,7 @@ mod tests {
         let soc = SocConfig::xavier();
         let jobs = vec![small_job(0, 0, 1.0, 4_000.0)];
         let mut policy = ObliviousGreedy;
-        let r = run_schedule(&soc, "unit", &jobs, &mut policy, &SchedConfig::quick());
+        let r = run_schedule(&soc, "unit", &jobs, &mut policy, &SchedConfig::quick()).unwrap();
         assert_eq!(r.jobs.len(), 1);
         assert_eq!(r.decisions.len(), 1);
         assert!(r.makespan > 0.0);
@@ -524,7 +533,7 @@ mod tests {
             small_job(1, 50_000, 1.0, 3_000.0),
         ];
         let mut policy = RoundRobin::default();
-        let r = run_schedule(&soc, "unit", &jobs, &mut policy, &SchedConfig::quick());
+        let r = run_schedule(&soc, "unit", &jobs, &mut policy, &SchedConfig::quick()).unwrap();
         assert_eq!(r.jobs.len(), 2);
         let late = r.jobs.iter().find(|j| j.job_id == 1).unwrap();
         assert!(late.start >= 50_000.0);
@@ -535,7 +544,7 @@ mod tests {
         let soc = SocConfig::xavier();
         let jobs: Vec<Job> = (0..5).map(|i| small_job(i, 0, 2.0, 2_000.0)).collect();
         let mut policy = RoundRobin::default();
-        let r = run_schedule(&soc, "unit", &jobs, &mut policy, &SchedConfig::quick());
+        let r = run_schedule(&soc, "unit", &jobs, &mut policy, &SchedConfig::quick()).unwrap();
         assert_eq!(r.jobs.len(), 5);
         for pu in 0..soc.pus.len() {
             let mut spans: Vec<(f64, f64)> = r
@@ -565,11 +574,29 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "cannot run on any PU")]
-    fn impossible_job_is_rejected() {
+    fn impossible_job_is_a_typed_error() {
         let soc = SocConfig::snapdragon855();
         let job = small_job(0, 0, 1.0, 100.0).with_eligible(vec![PuKind::Dla]);
         let mut policy = ObliviousGreedy;
-        run_schedule(&soc, "unit", &[job], &mut policy, &SchedConfig::quick());
+        let err =
+            run_schedule(&soc, "unit", &[job], &mut policy, &SchedConfig::quick()).unwrap_err();
+        assert_eq!(
+            err,
+            SchedError::UnschedulableJob {
+                job: "job0".into(),
+                soc: soc.name.clone(),
+            }
+        );
+        assert!(err.to_string().contains("cannot run on any PU"));
+    }
+
+    #[test]
+    fn duplicate_ids_are_a_typed_error() {
+        let soc = SocConfig::xavier();
+        let jobs = vec![small_job(3, 0, 1.0, 100.0), small_job(3, 10, 1.0, 100.0)];
+        let mut policy = ObliviousGreedy;
+        let err =
+            run_schedule(&soc, "unit", &jobs, &mut policy, &SchedConfig::quick()).unwrap_err();
+        assert_eq!(err, SchedError::DuplicateJobId { id: 3 });
     }
 }

@@ -1,0 +1,64 @@
+//! Typed failures of the scheduling engine.
+//!
+//! A job stream is validated against the target SoC before replay: ids
+//! must be unique and every job must be able to run somewhere. Those used
+//! to be `assert!` panics deep inside [`crate::engine::run_schedule`]; they
+//! now surface as a [`SchedError`] so callers (`pccs sched`, `repro`, the
+//! serving loop) can print a one-line diagnosis instead of aborting.
+
+use std::fmt;
+
+/// A failure validating or replaying a job stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchedError {
+    /// Two jobs in the stream share an id.
+    DuplicateJobId {
+        /// The id that appears more than once.
+        id: usize,
+    },
+    /// A job cannot run on any PU of the SoC — e.g. a DLA-only job handed
+    /// to the Snapdragon preset, which has no DLA.
+    UnschedulableJob {
+        /// The job's display name.
+        job: String,
+        /// The SoC the job was validated against.
+        soc: String,
+    },
+}
+
+impl fmt::Display for SchedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::DuplicateJobId { id } => {
+                write!(
+                    f,
+                    "duplicate job id {id}; job ids must be unique within a mix"
+                )
+            }
+            Self::UnschedulableJob { job, soc } => {
+                write!(f, "job '{job}' cannot run on any PU of {soc}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SchedError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_offender() {
+        let e = SchedError::UnschedulableJob {
+            job: "alexnet".into(),
+            soc: "Snapdragon 855".into(),
+        };
+        let text = e.to_string();
+        assert!(text.contains("alexnet"));
+        assert!(text.contains("Snapdragon 855"));
+        assert!(SchedError::DuplicateJobId { id: 7 }
+            .to_string()
+            .contains('7'));
+    }
+}

@@ -35,12 +35,15 @@
 //!     &mix.jobs,
 //!     policy.as_mut(),
 //!     &SchedConfig::quick(),
-//! );
+//! )
+//! .expect("bundled mixes are schedulable on Xavier");
 //! assert_eq!(report.jobs.len(), mix.jobs.len());
 //! ```
 
 /// The scheduling engine: replays a job stream against the co-run.
 pub mod engine;
+/// Typed failures of stream validation and replay.
+pub mod error;
 /// Jobs: units of schedulable work.
 pub mod job;
 /// Named multi-programmed job mixes.
@@ -51,6 +54,7 @@ pub mod policy;
 pub mod report;
 
 pub use engine::{run_schedule, SchedConfig};
+pub use error::SchedError;
 pub use job::{Job, JobPhase, PhaseKernels};
 pub use mixes::Mix;
 pub use policy::{

@@ -66,7 +66,8 @@ proptest! {
     fn no_policy_overlaps_jobs_on_a_pu(jobs in arb_jobs()) {
         let soc = SocConfig::xavier();
         for mut policy in policies() {
-            let report = run_schedule(&soc, "prop", &jobs, policy.as_mut(), &prop_config());
+            let report = run_schedule(&soc, "prop", &jobs, policy.as_mut(), &prop_config())
+                .expect("generated jobs are schedulable");
             prop_assert_eq!(report.jobs.len(), jobs.len());
             for outcome in &report.jobs {
                 let job = jobs.iter().find(|j| j.id == outcome.job_id).unwrap();

@@ -1,0 +1,296 @@
+//! Admission control: shed requests the SoC cannot serve in time.
+//!
+//! At every arrival the controller predicts, with the per-PU PCCS models,
+//! when the request would finish on its best eligible PU given the queued
+//! backlog and the bandwidth pressure of the current residents. Requests
+//! predicted to blow their deadline (`strict`), or whose predicted miss
+//! probability exceeds a threshold (`p<frac>`), are shed at the door —
+//! protecting the latency of the requests already admitted.
+
+use pccs_core::SlowdownModel;
+
+/// Floor on predicted relative speed, percent (guards divisions).
+const MIN_RS_PCT: f64 = 0.5;
+
+/// Steepness of the logistic mapping headroom → miss probability.
+const MISS_STEEPNESS: f64 = 4.0;
+
+/// When to shed a request at arrival.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AdmissionPolicy {
+    /// Admit everything (no shedding; SLO reflects placement alone).
+    Open,
+    /// Shed when the predicted finish exceeds the deadline.
+    Strict,
+    /// Shed when the predicted deadline-miss probability exceeds the
+    /// threshold in `[0, 1]`.
+    MissProb(f64),
+}
+
+impl AdmissionPolicy {
+    /// A one-word description for reports (`"open"`, `"strict"`,
+    /// `"p0.10"`).
+    pub fn describe(&self) -> String {
+        match self {
+            Self::Open => "open".into(),
+            Self::Strict => "strict".into(),
+            Self::MissProb(p) => format!("p{p:.2}"),
+        }
+    }
+}
+
+/// The scheduling state of one PU as admission control sees it.
+#[derive(Debug, Clone, Copy)]
+pub struct PuLoad {
+    /// Absolute cycle the PU's committed work (running plus queued-for-it)
+    /// is predicted to drain.
+    pub busy_until: f64,
+    /// Bandwidth demand of the *other* PUs' residents, GB/s — the external
+    /// pressure this PU's next job would run under.
+    pub external_gbps: f64,
+}
+
+/// One eligible placement of the candidate request.
+#[derive(Debug, Clone, Copy)]
+pub struct CandidateService {
+    /// The PU this estimate is for, indexed like `SocConfig::pus`.
+    pub pu_idx: usize,
+    /// Standalone execution time on that PU, cycles.
+    pub standalone_cycles: f64,
+    /// Mean bandwidth demand of the request on that PU, GB/s.
+    pub demand_gbps: f64,
+}
+
+/// What admission control decided about one request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdmissionDecision {
+    /// Whether the request was admitted.
+    pub admit: bool,
+    /// Predicted finish on the best eligible PU, absolute cycles.
+    pub predicted_finish: f64,
+    /// Predicted deadline-miss probability in `[0, 1]` (0 when the request
+    /// has no deadline).
+    pub predicted_miss: f64,
+}
+
+/// PCCS-model-driven admission controller.
+pub struct AdmissionController {
+    policy: AdmissionPolicy,
+    models: Vec<Box<dyn SlowdownModel>>,
+    /// Per-PU multiplicative correction on predicted service time,
+    /// maintained by the drift monitor (1.0 = trust the model as-is).
+    correction: Vec<f64>,
+}
+
+impl std::fmt::Debug for AdmissionController {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AdmissionController")
+            .field("policy", &self.policy)
+            .field("models", &self.models.len())
+            .field("correction", &self.correction)
+            .finish()
+    }
+}
+
+impl AdmissionController {
+    /// A controller over one slowdown model per PU.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `models` is empty.
+    pub fn new(policy: AdmissionPolicy, models: Vec<Box<dyn SlowdownModel>>) -> Self {
+        assert!(!models.is_empty(), "one model per PU required");
+        let correction = vec![1.0; models.len()];
+        Self {
+            policy,
+            models,
+            correction,
+        }
+    }
+
+    /// The admission policy in force.
+    pub fn policy(&self) -> AdmissionPolicy {
+        self.policy
+    }
+
+    /// Applies a drift-corrected service-time multiplier for PU `pu_idx`.
+    pub fn set_correction(&mut self, pu_idx: usize, factor: f64) {
+        if let Some(c) = self.correction.get_mut(pu_idx) {
+            *c = factor.max(0.1);
+        }
+    }
+
+    /// The current correction factor for PU `pu_idx`.
+    pub fn correction(&self, pu_idx: usize) -> f64 {
+        self.correction.get(pu_idx).copied().unwrap_or(1.0)
+    }
+
+    /// Predicted contended service time of `candidate` under `load`,
+    /// cycles: the PCCS model's slowdown applied to the standalone time,
+    /// scaled by the PU's drift correction.
+    pub fn predicted_service(&self, candidate: &CandidateService, load: &PuLoad) -> f64 {
+        let rs = self.models[candidate.pu_idx]
+            .relative_speed_pct(candidate.demand_gbps, load.external_gbps)
+            .max(MIN_RS_PCT);
+        candidate.standalone_cycles * (100.0 / rs) * self.correction(candidate.pu_idx)
+    }
+
+    /// Assesses one request at `now`: predicted finish on the best eligible
+    /// PU, miss probability against `deadline`, and the admit/shed verdict
+    /// under the configured policy.
+    ///
+    /// With no eligible candidates the request is shed outright (miss
+    /// probability 1).
+    pub fn assess(
+        &self,
+        now: f64,
+        deadline: Option<u64>,
+        candidates: &[CandidateService],
+        loads: &[PuLoad],
+    ) -> AdmissionDecision {
+        let mut best: Option<(f64, f64)> = None; // (finish, service)
+        for cand in candidates {
+            let Some(load) = loads.get(cand.pu_idx) else {
+                continue;
+            };
+            let wait = (load.busy_until - now).max(0.0);
+            let service = self.predicted_service(cand, load);
+            let finish = now + wait + service;
+            if best.is_none_or(|(f, _)| finish < f) {
+                best = Some((finish, service));
+            }
+        }
+        let Some((finish, service)) = best else {
+            return AdmissionDecision {
+                admit: false,
+                predicted_finish: f64::INFINITY,
+                predicted_miss: 1.0,
+            };
+        };
+        let miss = match deadline {
+            None => 0.0,
+            Some(d) => {
+                // Logistic in the normalized headroom: 0.5 exactly at the
+                // deadline, → 0 with slack, → 1 when hopeless.
+                let headroom = (d as f64 - finish) / service.max(1.0);
+                1.0 / (1.0 + (MISS_STEEPNESS * headroom).exp())
+            }
+        };
+        let admit = match self.policy {
+            AdmissionPolicy::Open => true,
+            AdmissionPolicy::Strict => deadline.is_none_or(|d| finish <= d as f64),
+            AdmissionPolicy::MissProb(tau) => miss <= tau,
+        };
+        AdmissionDecision {
+            admit,
+            predicted_finish: finish,
+            predicted_miss: miss,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pccs_core::PccsModel;
+
+    fn controller(policy: AdmissionPolicy) -> AdmissionController {
+        let models: Vec<Box<dyn SlowdownModel>> = vec![
+            Box::new(PccsModel::xavier_cpu_paper()),
+            Box::new(PccsModel::xavier_gpu_paper()),
+        ];
+        AdmissionController::new(policy, models)
+    }
+
+    fn idle_loads() -> Vec<PuLoad> {
+        vec![
+            PuLoad {
+                busy_until: 0.0,
+                external_gbps: 0.0,
+            },
+            PuLoad {
+                busy_until: 0.0,
+                external_gbps: 0.0,
+            },
+        ]
+    }
+
+    fn quick_candidate() -> CandidateService {
+        CandidateService {
+            pu_idx: 1,
+            standalone_cycles: 10_000.0,
+            demand_gbps: 5.0,
+        }
+    }
+
+    #[test]
+    fn strict_sheds_predicted_late_requests() {
+        let ctrl = controller(AdmissionPolicy::Strict);
+        let loads = idle_loads();
+        let easy = ctrl.assess(0.0, Some(1_000_000), &[quick_candidate()], &loads);
+        assert!(easy.admit);
+        assert!(easy.predicted_finish <= 1_000_000.0);
+        let hopeless = ctrl.assess(0.0, Some(1_000), &[quick_candidate()], &loads);
+        assert!(!hopeless.admit);
+        assert!(hopeless.predicted_finish > 1_000.0);
+        assert!(hopeless.predicted_miss > 0.5);
+    }
+
+    #[test]
+    fn open_admits_everything_even_hopeless() {
+        let ctrl = controller(AdmissionPolicy::Open);
+        let d = ctrl.assess(0.0, Some(1), &[quick_candidate()], &idle_loads());
+        assert!(d.admit);
+        assert!(d.predicted_miss > 0.9);
+    }
+
+    #[test]
+    fn miss_prob_threshold_orders_with_headroom() {
+        let ctrl = controller(AdmissionPolicy::MissProb(0.1));
+        let loads = idle_loads();
+        let slack = ctrl.assess(0.0, Some(10_000_000), &[quick_candidate()], &loads);
+        assert!(slack.admit);
+        assert!(slack.predicted_miss < 0.1);
+        let tight = ctrl.assess(0.0, Some(9_000), &[quick_candidate()], &loads);
+        assert!(!tight.admit, "miss {:.3}", tight.predicted_miss);
+    }
+
+    #[test]
+    fn backlog_and_pressure_push_the_prediction_out() {
+        let ctrl = controller(AdmissionPolicy::Open);
+        let idle = ctrl.assess(0.0, None, &[quick_candidate()], &idle_loads());
+        let busy_loads = vec![
+            PuLoad {
+                busy_until: 0.0,
+                external_gbps: 0.0,
+            },
+            PuLoad {
+                busy_until: 50_000.0,
+                external_gbps: 40.0,
+            },
+        ];
+        let busy = ctrl.assess(0.0, None, &[quick_candidate()], &busy_loads);
+        assert!(busy.predicted_finish > idle.predicted_finish + 50_000.0 - 1.0);
+    }
+
+    #[test]
+    fn corrections_scale_predicted_service() {
+        let mut ctrl = controller(AdmissionPolicy::Open);
+        let load = PuLoad {
+            busy_until: 0.0,
+            external_gbps: 0.0,
+        };
+        let base = ctrl.predicted_service(&quick_candidate(), &load);
+        ctrl.set_correction(1, 2.0);
+        let doubled = ctrl.predicted_service(&quick_candidate(), &load);
+        assert!((doubled / base - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_candidates_means_shed() {
+        let ctrl = controller(AdmissionPolicy::Open);
+        let d = ctrl.assess(0.0, Some(1_000), &[], &idle_loads());
+        assert!(!d.admit);
+        assert_eq!(d.predicted_miss, 1.0);
+    }
+}

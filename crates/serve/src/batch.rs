@@ -1,0 +1,206 @@
+//! Request batching: coalesce same-class requests into bundles.
+//!
+//! Serving accelerators one tiny inference at a time wastes placement
+//! decisions and probe work. The batcher re-forms bundles from the pending
+//! queue at every decision round: same-class requests arriving within a
+//! batching window merge, up to a maximum batch size, into a single job
+//! whose phases carry the combined traffic. Members share the bundle's
+//! placement and complete together; bundles that do not get placed simply
+//! dissolve back into the pending queue and re-form next round, so
+//! batching never strands a request.
+
+use crate::request::RequestClass;
+use pccs_sched::job::Job;
+
+/// Batching configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchConfig {
+    /// Most requests a bundle may carry (1 disables batching).
+    pub max_batch: usize,
+    /// Only requests whose arrivals fall within this many cycles of the
+    /// bundle's first member may join it.
+    pub window: u64,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        Self {
+            max_batch: 4,
+            window: 50_000,
+        }
+    }
+}
+
+/// An admitted request waiting for placement.
+#[derive(Debug, Clone)]
+pub struct PendingRequest {
+    /// Request id (arrival order, unique per run).
+    pub id: usize,
+    /// Index into the run's class list.
+    pub class_idx: usize,
+    /// The stamped job (absolute arrival and deadline).
+    pub job: Job,
+}
+
+/// A coalesced group of same-class requests, placed as one job.
+#[derive(Debug, Clone)]
+pub struct Bundle {
+    /// The combined job: member traffic summed, earliest member deadline,
+    /// id of the first member.
+    pub job: Job,
+    /// Member request ids, in arrival order.
+    pub members: Vec<usize>,
+    /// Index into the run's class list.
+    pub class_idx: usize,
+}
+
+/// Forms bundles from the pending queue.
+///
+/// `pending` must be in arrival order (the engine's queue is). Grouping is
+/// per class, greedy in arrival order, so the result is a deterministic
+/// function of the queue.
+pub fn form_bundles(
+    pending: &[PendingRequest],
+    classes: &[RequestClass],
+    cfg: &BatchConfig,
+) -> Vec<Bundle> {
+    let max_batch = cfg.max_batch.max(1);
+    let mut bundles: Vec<Bundle> = Vec::new();
+    for class_idx in 0..classes.len() {
+        let mut group: Vec<&PendingRequest> = Vec::new();
+        for req in pending.iter().filter(|r| r.class_idx == class_idx) {
+            let fits = group.len() < max_batch
+                && group
+                    .first()
+                    .is_none_or(|f| req.job.arrival.saturating_sub(f.job.arrival) <= cfg.window);
+            if !fits {
+                bundles.push(seal(&group, class_idx));
+                group.clear();
+            }
+            group.push(req);
+        }
+        if !group.is_empty() {
+            bundles.push(seal(&group, class_idx));
+        }
+    }
+    // Oldest bundle first, so the policy's service order sees the queue in
+    // arrival order across classes.
+    bundles.sort_by_key(|b| (b.job.arrival, b.job.id));
+    bundles
+}
+
+/// Seals a non-empty group of same-class requests into a bundle.
+fn seal(group: &[&PendingRequest], class_idx: usize) -> Bundle {
+    let first = group.first().expect("seal is called on non-empty groups");
+    let mut job = first.job.clone();
+    let n = group.len() as f64;
+    for phase in &mut job.phases {
+        phase.work_lines *= n;
+    }
+    // The bundle inherits the most urgent member's deadline and the latest
+    // member's arrival (it cannot start before everyone it carries exists).
+    job.deadline = group.iter().filter_map(|r| r.job.deadline).min();
+    job.arrival = group
+        .iter()
+        .map(|r| r.job.arrival)
+        .max()
+        .unwrap_or(first.job.arrival);
+    Bundle {
+        job,
+        members: group.iter().map(|r| r.id).collect(),
+        class_idx,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::contended_classes;
+
+    fn pend(classes: &[RequestClass], id: usize, class_idx: usize, arrival: u64) -> PendingRequest {
+        PendingRequest {
+            id,
+            class_idx,
+            job: classes[class_idx].request(id, arrival),
+        }
+    }
+
+    #[test]
+    fn same_class_requests_coalesce_up_to_max_batch() {
+        let classes = contended_classes();
+        let pending: Vec<PendingRequest> = (0..5)
+            .map(|i| pend(&classes, i, 1, i as u64 * 10))
+            .collect();
+        let cfg = BatchConfig {
+            max_batch: 4,
+            window: 1_000,
+        };
+        let bundles = form_bundles(&pending, &classes, &cfg);
+        assert_eq!(bundles.len(), 2);
+        assert_eq!(bundles[0].members, vec![0, 1, 2, 3]);
+        assert_eq!(bundles[1].members, vec![4]);
+        // Traffic sums: 4 members carry 4x the single-request lines.
+        let single = classes[1].template.total_lines();
+        assert!((bundles[0].job.total_lines() - 4.0 * single).abs() < 1e-6);
+        assert!((bundles[1].job.total_lines() - single).abs() < 1e-6);
+    }
+
+    #[test]
+    fn the_window_splits_distant_arrivals() {
+        let classes = contended_classes();
+        let pending = vec![
+            pend(&classes, 0, 1, 0),
+            pend(&classes, 1, 1, 10),
+            pend(&classes, 2, 1, 5_000),
+        ];
+        let cfg = BatchConfig {
+            max_batch: 8,
+            window: 100,
+        };
+        let bundles = form_bundles(&pending, &classes, &cfg);
+        assert_eq!(bundles.len(), 2);
+        assert_eq!(bundles[0].members, vec![0, 1]);
+        assert_eq!(bundles[1].members, vec![2]);
+    }
+
+    #[test]
+    fn bundles_take_the_most_urgent_deadline_and_latest_arrival() {
+        let classes = contended_classes();
+        let pending = vec![pend(&classes, 0, 2, 100), pend(&classes, 1, 2, 300)];
+        let cfg = BatchConfig::default();
+        let bundles = form_bundles(&pending, &classes, &cfg);
+        assert_eq!(bundles.len(), 1);
+        let b = &bundles[0];
+        assert_eq!(b.job.arrival, 300);
+        let rel = classes[2].relative_deadline.unwrap();
+        assert_eq!(b.job.deadline, Some(100 + rel));
+        assert_eq!(b.job.id, 0);
+    }
+
+    #[test]
+    fn classes_never_mix_and_order_is_by_arrival() {
+        let classes = contended_classes();
+        let pending = vec![
+            pend(&classes, 0, 2, 50),
+            pend(&classes, 1, 1, 0),
+            pend(&classes, 2, 2, 60),
+        ];
+        let bundles = form_bundles(&pending, &classes, &BatchConfig::default());
+        assert_eq!(bundles.len(), 2);
+        assert_eq!(bundles[0].class_idx, 1); // arrival 0 first
+        assert_eq!(bundles[1].members, vec![0, 2]);
+    }
+
+    #[test]
+    fn max_batch_one_disables_batching() {
+        let classes = contended_classes();
+        let pending: Vec<PendingRequest> = (0..3).map(|i| pend(&classes, i, 1, 0)).collect();
+        let cfg = BatchConfig {
+            max_batch: 1,
+            window: 1_000,
+        };
+        let bundles = form_bundles(&pending, &classes, &cfg);
+        assert_eq!(bundles.len(), 3);
+        assert!(bundles.iter().all(|b| b.members.len() == 1));
+    }
+}

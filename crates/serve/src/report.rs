@@ -1,0 +1,158 @@
+//! Serving outcome artifacts: per-request records, per-class SLO
+//! summaries, and the whole-run report.
+//!
+//! Everything here serializes through `serde` so the CLI can stream
+//! requests into the JSONL telemetry file and `repro serve` can embed the
+//! report in its `--metrics-out` artifact. Field order is declaration
+//! order, so two runs with the same seed serialize byte-identically.
+
+use serde::{Deserialize, Serialize};
+
+/// The fate of one request, from arrival to completion or shedding.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RequestOutcome {
+    /// Unique request id (arrival order).
+    pub id: usize,
+    /// The request class this request was drawn from.
+    pub class: String,
+    /// Arrival time in memory cycles.
+    pub arrival: u64,
+    /// Whether admission control let the request in.
+    pub admitted: bool,
+    /// Admission-time predicted finish, cycles (absolute).
+    pub predicted_finish: f64,
+    /// Admission-time predicted deadline-miss probability in `[0, 1]`.
+    pub predicted_miss: f64,
+    /// Completion time in cycles; `0.0` for shed requests.
+    pub finish: f64,
+    /// `finish - arrival` for completed requests; `0.0` for shed ones.
+    pub latency: f64,
+    /// Completion deadline, if the class carries one.
+    pub deadline: Option<u64>,
+    /// Whether the request finished after its deadline.
+    pub missed: bool,
+    /// The PU that served the bundle, or `"-"` for shed requests.
+    pub pu: String,
+    /// How many requests shared the bundle this one rode in.
+    pub batch_size: usize,
+}
+
+/// Per-class SLO accounting over a whole serving run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassSlo {
+    /// Request class name.
+    pub class: String,
+    /// Requests the arrival process offered.
+    pub offered: usize,
+    /// Requests admission control let in.
+    pub admitted: usize,
+    /// Requests shed at admission.
+    pub shed: usize,
+    /// Admitted requests that completed.
+    pub completed: usize,
+    /// Completed requests that missed their deadline.
+    pub missed: usize,
+    /// Median completion latency in cycles (0 when nothing completed).
+    pub p50_latency: u64,
+    /// 95th-percentile completion latency in cycles.
+    pub p95_latency: u64,
+    /// 99th-percentile completion latency in cycles.
+    pub p99_latency: u64,
+    /// Mean completion latency in cycles.
+    pub mean_latency: f64,
+    /// Deadline misses as a percentage of *offered* requests — shedding a
+    /// request counts against the SLO just like finishing it late.
+    pub miss_rate_pct: f64,
+}
+
+/// The merged artifact of one serving run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeReport {
+    /// SoC preset served.
+    pub soc: String,
+    /// Placement policy name.
+    pub policy: String,
+    /// Admission policy, rendered (`"open"`, `"strict"`, `"p0.10"`).
+    pub admission: String,
+    /// Arrival process, rendered (`"poisson(8.0/Mcycle)"`, …).
+    pub arrivals: String,
+    /// Arrival-process seed.
+    pub seed: u64,
+    /// Requested serving duration in cycles (arrivals stop here; in-flight
+    /// work drains past it).
+    pub duration: u64,
+    /// Cycle the last bundle finished.
+    pub makespan: f64,
+    /// Requests offered across classes.
+    pub offered: usize,
+    /// Requests admitted across classes.
+    pub admitted: usize,
+    /// Requests shed at admission across classes.
+    pub shed: usize,
+    /// Requests completed across classes.
+    pub completed: usize,
+    /// Completed requests that missed their deadline.
+    pub missed: usize,
+    /// Placement decisions the policy made (bundles placed).
+    pub decisions: usize,
+    /// Sliding-window model recalibrations triggered by drift.
+    pub recalibrations: u64,
+    /// Completed requests per million cycles of makespan.
+    pub throughput_per_mcycle: f64,
+    /// Overall median latency in cycles.
+    pub p50_latency: u64,
+    /// Overall 95th-percentile latency in cycles.
+    pub p95_latency: u64,
+    /// Overall 99th-percentile latency in cycles.
+    pub p99_latency: u64,
+    /// Deadline misses plus sheds as a percentage of offered requests.
+    pub miss_rate_pct: f64,
+    /// Per-class SLO summaries, in class declaration order.
+    pub classes: Vec<ClassSlo>,
+    /// Per-request outcomes, in request-id order.
+    pub outcomes: Vec<RequestOutcome>,
+}
+
+impl ServeReport {
+    /// Requests per million cycles the run sustained, counting only
+    /// completed requests.
+    pub fn goodput_per_mcycle(&self) -> f64 {
+        if self.makespan <= 0.0 {
+            return 0.0;
+        }
+        self.completed as f64 * 1.0e6 / self.makespan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn goodput_handles_empty_runs() {
+        let report = ServeReport {
+            soc: "Xavier".into(),
+            policy: "greedy".into(),
+            admission: "open".into(),
+            arrivals: "poisson(1/Mcycle)".into(),
+            seed: 1,
+            duration: 0,
+            makespan: 0.0,
+            offered: 0,
+            admitted: 0,
+            shed: 0,
+            completed: 0,
+            missed: 0,
+            decisions: 0,
+            recalibrations: 0,
+            throughput_per_mcycle: 0.0,
+            p50_latency: 0,
+            p95_latency: 0,
+            p99_latency: 0,
+            miss_rate_pct: 0.0,
+            classes: vec![],
+            outcomes: vec![],
+        };
+        assert_eq!(report.goodput_per_mcycle(), 0.0);
+    }
+}

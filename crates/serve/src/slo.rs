@@ -1,0 +1,234 @@
+//! SLO accounting: per-class latency histograms and deadline-miss rates.
+//!
+//! The accountant records every request's fate into per-class
+//! `pccs-telemetry` latency histograms and, at every epoch boundary of
+//! the serving loop, publishes the counters accumulated since the last
+//! boundary into the process-global metrics registry (`serve.*`). The
+//! final per-class summaries become the [`ClassSlo`] rows of the run
+//! report.
+
+use crate::report::ClassSlo;
+use pccs_telemetry::{metrics, LatencyHistogram};
+use std::collections::BTreeMap;
+
+/// Per-class tallies.
+#[derive(Debug, Default)]
+struct ClassStats {
+    latency: LatencyHistogram,
+    offered: usize,
+    admitted: usize,
+    shed: usize,
+    completed: usize,
+    missed: usize,
+}
+
+/// Records request fates and publishes SLO metrics at epoch boundaries.
+#[derive(Debug)]
+pub struct SloAccountant {
+    classes: BTreeMap<String, ClassStats>,
+    /// Counter values already published to the metrics registry, so each
+    /// epoch publishes only the delta.
+    published: [usize; 5],
+    epochs: u64,
+    /// Metric-name prefix (`"serve"` in production; tests use a unique
+    /// prefix because the registry is process-global).
+    prefix: String,
+}
+
+impl Default for SloAccountant {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SloAccountant {
+    /// An empty accountant publishing under the `serve.*` metric names.
+    pub fn new() -> Self {
+        Self::with_prefix("serve")
+    }
+
+    /// An empty accountant publishing under `<prefix>.*` metric names.
+    pub fn with_prefix(prefix: impl Into<String>) -> Self {
+        Self {
+            classes: BTreeMap::new(),
+            published: [0; 5],
+            epochs: 0,
+            prefix: prefix.into(),
+        }
+    }
+
+    /// Records an arrival of class `class`.
+    pub fn offered(&mut self, class: &str) {
+        self.stats(class).offered += 1;
+    }
+
+    /// Records the admission verdict for a request of class `class`.
+    pub fn admitted(&mut self, class: &str, admit: bool) {
+        let stats = self.stats(class);
+        if admit {
+            stats.admitted += 1;
+        } else {
+            stats.shed += 1;
+        }
+    }
+
+    /// Records a completion: latency in cycles and whether the deadline
+    /// was missed.
+    pub fn completed(&mut self, class: &str, latency: f64, missed: bool) {
+        let stats = self.stats(class);
+        stats.completed += 1;
+        stats.latency.record(latency.max(0.0) as u64);
+        if missed {
+            stats.missed += 1;
+        }
+    }
+
+    /// Publishes the counters accumulated since the last boundary to the
+    /// metrics registry, plus the worst per-class p99 seen so far as a
+    /// max-gauge. Called by the engine at every epoch boundary and once at
+    /// the end of the run.
+    pub fn publish_epoch(&mut self) {
+        self.epochs += 1;
+        let totals = self.totals();
+        let names = ["offered", "admitted", "shed", "completed", "missed"];
+        for (i, name) in names.iter().enumerate() {
+            metrics::add(
+                &format!("{}.{name}", self.prefix),
+                (totals[i] - self.published[i]) as u64,
+            );
+        }
+        self.published = totals;
+        metrics::add(&format!("{}.epochs", self.prefix), 1);
+        let worst_p99 = self
+            .classes
+            .values()
+            .filter(|s| s.latency.count() > 0)
+            .map(|s| s.latency.p99())
+            .max()
+            .unwrap_or(0);
+        metrics::observe_max(&format!("{}.p99_latency", self.prefix), worst_p99);
+    }
+
+    /// Epoch boundaries published so far.
+    pub fn epochs(&self) -> u64 {
+        self.epochs
+    }
+
+    /// `[offered, admitted, shed, completed, missed]` across classes.
+    pub fn totals(&self) -> [usize; 5] {
+        let mut t = [0; 5];
+        for s in self.classes.values() {
+            t[0] += s.offered;
+            t[1] += s.admitted;
+            t[2] += s.shed;
+            t[3] += s.completed;
+            t[4] += s.missed;
+        }
+        t
+    }
+
+    /// The latency histogram of all classes merged.
+    pub fn merged_latency(&self) -> LatencyHistogram {
+        let mut merged = LatencyHistogram::new();
+        for s in self.classes.values() {
+            merged.merge(&s.latency);
+        }
+        merged
+    }
+
+    /// Final per-class SLO rows, in `class_order` order (classes that saw
+    /// no traffic still get a row).
+    pub fn summaries(&self, class_order: &[String]) -> Vec<ClassSlo> {
+        class_order
+            .iter()
+            .map(|name| {
+                let empty = ClassStats::default();
+                let s = self.classes.get(name).unwrap_or(&empty);
+                ClassSlo {
+                    class: name.clone(),
+                    offered: s.offered,
+                    admitted: s.admitted,
+                    shed: s.shed,
+                    completed: s.completed,
+                    missed: s.missed,
+                    p50_latency: s.latency.try_percentile(50.0).unwrap_or(0),
+                    p95_latency: s.latency.try_percentile(95.0).unwrap_or(0),
+                    p99_latency: s.latency.try_percentile(99.0).unwrap_or(0),
+                    mean_latency: s.latency.mean(),
+                    miss_rate_pct: miss_rate_pct(s.offered, s.missed, s.shed),
+                }
+            })
+            .collect()
+    }
+
+    fn stats(&mut self, class: &str) -> &mut ClassStats {
+        self.classes.entry(class.to_owned()).or_default()
+    }
+}
+
+/// Deadline misses plus sheds as a percentage of offered requests: a shed
+/// request never meets its SLO, so it counts against the miss rate.
+pub fn miss_rate_pct(offered: usize, missed: usize, shed: usize) -> f64 {
+    if offered == 0 {
+        return 0.0;
+    }
+    100.0 * (missed + shed) as f64 / offered as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tallies_flow_into_summaries() {
+        let mut slo = SloAccountant::new();
+        for _ in 0..4 {
+            slo.offered("mnist");
+        }
+        slo.admitted("mnist", true);
+        slo.admitted("mnist", true);
+        slo.admitted("mnist", true);
+        slo.admitted("mnist", false);
+        slo.completed("mnist", 1_000.0, false);
+        slo.completed("mnist", 3_000.0, true);
+        let rows = slo.summaries(&["mnist".into(), "alexnet".into()]);
+        assert_eq!(rows.len(), 2);
+        let m = &rows[0];
+        assert_eq!((m.offered, m.admitted, m.shed), (4, 3, 1));
+        assert_eq!((m.completed, m.missed), (2, 1));
+        assert!(m.p50_latency >= 1_000 && m.p99_latency >= m.p50_latency);
+        // 1 miss + 1 shed out of 4 offered.
+        assert!((m.miss_rate_pct - 50.0).abs() < 1e-9);
+        let a = &rows[1];
+        assert_eq!(a.offered, 0);
+        assert_eq!(a.miss_rate_pct, 0.0);
+    }
+
+    #[test]
+    fn epoch_publishing_emits_deltas_not_totals() {
+        // A unique prefix keeps this test isolated from concurrent tests
+        // publishing into the process-global registry.
+        let mut slo = SloAccountant::with_prefix("test.slo.unit");
+        slo.offered("a");
+        slo.admitted("a", true);
+        slo.publish_epoch();
+        assert_eq!(metrics::counter("test.slo.unit.offered").get(), 1);
+        slo.offered("a");
+        slo.admitted("a", false);
+        slo.publish_epoch();
+        assert_eq!(metrics::counter("test.slo.unit.offered").get(), 2);
+        assert_eq!(metrics::counter("test.slo.unit.shed").get(), 1);
+        assert_eq!(metrics::counter("test.slo.unit.epochs").get(), 2);
+        assert_eq!(slo.epochs(), 2);
+    }
+
+    #[test]
+    fn merged_latency_spans_classes() {
+        let mut slo = SloAccountant::new();
+        slo.completed("a", 100.0, false);
+        slo.completed("b", 5_000.0, false);
+        let merged = slo.merged_latency();
+        assert_eq!(merged.count(), 2);
+        assert!(merged.max() >= 5_000);
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests of the serving layer's invariants: strict
+//! admission never admits a request it predicts to finish late, and the
+//! arrival generator is a deterministic, ordered function of its seed.
+
+use pccs_core::PccsModel;
+use pccs_core::SlowdownModel;
+use pccs_serve::admission::{AdmissionController, CandidateService, PuLoad};
+use pccs_serve::arrivals::ArrivalProcess;
+use pccs_serve::request::contended_classes;
+use pccs_serve::AdmissionPolicy;
+use proptest::prelude::*;
+
+fn paper_pair() -> Vec<Box<dyn SlowdownModel>> {
+    vec![
+        Box::new(PccsModel::xavier_cpu_paper()),
+        Box::new(PccsModel::xavier_gpu_paper()),
+    ]
+}
+
+fn arb_candidates() -> impl Strategy<Value = Vec<CandidateService>> {
+    prop::collection::vec((0usize..2, 1_000.0f64..500_000.0, 0.1f64..40.0), 1..4).prop_map(|raw| {
+        raw.into_iter()
+            .map(
+                |(pu_idx, standalone_cycles, demand_gbps)| CandidateService {
+                    pu_idx,
+                    standalone_cycles,
+                    demand_gbps,
+                },
+            )
+            .collect()
+    })
+}
+
+fn arb_loads() -> impl Strategy<Value = Vec<PuLoad>> {
+    prop::collection::vec((0.0f64..2_000_000.0, 0.0f64..60.0), 2..3).prop_map(|raw| {
+        raw.into_iter()
+            .map(|(busy_until, external_gbps)| PuLoad {
+                busy_until,
+                external_gbps,
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn strict_admission_never_admits_a_predicted_miss(
+        candidates in arb_candidates(),
+        mut loads in arb_loads(),
+        now in 0.0f64..1_000_000.0,
+        deadline_slack in 1u64..2_000_000,
+    ) {
+        // Candidates index into the load table; pad it to cover them.
+        while loads.len() < 2 {
+            loads.push(PuLoad { busy_until: 0.0, external_gbps: 0.0 });
+        }
+        let admission = AdmissionController::new(AdmissionPolicy::Strict, paper_pair());
+        let deadline = now as u64 + deadline_slack;
+        let decision = admission.assess(now, Some(deadline), &candidates, &loads);
+        if decision.admit {
+            prop_assert!(
+                decision.predicted_finish <= deadline as f64,
+                "strict admission admitted a predicted miss: finish {} > deadline {}",
+                decision.predicted_finish,
+                deadline
+            );
+        }
+        // Deadline-free requests are always admitted under strict.
+        let free = admission.assess(now, None, &candidates, &loads);
+        prop_assert!(free.admit);
+    }
+
+    #[test]
+    fn miss_prob_threshold_is_monotone(
+        candidates in arb_candidates(),
+        loads in arb_loads(),
+        deadline_slack in 1u64..2_000_000,
+    ) {
+        let strict_tau = AdmissionController::new(
+            AdmissionPolicy::MissProb(0.05), paper_pair());
+        let loose_tau = AdmissionController::new(
+            AdmissionPolicy::MissProb(0.5), paper_pair());
+        let decision_strict = strict_tau.assess(0.0, Some(deadline_slack), &candidates, &loads);
+        let decision_loose = loose_tau.assess(0.0, Some(deadline_slack), &candidates, &loads);
+        // Anything a 5% threshold admits, a 50% threshold must also admit.
+        prop_assert!(
+            !decision_strict.admit || decision_loose.admit,
+            "tightening the miss threshold admitted more"
+        );
+        prop_assert!((0.0..=1.0).contains(&decision_strict.predicted_miss));
+    }
+
+    #[test]
+    fn arrivals_are_seed_deterministic_and_ordered(
+        seed in 0u64..1_000,
+        rate in 0.5f64..50.0,
+    ) {
+        let classes = contended_classes();
+        let process = ArrivalProcess::Poisson { rate_per_mcycle: rate };
+        let a = process.generate(&classes, 200_000, seed).unwrap();
+        let b = process.generate(&classes, 200_000, seed).unwrap();
+        prop_assert_eq!(&a, &b, "same seed produced different arrival streams");
+        for pair in a.windows(2) {
+            prop_assert!(pair[0].at <= pair[1].at, "arrivals out of order");
+        }
+        for event in &a {
+            prop_assert!(event.at < 200_000);
+            prop_assert!(event.class_idx < classes.len());
+        }
+    }
+}

@@ -73,7 +73,8 @@ fn pccs_beats_greedy_and_tracks_oracle_on_contended_xavier() {
     let cfg = SchedConfig::default();
     let mut by_name: HashMap<String, ScheduleReport> = HashMap::new();
     for mut policy in all_policies(&soc) {
-        let report = run_schedule(&soc, &mix.name, &mix.jobs, policy.as_mut(), &cfg);
+        let report = run_schedule(&soc, &mix.name, &mix.jobs, policy.as_mut(), &cfg)
+            .expect("contended mix is schedulable on Xavier");
         assert_valid_and_complete(&report, &mix.jobs);
         by_name.insert(report.policy.clone(), report);
     }
@@ -115,7 +116,8 @@ fn every_mix_schedules_validly_under_cheap_policies() {
             let mix = mix.scaled(0.2);
             for name in ["round-robin", "greedy", "oracle"] {
                 let mut policy = policy_by_name(&soc, name).expect("bundled policy");
-                let report = run_schedule(&soc, &mix.name, &mix.jobs, policy.as_mut(), &cfg);
+                let report = run_schedule(&soc, &mix.name, &mix.jobs, policy.as_mut(), &cfg)
+                    .expect("bundled mixes are schedulable");
                 assert_valid_and_complete(&report, &mix.jobs);
             }
         }
