@@ -294,6 +294,18 @@ fn deprecated_shim(ctx: &RuleCtx<'_>, out: &mut Vec<Finding>) {
                     ),
                 );
             }
+            "tick" if ctx.text(k.wrapping_sub(1)) == Some(".") && ctx.text(k + 1) == Some("(") => {
+                out.push(
+                    ctx.finding(
+                        "deprecated-shim",
+                        tok.line,
+                        "call to deprecated MemoryController::tick; use \
+                     tick_into with a reused completion buffer, or drive the \
+                     controller through the MemoryEngine trait"
+                            .to_owned(),
+                    ),
+                );
+            }
             // `#[allow(deprecated)]` is the only way a call to the
             // deprecated `run` shim survives `-D warnings`.
             "deprecated"
@@ -515,6 +527,27 @@ mod tests {
     fn code_after_a_test_region_is_not_exempt() {
         let src = "#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n}\nfn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
         assert_eq!(rules_of("crates/soc/src/a.rs", src), vec!["hot-path-panic"]);
+    }
+
+    #[test]
+    fn engine_module_is_covered_by_hot_path_rules() {
+        // The event-driven memory engine lives in a hot-path,
+        // deterministic crate: both rules must apply to it.
+        let src = "use std::collections::HashMap;\nfn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        let rules = rules_of("crates/dram/src/engine.rs", src);
+        assert_eq!(rules, vec!["nondeterminism", "hot-path-panic"]);
+    }
+
+    #[test]
+    fn tick_shim_calls_are_flagged() {
+        let src = "fn f(mc: &mut MemoryController) { let _ = mc.tick(0); }\n";
+        assert_eq!(
+            rules_of("crates/soc/src/a.rs", src),
+            vec!["deprecated-shim"]
+        );
+        // The definition site (`fn tick`) and the replacement are fine.
+        let src = "/// Docs.\npub fn tick(&mut self) {}\nfn g(mc: &mut M, out: &mut Vec<C>) { mc.tick_into(0, out); }\n";
+        assert!(rules_of("crates/dram/src/a.rs", src).is_empty());
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Benchmark harness: fixed workloads behind `pccs bench` and the
 //! deterministic-schema `BENCH_<host>_<date>.json` baseline trajectory.
 //!
-//! [`run_all`] executes four fixed workloads and reports throughput
+//! [`run_all`] executes five fixed workloads and reports throughput
 //! numbers every later PR can be compared against (methodology in
 //! DESIGN.md §9):
 //!
@@ -10,6 +10,12 @@
 //!   simulated **cycles/sec** (best of N repetitions) plus the
 //!   metrics-registry overhead measured by re-running with publication
 //!   disabled.
+//! - `dram_fastpath` — a light-load multi-stream run timed on **both**
+//!   memory engines (DESIGN.md §11): the cycle-exact reference and the
+//!   event-driven skip-ahead fast path. The headline cycles/sec is the
+//!   event engine's; `extra` carries both rates and the speedup ratio,
+//!   and the run asserts the two engines produced bit-identical
+//!   `MemoryStats` before reporting anything.
 //! - `sched_replay` — the contended job mix replayed under the
 //!   contention-oblivious greedy policy. Reports makespan cycles/sec and
 //!   the decision count.
@@ -28,6 +34,12 @@
 //! The separate `benches/` directory holds the Criterion microbenches;
 //! this library is the macro-level harness behind `pccs bench`.
 
+use pccs_dram::config::DramConfig;
+use pccs_dram::engine::EngineKind;
+use pccs_dram::policy::PolicyKind;
+use pccs_dram::request::SourceId;
+use pccs_dram::sim::DramSystem;
+use pccs_dram::traffic::StreamTraffic;
 use pccs_experiments::context::{Context, Quality};
 use pccs_experiments::oblivious;
 use pccs_sched::engine::{run_schedule, SchedConfig};
@@ -71,9 +83,10 @@ pub const REQUIRED_METRICS: &[&str] = &[
     "sweep.cells",
 ];
 
-/// The four fixed workload names, in report (sorted) order.
+/// The five fixed workload names, in report (sorted) order.
 pub const WORKLOADS: &[&str] = &[
     "corun_contended",
+    "dram_fastpath",
     "sched_replay",
     "serve_replay",
     "sweep_oblivious",
@@ -202,6 +215,7 @@ pub fn validate(report: &Value) -> Result<(), String> {
         }
     };
     per_sec("corun_contended", "cycles_per_sec")?;
+    per_sec("dram_fastpath", "cycles_per_sec")?;
     per_sec("sched_replay", "cycles_per_sec")?;
     per_sec("serve_replay", "cycles_per_sec")?;
     per_sec("sweep_oblivious", "cells_per_sec")?;
@@ -212,6 +226,15 @@ pub fn validate(report: &Value) -> Result<(), String> {
         .and_then(Value::as_f64);
     if overhead.is_none() {
         return Err("corun_contended missing extra.metrics_overhead_pct".to_owned());
+    }
+    let speedup = workloads
+        .get("dram_fastpath")
+        .and_then(|w| w.get("extra"))
+        .and_then(|e| e.get("speedup"))
+        .and_then(Value::as_f64);
+    match speedup {
+        Some(s) if s > 0.0 => {}
+        _ => return Err("dram_fastpath missing positive extra.speedup".to_owned()),
     }
     let metrics_obj = obj
         .get("metrics")
@@ -343,6 +366,66 @@ fn run_corun_contended(soc: &SocConfig, quick: bool) -> WorkloadMetrics {
     }
 }
 
+/// The light-load multi-stream run the event engine is benchmarked on:
+/// four ~0.8 GB/s readers on the Xavier LPDDR4X bin under FR-FCFS. The
+/// traffic is stall-dominated on purpose — most cycles are bus-idle gaps
+/// between line emissions, which is exactly the regime the skip-ahead
+/// fast path collapses (DESIGN.md §11).
+fn fastpath_system(engine: EngineKind) -> DramSystem {
+    let mut sys = DramSystem::with_engine(DramConfig::xavier(), PolicyKind::FrFcfs, engine);
+    for s in 0..4 {
+        sys.add_generator(
+            StreamTraffic::builder(SourceId(s))
+                .demand_gbps(0.8)
+                .row_locality(0.9)
+                .window(8)
+                .seed(97 + s as u64)
+                .build(),
+        );
+    }
+    sys
+}
+
+fn run_dram_fastpath(quick: bool) -> WorkloadMetrics {
+    let horizon: u64 = if quick { 300_000 } else { 2_000_000 };
+    let iterations = if quick { 2 } else { 3 };
+    let time_engine = |engine: EngineKind| {
+        let mut stats = None;
+        let wall = best_of(iterations, || {
+            let outcome = fastpath_system(engine).run(horizon);
+            stats = Some(outcome.stats);
+        });
+        (wall, stats.expect("at least one timed iteration"))
+    };
+    let (wall_cycle, stats_cycle) = time_engine(EngineKind::Cycle);
+    let (wall_event, stats_event) = time_engine(EngineKind::Event);
+    // The speedup is only meaningful if both engines did identical work;
+    // the parity suite proves this in general, this asserts it for the
+    // exact configuration being timed.
+    assert_eq!(
+        stats_cycle, stats_event,
+        "dram_fastpath: engines diverged on the benchmarked configuration"
+    );
+    let cycle_rate = horizon as f64 / wall_cycle.max(f64::MIN_POSITIVE);
+    let event_rate = horizon as f64 / wall_event.max(f64::MIN_POSITIVE);
+    let mut extra = BTreeMap::new();
+    extra.insert("cycle_cycles_per_sec".to_owned(), cycle_rate);
+    extra.insert("event_cycles_per_sec".to_owned(), event_rate);
+    extra.insert(
+        "speedup".to_owned(),
+        event_rate / cycle_rate.max(f64::MIN_POSITIVE),
+    );
+    WorkloadMetrics {
+        wall_secs: wall_event,
+        iterations,
+        cycles: Some(horizon),
+        cycles_per_sec: Some(event_rate),
+        cells: None,
+        cells_per_sec: None,
+        extra,
+    }
+}
+
 fn run_sched_replay(soc: &SocConfig, quick: bool) -> WorkloadMetrics {
     let mix = mixes::mix("contended").expect("bundled 'contended' mix");
     let cfg = if quick {
@@ -429,7 +512,7 @@ fn run_sweep_oblivious() -> WorkloadMetrics {
     }
 }
 
-/// Runs the three fixed workloads and assembles the baseline report.
+/// Runs the fixed workloads and assembles the baseline report.
 ///
 /// Resets the metrics registry first so the report's `metrics` section
 /// covers exactly this run, and leaves the registry enabled afterwards.
@@ -444,6 +527,7 @@ pub fn run_all(quick: bool) -> BenchReport {
         "corun_contended".to_owned(),
         run_corun_contended(&soc, quick),
     );
+    workloads.insert("dram_fastpath".to_owned(), run_dram_fastpath(quick));
     workloads.insert("sched_replay".to_owned(), run_sched_replay(&soc, quick));
     workloads.insert("serve_replay".to_owned(), run_serve_replay(&soc, quick));
     workloads.insert("sweep_oblivious".to_owned(), run_sweep_oblivious());

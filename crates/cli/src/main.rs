@@ -9,12 +9,14 @@
 //!                   --external 40 --budget 0.05 [--model model.json]
 //! pccs corun       --soc xavier --pu GPU --bench streamcluster
 //!                  [--external 40] [--metrics-out out.jsonl] [--epoch 1000]
-//!                  [--quick] [--conformance]
+//!                  [--quick] [--conformance] [--engine cycle|event]
 //! pccs sched       [--soc xavier] [--mix contended] [--policy pccs]
 //!                  [--scale 1.0] [--quick] [--metrics-out out.jsonl]
+//!                  [--engine cycle|event]
 //! pccs serve       [--soc xavier] [--arrivals poisson] [--rate 8]
 //!                  [--policy pccs] [--admission open] [--duration 2000000]
 //!                  [--seed 42] [--batch 4] [--quick] [--metrics-out out.jsonl]
+//!                  [--engine cycle|event]
 //! pccs policies    [--victim 48]
 //! pccs lint        [--root .] [--json]
 //! pccs bench       [--quick] [--out BENCH.json]
@@ -56,14 +58,16 @@ USAGE:
   pccs corun        --soc <s> --pu <p> --bench <name> [--external <GB/s>]
                     [--horizon <cycles>] [--metrics-out <events.jsonl>]
                     [--epoch <cycles>] [--quick] [--conformance]
+                    [--engine <cycle|event>]
   pccs sched        [--soc <s>] [--mix <contended|inference-burst|steady-stream>]
                     [--policy <round-robin|greedy|pccs|oracle>] [--scale <f>]
                     [--quick] [--jobs <N>] [--metrics-out <events.jsonl>]
+                    [--engine <cycle|event>]
   pccs serve        [--soc <s>] [--arrivals <poisson|bursty|trace>] [--rate <per-Mcycle>]
                     [--trace-file <arrivals.txt>] [--policy <round-robin|greedy|pccs|oracle>]
                     [--admission <open|strict|p<frac>>] [--duration <cycles>]
                     [--seed <N>] [--batch <N>] [--quick] [--jobs <N>]
-                    [--metrics-out <events.jsonl>]
+                    [--metrics-out <events.jsonl>] [--engine <cycle|event>]
   pccs policies     [--victim <GB/s>]
   pccs lint         [--root <path>] [--json]
   pccs bench        [--quick] [--out <BENCH.json>]

@@ -35,7 +35,8 @@ use std::collections::{BTreeMap, BinaryHeap};
 /// closure by pending hits (starvation control for conflicting requests).
 const ROW_STREAK_CAP: u64 = 64;
 
-/// A request completion event delivered by [`MemoryController::tick`].
+/// A request completion event delivered by
+/// [`MemoryController::tick_into`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Completion {
     /// The id of the completed request.
@@ -46,7 +47,9 @@ pub struct Completion {
     pub finish: u64,
 }
 
-#[derive(Debug)]
+/// An in-flight request plus its decoded DRAM coordinates. Stored in the
+/// controller-level slab; channel queues hold slot indices into it.
+#[derive(Debug, Clone, Copy)]
 struct QueuedRequest {
     req: MemoryRequest,
     decoded: DecodedAddr,
@@ -54,7 +57,10 @@ struct QueuedRequest {
 
 #[derive(Debug)]
 struct ChannelState {
-    queue: Vec<QueuedRequest>,
+    /// Queued (unissued) requests, as slot indices into the controller's
+    /// request slab. Position order is the arrival order modulo
+    /// `swap_remove` holes — exactly what the policy's `queue_idx` sees.
+    queue: Vec<u32>,
     banks: Vec<Bank>,
     /// Next cycle at which the channel may issue (data-bus rate pacing).
     next_issue_at: u64,
@@ -93,6 +99,39 @@ fn act_is_legal(acts: &[(u64, usize)], act_at: u64, group: usize, timing: &DramT
     true
 }
 
+/// Whether queued request `q` is schedulable on its channel at `cycle`.
+///
+/// This is the single source of truth for the candidate filter: the
+/// per-cycle scheduler and the event engine's wake-up computation
+/// ([`MemoryController::next_wake`]) must agree exactly, or skip-ahead
+/// would stop being cycle-exact.
+fn is_schedulable(
+    q: &QueuedRequest,
+    channel: &ChannelState,
+    pending_hit: bool,
+    shield_rows: bool,
+    cycle: u64,
+    config: &DramConfig,
+) -> bool {
+    let bank = &channel.banks[q.decoded.bank];
+    if !bank.is_ready_for(q.req.kind, cycle) {
+        return false;
+    }
+    let row_hit = bank.open_row() == Some(q.decoded.row);
+    if shield_rows && !row_hit && pending_hit && bank.hits_since_open() < ROW_STREAK_CAP {
+        return false;
+    }
+    // ACT pacing: a request whose implied ACTIVATE would violate tRRD or
+    // tFAW is not schedulable this cycle.
+    if let Some(act_at) = bank.prospective_act_at(q.decoded.row, cycle, &config.timing) {
+        let group = config.bank_group(q.decoded.bank);
+        if !act_is_legal(&channel.acts, act_at, group, &config.timing) {
+            return false;
+        }
+    }
+    true
+}
+
 /// A multi-channel memory controller with a pluggable scheduling policy.
 #[derive(Debug)]
 pub struct MemoryController {
@@ -100,6 +139,14 @@ pub struct MemoryController {
     mapping: AddressMapping,
     policy: Box<dyn SchedulingPolicy>,
     channels: Vec<ChannelState>,
+    /// Slab of in-flight queued requests; channel queues index into it, so
+    /// enqueue/issue never reallocate per request in steady state.
+    slab: Vec<QueuedRequest>,
+    /// Free slot indices in `slab`.
+    free_slots: Vec<u32>,
+    /// Reusable candidate buffer for `schedule_channel` (no per-cycle
+    /// allocation on the hot path).
+    cand_scratch: Vec<Candidate>,
     stats: MemoryStats,
     pending_per_source: BTreeMap<SourceId, usize>,
     completions: BinaryHeap<Reverse<(u64, u64, usize)>>,
@@ -108,6 +155,9 @@ pub struct MemoryController {
     /// Optional protocol conformance observer; `None` costs one branch per
     /// issued request.
     conformance: Option<ConformanceChecker>,
+    /// First cycle not yet executed via the [`crate::engine::MemoryEngine`]
+    /// impl (the legacy `tick_into` path keeps its own caller-side cursor).
+    advanced_to: u64,
 }
 
 impl MemoryController {
@@ -136,17 +186,36 @@ impl MemoryController {
                 acts: Vec::new(),
             })
             .collect();
+        assert!(
+            config.banks_per_channel <= 128,
+            "unsupported geometry: more than 128 banks per channel"
+        );
+        let slab_capacity = config.queue_capacity * config.channels;
         Self {
             config,
             mapping,
             policy,
             channels,
+            slab: Vec::with_capacity(slab_capacity),
+            free_slots: Vec::new(),
+            cand_scratch: Vec::new(),
             stats: MemoryStats::new(),
             pending_per_source: BTreeMap::new(),
             completions: BinaryHeap::new(),
             recorder: None,
             conformance: None,
+            advanced_to: 0,
         }
+    }
+
+    /// First cycle not yet executed by the engine layer.
+    pub(crate) fn advanced_to(&self) -> u64 {
+        self.advanced_to
+    }
+
+    /// Records how far the engine layer has executed.
+    pub(crate) fn set_advanced_to(&mut self, cycle: u64) {
+        self.advanced_to = cycle;
     }
 
     /// Attaches the protocol conformance sanitizer, validating the emitted
@@ -208,6 +277,12 @@ impl MemoryController {
         self.stats
     }
 
+    /// Takes the accumulated statistics, leaving empty ones behind. The
+    /// engine layer uses this because trait objects cannot consume `self`.
+    pub fn take_stats(&mut self) -> MemoryStats {
+        std::mem::replace(&mut self.stats, MemoryStats::new())
+    }
+
     /// Number of queued (unissued) requests across all channels.
     pub fn pending(&self) -> usize {
         self.channels.iter().map(|c| c.queue.len()).sum()
@@ -235,7 +310,17 @@ impl MemoryController {
         self.stats.source_mut(req.source).enqueued += 1;
         *self.pending_per_source.entry(req.source).or_insert(0) += 1;
         self.policy.on_enqueue(req.source);
-        channel.queue.push(QueuedRequest { req, decoded });
+        let slot = match self.free_slots.pop() {
+            Some(slot) => {
+                self.slab[slot as usize] = QueuedRequest { req, decoded };
+                slot
+            }
+            None => {
+                self.slab.push(QueuedRequest { req, decoded });
+                (self.slab.len() - 1) as u32
+            }
+        };
+        channel.queue.push(slot);
         let depth = channel.queue.len() as u64;
         if depth > self.stats.scheduler.queue_hwm {
             self.stats.scheduler.queue_hwm = depth;
@@ -244,9 +329,30 @@ impl MemoryController {
     }
 
     /// Advances the controller by one cycle: lets the policy pick at most
-    /// one request per channel, updates bank/bus state, and returns the
-    /// completions whose data finished transferring at or before `cycle`.
+    /// one request per channel, updates bank/bus state, and appends the
+    /// completions whose data finished transferring at or before `cycle`
+    /// to `out` (the buffer is not cleared, so callers can reuse one
+    /// allocation across the whole run).
+    pub fn tick_into(&mut self, cycle: u64, out: &mut Vec<Completion>) {
+        self.step(cycle);
+        self.drain_up_to(cycle, out);
+    }
+
+    /// Advances the controller by one cycle and returns the completions in
+    /// a freshly allocated vector.
+    #[deprecated(
+        since = "0.3.0",
+        note = "use `tick_into` with a caller-supplied reusable buffer"
+    )]
     pub fn tick(&mut self, cycle: u64) -> Vec<Completion> {
+        let mut done = Vec::new();
+        self.tick_into(cycle, &mut done);
+        done
+    }
+
+    /// One cycle of scheduling work without draining completions (the
+    /// engine layer drains separately so both engines share one shape).
+    pub(crate) fn step(&mut self, cycle: u64) {
         self.policy.on_cycle(cycle);
         self.stats.elapsed_cycles = self.stats.elapsed_cycles.max(cycle + 1);
         if self.recorder.is_some() {
@@ -259,20 +365,164 @@ impl MemoryController {
         for ch_idx in 0..self.channels.len() {
             self.schedule_channel(ch_idx, cycle);
         }
+    }
 
-        let mut done = Vec::new();
+    /// Appends all completions with `finish <= cycle` to `out`, in
+    /// (finish, id, source) order.
+    pub(crate) fn drain_up_to(&mut self, cycle: u64, out: &mut Vec<Completion>) {
         while let Some(&Reverse((finish, id, source))) = self.completions.peek() {
             if finish > cycle {
                 break;
             }
             self.completions.pop();
-            done.push(Completion {
+            out.push(Completion {
                 request_id: id,
                 source: SourceId(source),
                 finish,
             });
         }
-        done
+    }
+
+    /// The finish cycle of the earliest buffered completion, if any.
+    pub(crate) fn next_completion_at(&self) -> Option<u64> {
+        self.completions
+            .peek()
+            .map(|&Reverse((finish, _, _))| finish)
+    }
+
+    /// Row-hit shielding precondition: a bitmask of banks that still have
+    /// queued row hits for their open row. Shared by the scheduler and
+    /// `next_wake` so both see the identical shield state.
+    fn pending_hit_mask(&self, channel: &ChannelState) -> u128 {
+        let mut mask = 0u128;
+        for &slot in &channel.queue {
+            let q = &self.slab[slot as usize];
+            if channel.banks[q.decoded.bank].open_row() == Some(q.decoded.row) {
+                mask |= 1 << q.decoded.bank;
+            }
+        }
+        mask
+    }
+
+    /// The earliest cycle `>= from` at which this controller might do
+    /// anything other than accumulate uniform stall cycles: issue a
+    /// request, run a refresh, unblock the data bus, hit a policy
+    /// epoch/quantum boundary, or see a queued request newly become
+    /// schedulable (bank timing expiry, tRRD/tFAW window expiry, tRAS
+    /// release). The event engine executes every cycle this returns and
+    /// skips the span in between; returning a cycle that is *too early*
+    /// only costs speed, returning one that is too late would break
+    /// cycle-exactness, so every bound below is conservative.
+    pub(crate) fn next_wake(&self, from: u64) -> u64 {
+        if self.recorder.is_some() {
+            // Telemetry recorders sample queue depth per cycle; degrade to
+            // cycle-exact stepping rather than distort epoch series.
+            return from;
+        }
+        let timing = &self.config.timing;
+        let mut wake = self.policy.next_wakeup().max(from);
+        for channel in &self.channels {
+            if channel.next_refresh_at != u64::MAX {
+                wake = wake.min(channel.next_refresh_at.max(from));
+            }
+            if channel.queue.is_empty() {
+                continue;
+            }
+            if from < channel.next_issue_at {
+                // Bus-blocked until next_issue_at; nothing can issue
+                // earlier, and the stall classification is uniform.
+                wake = wake.min(channel.next_issue_at);
+                continue;
+            }
+            let shield_rows = self.policy.respects_open_rows();
+            let pending_hits = if shield_rows {
+                self.pending_hit_mask(channel)
+            } else {
+                0
+            };
+            let schedulable = channel.queue.iter().any(|&slot| {
+                let q = &self.slab[slot as usize];
+                let pending_hit = pending_hits >> q.decoded.bank & 1 != 0;
+                is_schedulable(q, channel, pending_hit, shield_rows, from, &self.config)
+            });
+            if schedulable {
+                return from;
+            }
+            // No candidate at `from`: collect every cycle at which a
+            // queued request's schedulability predicate could flip from
+            // false to true. Bank/row/shield state is frozen until the
+            // next issue or refresh (both of which are themselves wake
+            // points), so the thresholds below are a complete superset.
+            let mut best = u64::MAX;
+            let consider = |c: u64, best: &mut u64| {
+                if c > from && c < *best {
+                    *best = c;
+                }
+            };
+            for &slot in &channel.queue {
+                let q = &self.slab[slot as usize];
+                let bank = &channel.banks[q.decoded.bank];
+                consider(bank.ready_at(), &mut best);
+                if q.req.kind == ReqKind::Read {
+                    consider(bank.read_ready_at(), &mut best);
+                }
+                match bank.probe(q.decoded.row) {
+                    RowOutcome::Hit => {}
+                    RowOutcome::Miss => {
+                        // Implied ACT at the issue cycle itself: tRRD/tFAW
+                        // legality flips when the history entries age out.
+                        for &(a, _) in &channel.acts {
+                            consider(a + timing.t_rrd_s, &mut best);
+                            consider(a + timing.t_rrd_l, &mut best);
+                            consider(a + timing.t_faw, &mut best);
+                        }
+                    }
+                    RowOutcome::Conflict => {
+                        // Implied ACT at max(cycle, ras_done_at) + tRP:
+                        // the same thresholds shifted into issue-cycle
+                        // space, plus the tRAS release boundary where the
+                        // ACT time starts tracking the issue cycle.
+                        consider(bank.ras_done_at(), &mut best);
+                        for &(a, _) in &channel.acts {
+                            consider((a + timing.t_rrd_s).saturating_sub(timing.t_rp), &mut best);
+                            consider((a + timing.t_rrd_l).saturating_sub(timing.t_rp), &mut best);
+                            consider((a + timing.t_faw).saturating_sub(timing.t_rp), &mut best);
+                        }
+                    }
+                }
+            }
+            wake = wake.min(best);
+        }
+        wake
+    }
+
+    /// Account for a skipped stall span `[from, to)` exactly as per-cycle
+    /// ticking would have: per channel, the whole span is idle (empty
+    /// queue), bus-blocked (before `next_issue_at`), or no-candidate —
+    /// [`MemoryController::next_wake`] guarantees the classification
+    /// cannot change inside the span.
+    pub(crate) fn skip_cycles(&mut self, from: u64, to: u64) {
+        if to <= from {
+            return;
+        }
+        debug_assert!(
+            self.recorder.is_none(),
+            "skip-ahead with a telemetry recorder attached"
+        );
+        let span = to - from;
+        let sched = &mut self.stats.scheduler;
+        for channel in &self.channels {
+            debug_assert!(to <= channel.next_refresh_at, "skipped over a refresh");
+            if channel.queue.is_empty() {
+                sched.idle += span;
+            } else if from < channel.next_issue_at {
+                debug_assert!(to <= channel.next_issue_at, "skipped past bus unblock");
+                sched.bus_blocked += span;
+            } else {
+                sched.no_candidate += span;
+            }
+        }
+        self.stats.elapsed_cycles = self.stats.elapsed_cycles.max(to);
     }
 
     fn schedule_channel(&mut self, ch_idx: usize, cycle: u64) {
@@ -345,7 +595,9 @@ impl MemoryController {
             }
         }
 
-        let candidates: Vec<Candidate> = {
+        let mut candidates = std::mem::take(&mut self.cand_scratch);
+        candidates.clear();
+        {
             let channel = &self.channels[ch_idx];
             // Open-page awareness: while a bank still has queued row hits
             // for its open row, realistic schedulers do not close that row
@@ -354,54 +606,28 @@ impl MemoryController {
             // per-row hit budget bounds the shielding so conflicting
             // requests cannot starve (row-hit streak cap, as in real MCs).
             let shield_rows = self.policy.respects_open_rows();
-            let mut bank_has_pending_hit = vec![false; channel.banks.len()];
-            if shield_rows {
-                for q in &channel.queue {
-                    if channel.banks[q.decoded.bank].open_row() == Some(q.decoded.row) {
-                        bank_has_pending_hit[q.decoded.bank] = true;
-                    }
+            let pending_hits = if shield_rows {
+                self.pending_hit_mask(channel)
+            } else {
+                0
+            };
+            for (i, &slot) in channel.queue.iter().enumerate() {
+                let q = &self.slab[slot as usize];
+                let pending_hit = pending_hits >> q.decoded.bank & 1 != 0;
+                if is_schedulable(q, channel, pending_hit, shield_rows, cycle, &self.config) {
+                    candidates.push(Candidate {
+                        queue_idx: i,
+                        source: q.req.source,
+                        row_hit: channel.banks[q.decoded.bank].open_row() == Some(q.decoded.row),
+                        arrival: q.req.arrival,
+                        bank: q.decoded.bank,
+                        row: q.decoded.row,
+                    });
                 }
             }
-            channel
-                .queue
-                .iter()
-                .enumerate()
-                .filter(|(_, q)| {
-                    let bank = &channel.banks[q.decoded.bank];
-                    if !bank.is_ready_for(q.req.kind, cycle) {
-                        return false;
-                    }
-                    let row_hit = bank.open_row() == Some(q.decoded.row);
-                    if shield_rows
-                        && !row_hit
-                        && bank_has_pending_hit[q.decoded.bank]
-                        && bank.hits_since_open() < ROW_STREAK_CAP
-                    {
-                        return false;
-                    }
-                    // ACT pacing: a request whose implied ACTIVATE would
-                    // violate tRRD or tFAW is not schedulable this cycle.
-                    if let Some(act_at) =
-                        bank.prospective_act_at(q.decoded.row, cycle, &self.config.timing)
-                    {
-                        let group = self.config.bank_group(q.decoded.bank);
-                        if !act_is_legal(&channel.acts, act_at, group, &self.config.timing) {
-                            return false;
-                        }
-                    }
-                    true
-                })
-                .map(|(i, q)| Candidate {
-                    queue_idx: i,
-                    source: q.req.source,
-                    row_hit: channel.banks[q.decoded.bank].open_row() == Some(q.decoded.row),
-                    arrival: q.req.arrival,
-                    bank: q.decoded.bank,
-                    row: q.decoded.row,
-                })
-                .collect()
-        };
+        }
         if candidates.is_empty() {
+            self.cand_scratch = candidates;
             self.stats.scheduler.no_candidate += 1;
             if let Some(r) = self.recorder.as_mut() {
                 r.on_stall(cycle, StallEvent::NoCandidate);
@@ -409,18 +635,24 @@ impl MemoryController {
             return;
         }
 
-        let input = ScheduleInput {
-            cycle,
-            candidates: &candidates,
-            pending_per_source: &self.pending_per_source,
+        let chosen = {
+            let input = ScheduleInput {
+                cycle,
+                candidates: &candidates,
+                pending_per_source: &self.pending_per_source,
+            };
+            self.policy.choose(&input)
         };
-        let Some(chosen) = self.policy.choose(&input) else {
+        let queue_idx = chosen.map(|c| candidates[c].queue_idx);
+        self.cand_scratch = candidates;
+        let Some(queue_idx) = queue_idx else {
             return;
         };
-        let queue_idx = candidates[chosen].queue_idx;
 
         let channel = &mut self.channels[ch_idx];
-        let q = channel.queue.swap_remove(queue_idx);
+        let slot = channel.queue.swap_remove(queue_idx);
+        let q = self.slab[slot as usize];
+        self.free_slots.push(slot);
         let issue = channel.banks[q.decoded.bank].issue(
             q.decoded.row,
             q.req.kind,
@@ -503,7 +735,7 @@ mod tests {
     fn run_until_complete(mc: &mut MemoryController, n: usize, max_cycles: u64) -> Vec<Completion> {
         let mut done = Vec::new();
         for cycle in 0..max_cycles {
-            done.extend(mc.tick(cycle));
+            mc.tick_into(cycle, &mut done);
             if done.len() >= n {
                 break;
             }
@@ -570,8 +802,28 @@ mod tests {
                 .unwrap();
         }
         // All four channels can issue in the same cycle.
-        mc.tick(0);
+        mc.tick_into(0, &mut Vec::new());
         assert_eq!(mc.pending(), 0);
+    }
+
+    #[test]
+    fn deprecated_tick_matches_tick_into() {
+        let mut a = controller(PolicyKind::FrFcfs);
+        let mut b = controller(PolicyKind::FrFcfs);
+        for i in 0..8u64 {
+            let req = MemoryRequest::read(i, SourceId(0), i * 64 * 131, 0);
+            a.try_enqueue(req).unwrap();
+            b.try_enqueue(req).unwrap();
+        }
+        let mut via_new = Vec::new();
+        let mut via_shim = Vec::new();
+        for cycle in 0..2_000 {
+            a.tick_into(cycle, &mut via_new);
+            #[allow(deprecated)]
+            via_shim.extend(b.tick(cycle));
+        }
+        assert_eq!(via_new, via_shim);
+        assert_eq!(a.stats(), b.stats());
     }
 
     #[test]

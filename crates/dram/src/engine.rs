@@ -1,0 +1,389 @@
+//! The memory-engine abstraction: one scheduling model, two drivers.
+//!
+//! [`MemoryEngine`] is the narrow waist between the DRAM model and every
+//! consumer (the co-run simulator, the multi-controller system, sched
+//! replay, serving, benchmarks). Two implementations exist:
+//!
+//! * the **cycle engine** — [`MemoryController`] itself, stepped on every
+//!   cycle; the conformance reference, and
+//! * the **event engine** — [`EventEngine`], which skips directly from one
+//!   actionable timestamp to the next (bank-timing expiry, tRRD/tFAW
+//!   window expiry, refresh deadline, policy epoch/quantum boundary, bus
+//!   unblock, completion finish) and accounts the skipped span's stall
+//!   statistics in closed form.
+//!
+//! The event engine is required to be **bit-identical** to the cycle
+//! engine: same `MemoryStats`, same per-source latency histograms, same
+//! command stream. `MemoryController::next_wake` returns a conservative
+//! superset of actionable cycles (executing an extra cycle is always
+//! exact — it just re-derives "nothing can issue" the slow way — while
+//! skipping an actionable one would diverge), so skip-ahead preserves
+//! JEDEC ordering by construction: every cycle at which a command could
+//! legally issue is still simulated by the cycle-exact scheduler.
+//! `crates/dram/tests/engine_parity.rs` asserts the equivalence across
+//! policies and timing bins.
+
+use crate::config::DramConfig;
+use crate::conformance::ConformanceReport;
+use crate::controller::{Completion, MemoryController};
+use crate::request::{MemoryRequest, SourceId};
+use crate::stats::MemoryStats;
+use pccs_telemetry::TelemetryReport;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// Which [`MemoryEngine`] implementation drives the DRAM model.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub enum EngineKind {
+    /// The cycle-exact reference: every cycle is simulated.
+    #[default]
+    Cycle,
+    /// The event-driven fast path: skip-ahead between actionable cycles,
+    /// bit-identical to `Cycle` (asserted by the parity suite).
+    Event,
+}
+
+impl EngineKind {
+    /// All engine kinds, for sweeps and CLI help text.
+    pub fn all() -> [EngineKind; 2] {
+        [EngineKind::Cycle, EngineKind::Event]
+    }
+
+    /// Stable lower-case label (CLI value, JSON field).
+    pub fn label(self) -> &'static str {
+        match self {
+            EngineKind::Cycle => "cycle",
+            EngineKind::Event => "event",
+        }
+    }
+
+    /// Wraps a fully configured controller in this engine kind's driver.
+    pub fn wrap(self, controller: MemoryController) -> Box<dyn MemoryEngine> {
+        match self {
+            EngineKind::Cycle => Box::new(controller),
+            EngineKind::Event => Box::new(EventEngine::new(controller)),
+        }
+    }
+}
+
+impl fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl FromStr for EngineKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "cycle" => Ok(EngineKind::Cycle),
+            "event" => Ok(EngineKind::Event),
+            other => Err(format!(
+                "unknown engine '{other}' (expected 'cycle' or 'event')"
+            )),
+        }
+    }
+}
+
+/// A driver for the DRAM scheduling model.
+///
+/// The contract mirrors an event-driven simulation loop: callers enqueue
+/// work, advance the engine to an executed cycle, drain the completions
+/// that finished by then, and ask `next_event` where the next actionable
+/// cycle is. The cycle engine answers "every cycle is actionable"; the
+/// event engine answers with a conservative skip target. Either way the
+/// externally observable behaviour — completions, statistics, telemetry,
+/// command stream — must be identical.
+pub trait MemoryEngine: fmt::Debug + Send {
+    /// Attempts to enqueue a request at the current cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(req)` when the target channel queue is full
+    /// (back-pressure); the caller should retry on a later cycle.
+    fn enqueue(&mut self, req: MemoryRequest) -> Result<(), MemoryRequest>;
+
+    /// Executes simulation work up to and including `cycle`. The engine
+    /// may account intervening cycles in closed form, but the state after
+    /// `advance_to(c)` must equal the cycle engine's state after ticking
+    /// every cycle `..= c`, provided no cycle in the skipped span was
+    /// actionable (guaranteed when callers respect `next_event`).
+    fn advance_to(&mut self, cycle: u64);
+
+    /// Appends all completions that finished at or before the last
+    /// `advance_to` cycle to `out` in (finish, id, source) order. The
+    /// buffer is caller-supplied and not cleared, so one allocation can
+    /// serve the whole run.
+    fn drain_completions(&mut self, out: &mut Vec<Completion>);
+
+    /// The earliest cycle `>= from` the engine needs to execute: the next
+    /// completion finish or controller wake-up. Returning `from` means
+    /// "execute every cycle" (the cycle engine always does).
+    fn next_event(&self, from: u64) -> u64;
+
+    /// Closes out a run at exclusive `horizon`: accounts any remaining
+    /// skipped span and pins `elapsed_cycles` to the horizon.
+    fn finish(&mut self, horizon: u64);
+
+    /// Statistics accumulated so far.
+    fn stats(&self) -> &MemoryStats;
+
+    /// Takes the accumulated statistics, leaving empty ones behind.
+    fn take_stats(&mut self) -> MemoryStats;
+
+    /// Number of queued (unissued) requests across all channels.
+    fn pending(&self) -> usize;
+
+    /// Number of queued requests for one source.
+    fn pending_for(&self, source: SourceId) -> usize;
+
+    /// The memory geometry this engine drives.
+    fn config(&self) -> &DramConfig;
+
+    /// The active scheduling policy's name.
+    fn policy_name(&self) -> &'static str;
+
+    /// Flushes the attached telemetry recorder at `cycle` and returns its
+    /// report, if a recorder is attached and produces one.
+    fn take_report(&mut self, cycle: u64) -> Option<TelemetryReport>;
+
+    /// Replays the observed command stream and returns the conformance
+    /// report, or `None` when the sanitizer was never enabled.
+    fn conformance_report(&self) -> Option<ConformanceReport>;
+}
+
+impl MemoryEngine for MemoryController {
+    fn enqueue(&mut self, req: MemoryRequest) -> Result<(), MemoryRequest> {
+        self.try_enqueue(req)
+    }
+
+    fn advance_to(&mut self, cycle: u64) {
+        // The cycle engine executes every cycle; callers driven by
+        // `next_event` only ever ask for one cycle at a time, but catch up
+        // honestly if they don't.
+        let mut c = self.advanced_to();
+        while c <= cycle {
+            self.step(c);
+            c += 1;
+        }
+        self.set_advanced_to(c);
+    }
+
+    fn drain_completions(&mut self, out: &mut Vec<Completion>) {
+        let advanced = self.advanced_to();
+        self.drain_up_to(advanced.saturating_sub(1), out);
+    }
+
+    fn next_event(&self, from: u64) -> u64 {
+        from
+    }
+
+    fn finish(&mut self, horizon: u64) {
+        let mut c = self.advanced_to();
+        while c < horizon {
+            self.step(c);
+            c += 1;
+        }
+        self.set_advanced_to(c.max(horizon));
+    }
+
+    fn stats(&self) -> &MemoryStats {
+        self.stats()
+    }
+
+    fn take_stats(&mut self) -> MemoryStats {
+        self.take_stats()
+    }
+
+    fn pending(&self) -> usize {
+        self.pending()
+    }
+
+    fn pending_for(&self, source: SourceId) -> usize {
+        self.pending_for(source)
+    }
+
+    fn config(&self) -> &DramConfig {
+        self.config()
+    }
+
+    fn policy_name(&self) -> &'static str {
+        self.policy_name()
+    }
+
+    fn take_report(&mut self, cycle: u64) -> Option<TelemetryReport> {
+        self.take_report(cycle)
+    }
+
+    fn conformance_report(&self) -> Option<ConformanceReport> {
+        self.conformance_report()
+    }
+}
+
+/// The event-driven skip-ahead driver around a [`MemoryController`].
+///
+/// Invariants (see DESIGN.md §11):
+///
+/// 1. `cursor` is the first unexecuted cycle; all controller state is
+///    exactly the cycle engine's state after ticking `..cursor`.
+/// 2. A span is skipped only when `next_wake` proves no cycle in it is
+///    actionable; the skipped span's stall statistics are accounted in
+///    closed form by `skip_cycles` with the same per-cycle classification
+///    ticking would produce.
+/// 3. Every command the controller emits is still chosen by the
+///    cycle-exact scheduler at an executed cycle, so JEDEC
+///    ordering/timing is preserved untouched — skip-ahead never
+///    fabricates issue opportunities, it only fast-forwards over proven
+///    stalls.
+#[derive(Debug)]
+pub struct EventEngine {
+    ctrl: MemoryController,
+    /// First cycle not yet executed.
+    cursor: u64,
+}
+
+impl EventEngine {
+    /// Wraps a fully configured controller (recorder/conformance already
+    /// attached) in the skip-ahead driver.
+    pub fn new(ctrl: MemoryController) -> Self {
+        Self { ctrl, cursor: 0 }
+    }
+
+    /// Unwraps back into the underlying controller.
+    pub fn into_inner(self) -> MemoryController {
+        self.ctrl
+    }
+}
+
+impl MemoryEngine for EventEngine {
+    fn enqueue(&mut self, req: MemoryRequest) -> Result<(), MemoryRequest> {
+        // Settle the pending skip span *before* the queue mutates: the
+        // span's stall classification must see the queue as it stood
+        // during those cycles, exactly as per-cycle ticking would have.
+        if req.arrival > self.cursor {
+            self.ctrl.skip_cycles(self.cursor, req.arrival);
+            self.cursor = req.arrival;
+        }
+        self.ctrl.try_enqueue(req)
+    }
+
+    fn advance_to(&mut self, cycle: u64) {
+        if cycle < self.cursor {
+            return;
+        }
+        // [cursor, cycle) was proven stall-only by next_event; account it
+        // in closed form, then execute `cycle` exactly.
+        self.ctrl.skip_cycles(self.cursor, cycle);
+        self.ctrl.step(cycle);
+        self.cursor = cycle + 1;
+    }
+
+    fn drain_completions(&mut self, out: &mut Vec<Completion>) {
+        self.ctrl.drain_up_to(self.cursor.saturating_sub(1), out);
+    }
+
+    fn next_event(&self, from: u64) -> u64 {
+        let wake = self.ctrl.next_wake(from);
+        match self.ctrl.next_completion_at() {
+            Some(finish) => wake.min(finish.max(from)),
+            None => wake,
+        }
+    }
+
+    fn finish(&mut self, horizon: u64) {
+        // Even with no traffic left, refresh deadlines (and any remaining
+        // bank-timing breakpoints) still fall inside the tail — execute
+        // them so refresh state, REF conformance records, and stall
+        // accounting match the cycle engine ticking out the horizon.
+        while self.cursor < horizon {
+            let next = self.next_event(self.cursor);
+            if next >= horizon {
+                self.ctrl.skip_cycles(self.cursor, horizon);
+                self.cursor = horizon;
+            } else {
+                self.ctrl.skip_cycles(self.cursor, next);
+                self.ctrl.step(next);
+                self.cursor = next + 1;
+            }
+        }
+    }
+
+    fn stats(&self) -> &MemoryStats {
+        self.ctrl.stats()
+    }
+
+    fn take_stats(&mut self) -> MemoryStats {
+        self.ctrl.take_stats()
+    }
+
+    fn pending(&self) -> usize {
+        self.ctrl.pending()
+    }
+
+    fn pending_for(&self, source: SourceId) -> usize {
+        self.ctrl.pending_for(source)
+    }
+
+    fn config(&self) -> &DramConfig {
+        self.ctrl.config()
+    }
+
+    fn policy_name(&self) -> &'static str {
+        self.ctrl.policy_name()
+    }
+
+    fn take_report(&mut self, cycle: u64) -> Option<TelemetryReport> {
+        self.ctrl.take_report(cycle)
+    }
+
+    fn conformance_report(&self) -> Option<ConformanceReport> {
+        self.ctrl.conformance_report()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::PolicyKind;
+
+    #[test]
+    fn engine_kind_round_trips_through_strings() {
+        for kind in EngineKind::all() {
+            assert_eq!(kind.label().parse::<EngineKind>().unwrap(), kind);
+            assert_eq!(kind.to_string(), kind.label());
+        }
+        assert!("hybrid".parse::<EngineKind>().is_err());
+        assert_eq!(EngineKind::default(), EngineKind::Cycle);
+    }
+
+    #[test]
+    fn both_engines_drain_a_simple_stream_identically() {
+        let mk =
+            || MemoryController::new(DramConfig::cmp_study(), PolicyKind::FrFcfs.instantiate());
+        let mut outs: Vec<(Vec<Completion>, MemoryStats)> = Vec::new();
+        for kind in EngineKind::all() {
+            let mut engine = kind.wrap(mk());
+            for i in 0..32u64 {
+                engine
+                    .enqueue(MemoryRequest::read(i, SourceId(0), i * 64 * 131, 0))
+                    .unwrap();
+            }
+            let mut done = Vec::new();
+            let mut now = 0u64;
+            let horizon = 20_000u64;
+            while now < horizon && done.len() < 32 {
+                engine.advance_to(now);
+                engine.drain_completions(&mut done);
+                now = engine.next_event(now + 1).max(now + 1).min(horizon);
+            }
+            engine.finish(horizon);
+            outs.push((done, engine.take_stats()));
+        }
+        assert_eq!(outs[0].0, outs[1].0, "completion streams differ");
+        assert_eq!(outs[0].1, outs[1].1, "stats differ");
+    }
+}

@@ -45,6 +45,8 @@ pub mod config;
 pub mod conformance;
 /// The memory controller: per-channel request queues, bank state, and the.
 pub mod controller;
+/// The memory-engine abstraction: cycle-exact and event-driven drivers.
+pub mod engine;
 /// Physical-address-to-DRAM-coordinate mapping.
 pub mod mapping;
 /// Multi-memory-controller SoCs.
@@ -66,6 +68,7 @@ pub mod traffic;
 
 pub use config::DramConfig;
 pub use conformance::{ConformanceChecker, ConformanceReport};
+pub use engine::{EngineKind, EventEngine, MemoryEngine};
 pub use policy::PolicyKind;
 pub use request::{MemoryRequest, ReqKind, SourceId};
 pub use sim::{DramSystem, SimOutcome};

@@ -1,0 +1,210 @@
+//! Differential verification of the two memory engines.
+//!
+//! The event-driven fast path ([`pccs_dram::engine::EventEngine`]) must be
+//! **bit-identical** to the cycle-exact reference: same `MemoryStats`
+//! (served/row-hit/miss/conflict counts, per-source latency histograms,
+//! stall breakdown), same completion streams, same per-source progress —
+//! for every scheduling policy and both timing bins (DDR4-3200 `cmp_study`
+//! and LPDDR4X-4266 `xavier`). These properties drive randomized traffic
+//! through both engines and assert full equality.
+
+use pccs_dram::config::DramConfig;
+use pccs_dram::engine::EngineKind;
+use pccs_dram::policy::PolicyKind;
+use pccs_dram::request::{ReqKind, SourceId};
+use pccs_dram::sim::{DramSystem, SimOutcome};
+use pccs_dram::trace::{ReplayMode, TraceRecord, TraceSource};
+use pccs_dram::traffic::StreamTraffic;
+use proptest::prelude::*;
+
+const POLICIES: [PolicyKind; 5] = [
+    PolicyKind::Fcfs,
+    PolicyKind::FrFcfs,
+    PolicyKind::Atlas,
+    PolicyKind::Tcm,
+    PolicyKind::Sms,
+];
+
+/// Both timing bins the paper studies: DDR4 (cmp study) and LPDDR4X
+/// (Xavier).
+fn bins() -> [DramConfig; 2] {
+    [DramConfig::cmp_study(), DramConfig::xavier()]
+}
+
+#[derive(Debug, Clone)]
+struct StreamSpec {
+    demand_gbps: f64,
+    locality: f64,
+    window: usize,
+    write_fraction: f64,
+    seed: u64,
+}
+
+fn arb_spec() -> impl Strategy<Value = StreamSpec> {
+    (
+        0.4f64..60.0,
+        0.5f64..0.99,
+        2usize..48,
+        0.0f64..0.5,
+        0u64..1_000_000,
+    )
+        .prop_map(
+            |(demand_gbps, locality, window, write_fraction, seed)| StreamSpec {
+                demand_gbps,
+                locality,
+                window,
+                write_fraction,
+                seed,
+            },
+        )
+}
+
+fn run_streams(
+    bin: &DramConfig,
+    policy: PolicyKind,
+    engine: EngineKind,
+    specs: &[StreamSpec],
+    warmup: u64,
+    horizon: u64,
+) -> SimOutcome {
+    let mut sys = DramSystem::with_engine(bin.clone(), policy, engine);
+    for (i, s) in specs.iter().enumerate() {
+        sys.add_generator(
+            StreamTraffic::builder(SourceId(i))
+                .demand_gbps(s.demand_gbps)
+                .row_locality(s.locality)
+                .window(s.window)
+                .write_fraction(s.write_fraction)
+                .seed(s.seed)
+                .build(),
+        );
+    }
+    sys.run_with_warmup(warmup, horizon)
+}
+
+/// Asserts the full externally observable outcome matches.
+fn assert_outcomes_match(
+    cycle: &SimOutcome,
+    event: &SimOutcome,
+    context: &str,
+) -> Result<(), TestCaseError> {
+    prop_assert_eq!(
+        &cycle.stats,
+        &event.stats,
+        "MemoryStats diverged ({})",
+        context
+    );
+    prop_assert_eq!(
+        &cycle.completed,
+        &event.completed,
+        "completions diverged ({})",
+        context
+    );
+    prop_assert_eq!(
+        &cycle.progress,
+        &event.progress,
+        "progress diverged ({})",
+        context
+    );
+    prop_assert_eq!(
+        &cycle.measured.progress,
+        &event.measured.progress,
+        "measured-window progress diverged ({})",
+        context
+    );
+    prop_assert_eq!(
+        &cycle.measured.bytes,
+        &event.measured.bytes,
+        "measured-window bytes diverged ({})",
+        context
+    );
+    Ok(())
+}
+
+proptest! {
+    /// Random synthetic traffic, every policy, both bins: the engines must
+    /// produce identical statistics, histograms, and progress.
+    #[test]
+    fn engines_agree_on_random_stream_traffic(
+        specs in prop::collection::vec(arb_spec(), 1..4),
+        horizon in 4_000u64..12_000,
+    ) {
+        let warmup = horizon / 4;
+        for bin in bins() {
+            for policy in POLICIES {
+                let cycle = run_streams(&bin, policy, EngineKind::Cycle, &specs, warmup, horizon);
+                let event = run_streams(&bin, policy, EngineKind::Event, &specs, warmup, horizon);
+                assert_outcomes_match(
+                    &cycle,
+                    &event,
+                    &format!("{policy:?} on {} channels", bin.channels),
+                )?;
+            }
+        }
+    }
+
+    /// Trace replay (both pacing modes) through both engines.
+    #[test]
+    fn engines_agree_on_trace_replay(
+        stride_lines in 1u64..200,
+        gap in 1u64..40,
+        count in 8u64..120,
+        write_every in 2u64..9,
+        window in 2usize..32,
+    ) {
+        let records: Vec<TraceRecord> = (0..count)
+            .map(|i| TraceRecord {
+                cycle: i * gap,
+                addr: i * stride_lines * 64,
+                kind: if i % write_every == 0 { ReqKind::Write } else { ReqKind::Read },
+            })
+            .collect();
+        let horizon = count * gap + 4_000;
+        for bin in bins() {
+            for mode in [ReplayMode::Timed, ReplayMode::AsFast { window }] {
+                let run = |engine: EngineKind| {
+                    let mut sys = DramSystem::with_engine(bin.clone(), PolicyKind::FrFcfs, engine);
+                    sys.add_generator(TraceSource::new(SourceId(0), records.clone(), mode));
+                    sys.run(horizon)
+                };
+                let cycle = run(EngineKind::Cycle);
+                let event = run(EngineKind::Event);
+                assert_outcomes_match(&cycle, &event, &format!("{mode:?}"))?;
+                prop_assert_eq!(cycle.completed[&SourceId(0)], count, "trace must drain");
+            }
+        }
+    }
+
+    /// The conformance sanitizer must see the identical command stream from
+    /// both engines (same commands at the same cycles) and stay clean.
+    #[test]
+    fn engines_emit_identical_command_streams(
+        spec in arb_spec(),
+        horizon in 4_000u64..10_000,
+    ) {
+        for bin in bins() {
+            let run = |engine: EngineKind| {
+                let mut sys = DramSystem::with_engine(bin.clone(), PolicyKind::Atlas, engine);
+                sys.enable_conformance();
+                sys.add_generator(
+                    StreamTraffic::builder(SourceId(0))
+                        .demand_gbps(spec.demand_gbps)
+                        .row_locality(spec.locality)
+                        .window(spec.window)
+                        .write_fraction(spec.write_fraction)
+                        .seed(spec.seed)
+                        .build(),
+                );
+                sys.run(horizon)
+            };
+            let cycle = run(EngineKind::Cycle);
+            let event = run(EngineKind::Event);
+            let c = cycle.conformance.as_ref().expect("sanitizer enabled");
+            let e = event.conformance.as_ref().expect("sanitizer enabled");
+            prop_assert_eq!(c.commands, e.commands, "command counts diverged");
+            prop_assert!(c.is_clean(), "cycle engine violations: {}", c.summary());
+            prop_assert!(e.is_clean(), "event engine violations: {}", e.summary());
+            prop_assert_eq!(&cycle.stats, &event.stats);
+        }
+    }
+}

@@ -10,6 +10,7 @@ use crate::executor::PuExecutor;
 use crate::kernel::KernelDesc;
 use crate::pressure::pressure_streams_seeded;
 use crate::soc::SocConfig;
+use pccs_dram::engine::EngineKind;
 use pccs_dram::policy::PolicyKind;
 use pccs_dram::request::SourceId;
 use pccs_dram::sim::{DramSystem, SimOutcome};
@@ -42,6 +43,9 @@ pub struct CoRunConfig {
     pub repeats: u32,
     /// Memory-controller scheduling policy.
     pub policy: PolicyKind,
+    /// Which memory-engine driver runs the DRAM model (bit-identical
+    /// results either way; `Event` is the fast path).
+    pub engine: EngineKind,
 }
 
 impl Default for CoRunConfig {
@@ -51,6 +55,7 @@ impl Default for CoRunConfig {
             warmup_fraction: WARMUP_FRACTION,
             repeats: 1,
             policy: PolicyKind::Atlas,
+            engine: EngineKind::Cycle,
         }
     }
 }
@@ -105,6 +110,12 @@ impl CoRunConfig {
     /// Sets the memory-controller policy.
     pub fn with_policy(mut self, policy: PolicyKind) -> Self {
         self.policy = policy;
+        self
+    }
+
+    /// Selects the memory-engine driver.
+    pub fn with_engine(mut self, engine: EngineKind) -> Self {
+        self.engine = engine;
         self
     }
 }
@@ -317,6 +328,13 @@ impl CoRunSim {
         self
     }
 
+    /// Selects the memory-engine driver (cycle-exact reference or the
+    /// bit-identical event-driven fast path).
+    pub fn engine(&mut self, engine: EngineKind) -> &mut Self {
+        self.config.engine = engine;
+        self
+    }
+
     /// Sets the simulation horizon — [`CoRunConfig::horizon`] is the single
     /// source of truth for how long [`CoRunSim::execute`] runs.
     ///
@@ -456,7 +474,11 @@ impl CoRunSim {
     fn run_once(&self, horizon: u64, warmup: u64, run_seed: u64) -> SimOutcome {
         let _prof = Profiler::scope("sim.rep");
         metrics::add("sim.runs", 1);
-        let mut sys = DramSystem::new(self.soc.dram.clone(), self.config.policy);
+        let mut sys = DramSystem::with_engine(
+            self.soc.dram.clone(),
+            self.config.policy,
+            self.config.engine,
+        );
         if let Some(epoch) = self.epoch {
             sys.set_recorder(Box::new(EpochRecorder::new(epoch)));
         }
@@ -639,8 +661,32 @@ mod tests {
         assert!((cfg.warmup_fraction - WARMUP_FRACTION).abs() < 1e-12);
         assert_eq!(cfg.repeats, 1);
         assert_eq!(cfg.policy, PolicyKind::Atlas);
+        assert_eq!(cfg.engine, EngineKind::Cycle, "cycle engine is the default");
         let probe = CoRunConfig::probe();
         assert!(probe.horizon < cfg.horizon);
+    }
+
+    #[test]
+    fn engines_agree_on_a_full_corun() {
+        let soc = xavier();
+        let gpu = soc.pu_index("GPU").unwrap();
+        let cpu = soc.pu_index("CPU").unwrap();
+        let run = |engine: EngineKind| {
+            let mut sim = CoRunSim::new(&soc);
+            sim.engine(engine);
+            sim.horizon(30_000);
+            sim.place(Placement::kernel(
+                gpu,
+                KernelDesc::memory_streaming("stream", 0.5),
+            ));
+            sim.external_pressure(cpu, 60.0);
+            sim.execute()
+        };
+        let cycle = run(EngineKind::Cycle);
+        let event = run(EngineKind::Event);
+        assert_eq!(cycle.per_pu, event.per_pu, "per-PU rates diverged");
+        assert_eq!(cycle.memory.stats, event.memory.stats, "stats diverged");
+        assert_eq!(cycle.memory.completed, event.memory.completed);
     }
 
     #[test]

@@ -28,6 +28,18 @@ serve_determinism() {
   [[ -n ${out1} ]] && diff <(echo "${out1}") <(echo "${out2}")
 }
 
+# The event-driven memory engine must be externally indistinguishable
+# from the cycle-exact reference (DESIGN.md §11): the same quick co-run
+# on both engines must print byte-identical results.
+engine_parity() {
+  local cyc evt
+  cyc=$(./target/release/pccs corun --soc xavier --pu GPU --bench streamcluster \
+    --quick --engine cycle) || return 1
+  evt=$(./target/release/pccs corun --soc xavier --pu GPU --bench streamcluster \
+    --quick --engine event) || return 1
+  diff <(echo "${cyc}") <(echo "${evt}")
+}
+
 # Every workspace crate must appear in the rustdoc output; a crate missing
 # from target/doc means it fell out of the doc build (e.g. dropped from the
 # workspace members) without anyone noticing.
@@ -72,6 +84,9 @@ step bench-smoke ./target/release/pccs bench --quick --out target/BENCH_smoke.js
 # attached must replay with zero JEDEC timing violations.
 step conformance-smoke ./target/release/pccs corun --soc xavier --pu GPU \
   --bench streamcluster --quick --conformance
+# Engine-parity smoke: the event fast path and the cycle-exact reference
+# must agree byte-for-byte on a real co-run.
+step engine-parity engine_parity
 step doc    cargo doc --no-deps --workspace
 step doc-complete doc_complete
 step test   cargo test --release --workspace
