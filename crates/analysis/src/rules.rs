@@ -9,6 +9,7 @@
 //! | `deprecated-shim` | all crates, non-test code | calls to the deprecated `CoRunSim::run_configured` shim and `#[allow(deprecated)]` escapes (the only way a call to the deprecated `run` shim survives `-D warnings`). |
 //! | `missing-docs` | library crates, non-test code | `pub` items without a rustdoc comment directly above. |
 //! | `raw-stderr` | `dram`/`soc`/`core`/`sched`/`experiments` library code | `println!`/`eprintln!`/`print!`/`eprint!` — library crates must route output through telemetry or return it to the CLI layer, not write to the process streams. |
+//! | `hot-loop-metrics` | `dram`/`soc` library code | `metrics::add`/`observe_max`/`counter`/`gauge` lexically inside a `for`/`while`/`loop` body — each call takes the registry lock, so per-cycle loops must accumulate locally and publish once after the loop (the §9 overhead budget depends on it). |
 //!
 //! Findings are suppressed with a `// pccs-lint: allow(<rule>)` comment on
 //! the finding's line or the line directly above — waivers are visible in
@@ -30,6 +31,7 @@ pub const RULE_NAMES: &[&str] = &[
     "deprecated-shim",
     "missing-docs",
     "raw-stderr",
+    "hot-loop-metrics",
 ];
 
 /// Crates whose non-test code is a simulator hot path.
@@ -55,6 +57,14 @@ const QUIET_CRATES: &[&str] = &["dram", "soc", "core", "sched", "serve", "experi
 
 /// Print-family macros the `raw-stderr` rule flags.
 const PRINT_MACROS: &[&str] = &["println", "eprintln", "print", "eprint"];
+
+/// Crates whose loops are per-cycle simulator inner loops.
+const HOT_LOOP_CRATES: &[&str] = &["dram", "soc"];
+
+/// Metrics-registry entry points that take the registry lock; one call
+/// per loop iteration is the overhead the `pccs bench` budget guards
+/// against. Accumulate locally, publish once after the loop.
+const METRICS_PUBLISH_FNS: &[&str] = &["add", "observe_max", "counter", "gauge"];
 
 /// How a file is situated relative to the rules.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -353,6 +363,109 @@ fn raw_stderr(ctx: &RuleCtx<'_>, out: &mut Vec<Finding>) {
     }
 }
 
+/// Marks every token inside the body of a lexical `for`/`while`/`loop`.
+///
+/// Loop headers are found by keyword; the body is the first `{` at
+/// paren/bracket depth zero after the header (struct literals are not
+/// legal in loop-header expression position, so that brace is always the
+/// body), then brace-matched to its close. A `for` with no `in` before
+/// the brace is `impl Trait for Type` or a `for<'a>` bound, not a loop —
+/// scanning resumes inside its braces so real loops nested there are
+/// still found. Comments and strings are already stripped by the lexer,
+/// so brace counting is exact.
+fn loop_body_mask(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let text = |k: usize| tokens.get(k).map(|t| t.text.as_str());
+    let mut i = 0;
+    while i < tokens.len() {
+        let keyword = text(i);
+        if !matches!(keyword, Some("for" | "while" | "loop")) {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        let mut depth = 0usize;
+        let mut saw_in = false;
+        let body_open = loop {
+            match text(j) {
+                Some("(" | "[") => depth += 1,
+                Some(")" | "]") => depth = depth.saturating_sub(1),
+                Some("in") if depth == 0 => saw_in = true,
+                Some("{") if depth == 0 => break Some(j),
+                // A terminator before any body brace: not a loop header
+                // (e.g. `for` inside a use path or a macro fragment).
+                Some(";" | "}") if depth == 0 => break None,
+                None => break None,
+                _ => {}
+            }
+            j += 1;
+        };
+        let Some(open) = body_open else {
+            i = j.max(i + 1);
+            continue;
+        };
+        if keyword == Some("for") && !saw_in {
+            i = open;
+            continue;
+        }
+        let mut braces = 0usize;
+        let mut end = open;
+        for (k, tok) in tokens.iter().enumerate().skip(open) {
+            match tok.text.as_str() {
+                "{" => braces += 1,
+                "}" => {
+                    braces -= 1;
+                    if braces == 0 {
+                        end = k;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            end = k;
+        }
+        for m in mask.iter_mut().take(end + 1).skip(open) {
+            *m = true;
+        }
+        // Resume inside the body so nested loops are processed too (the
+        // re-marking is idempotent).
+        i = open + 1;
+    }
+    mask
+}
+
+fn hot_loop_metrics(ctx: &RuleCtx<'_>, out: &mut Vec<Finding>) {
+    if !HOT_LOOP_CRATES.contains(&ctx.class.crate_name.as_str())
+        || ctx.class.is_test_path
+        || ctx.class.is_bin
+    {
+        return;
+    }
+    let in_loop = loop_body_mask(&ctx.lexed.tokens);
+    for (k, tok) in ctx.lexed.tokens.iter().enumerate() {
+        if ctx.in_test[k] || !in_loop[k] || tok.kind != TokenKind::Ident || tok.text != "metrics" {
+            continue;
+        }
+        if ctx.text(k + 1) != Some(":") || ctx.text(k + 2) != Some(":") {
+            continue;
+        }
+        let Some(func) = ctx.ident(k + 3) else {
+            continue;
+        };
+        if METRICS_PUBLISH_FNS.contains(&func) && ctx.text(k + 4) == Some("(") {
+            out.push(ctx.finding(
+                "hot-loop-metrics",
+                tok.line,
+                format!(
+                    "metrics::{func} inside a per-cycle loop takes the registry \
+                     lock every iteration; accumulate locally and publish once \
+                     after the loop"
+                ),
+            ));
+        }
+    }
+}
+
 /// Item keywords that may directly follow `pub` and need rustdoc.
 const PUB_ITEM_KEYWORDS: &[&str] = &[
     "fn", "struct", "enum", "trait", "mod", "type", "const", "static", "union", "unsafe", "async",
@@ -445,6 +558,7 @@ pub fn lint_source(rel_path: &str, src: &str) -> LintReport {
     deprecated_shim(&ctx, &mut raw);
     missing_docs(&ctx, &mut raw);
     raw_stderr(&ctx, &mut raw);
+    hot_loop_metrics(&ctx, &mut raw);
 
     let mut report = LintReport {
         findings: Vec::new(),
@@ -628,6 +742,51 @@ mod tests {
         // Waivers suppress like every other rule.
         let src = "fn f() {\n    // pccs-lint: allow(raw-stderr)\n    eprintln!(\"x\");\n}\n";
         let report = lint_source("crates/soc/src/a.rs", src);
+        assert!(report.is_clean());
+        assert_eq!(report.waived, 1);
+    }
+
+    #[test]
+    fn metrics_publishes_in_loops_are_flagged() {
+        // The planted anti-pattern: a per-cycle loop publishing to the
+        // registry every iteration.
+        let src = "fn run(h: u64) {\n    for cycle in 0..h {\n        metrics::add(\"dram.cycles\", 1);\n        let _ = cycle;\n    }\n}\n";
+        assert_eq!(
+            rules_of("crates/dram/src/a.rs", src),
+            vec!["hot-loop-metrics"]
+        );
+        assert_eq!(
+            rules_of("crates/soc/src/a.rs", src),
+            vec!["hot-loop-metrics"]
+        );
+        // Outside the hot-loop crates the pattern is someone else's call.
+        assert!(rules_of("crates/experiments/src/a.rs", src).is_empty());
+        // `while` and bare `loop` bodies are covered, reads-by-handle too.
+        let src = "fn f() { while busy() { metrics::observe_max(\"q\", 1); } }\n";
+        assert_eq!(
+            rules_of("crates/dram/src/a.rs", src),
+            vec!["hot-loop-metrics"]
+        );
+        let src = "fn f() { loop { let c = metrics::counter(\"x\"); c.get(); break; } }\n";
+        assert_eq!(
+            rules_of("crates/dram/src/a.rs", src),
+            vec!["hot-loop-metrics"]
+        );
+        // The fix — accumulate locally, publish after the loop — passes.
+        let src = "fn run(h: u64) {\n    let mut n = 0;\n    for _ in 0..h { n += 1; }\n    metrics::add(\"dram.cycles\", n);\n}\n";
+        assert!(rules_of("crates/dram/src/a.rs", src).is_empty());
+        // `impl Trait for Type` braces are not loop bodies, but a real
+        // loop nested inside the impl still trips.
+        let src = "impl Engine for Fast {\n    fn publish(&self) { metrics::add(\"x\", 1); }\n}\n";
+        assert!(rules_of("crates/dram/src/a.rs", src).is_empty());
+        let src = "impl Engine for Fast {\n    fn run(&self, h: u64) {\n        for _ in 0..h { metrics::add(\"x\", 1); }\n    }\n}\n";
+        assert_eq!(
+            rules_of("crates/dram/src/a.rs", src),
+            vec!["hot-loop-metrics"]
+        );
+        // Waivers suppress like every other rule.
+        let src = "fn f() {\n    for _ in 0..2 {\n        // pccs-lint: allow(hot-loop-metrics)\n        metrics::add(\"x\", 1);\n    }\n}\n";
+        let report = lint_source("crates/dram/src/a.rs", src);
         assert!(report.is_clean());
         assert_eq!(report.waived, 1);
     }

@@ -33,6 +33,13 @@
 //!
 //! The separate `benches/` directory holds the Criterion microbenches;
 //! this library is the macro-level harness behind `pccs bench`.
+//!
+//! The sibling [`accuracy`] module is the same idea pointed at model
+//! quality instead of throughput: `pccs audit` baselines
+//! (`ACCURACY_<host>_<date>.json`) and the CI accuracy gate.
+
+/// Model-accuracy baselines and the CI accuracy gate (`pccs audit`).
+pub mod accuracy;
 
 use pccs_dram::config::DramConfig;
 use pccs_dram::engine::EngineKind;
@@ -314,7 +321,7 @@ fn contended_sim(soc: &SocConfig, horizon: u64) -> CoRunSim {
 }
 
 /// Best-of-N wall seconds for `body`.
-fn best_of<F: FnMut()>(iterations: u64, mut body: F) -> f64 {
+pub(crate) fn best_of<F: FnMut()>(iterations: u64, mut body: F) -> f64 {
     let mut best = f64::INFINITY;
     for _ in 0..iterations {
         let t = Instant::now();

@@ -57,10 +57,14 @@ fn pu_kind(soc: &SocConfig, pu: usize) -> PuKind {
     soc.pus[pu].kind
 }
 
-/// Parses `--engine {cycle,event}` (default: the cycle-exact reference).
-fn engine_kind(args: &Args) -> Result<EngineKind, ArgError> {
+/// Parses `--engine {cycle,event}` against a per-command default:
+/// `corun`/`sched` keep the cycle-exact reference (their outputs are the
+/// conformance ground truth), while `serve` and the repro sweeps default
+/// to the event fast path — bit-identical by the parity suite, and the
+/// provenance (manifests, audit records) always names which one ran.
+fn engine_kind(args: &Args, default: EngineKind) -> Result<EngineKind, ArgError> {
     match args.get("engine") {
-        None => Ok(EngineKind::Cycle),
+        None => Ok(default),
         Some(v) => v.parse().map_err(ArgError),
     }
 }
@@ -241,7 +245,7 @@ pub fn corun(args: &Args) -> Result<(), ArgError> {
     if epoch == 0 {
         return Err(ArgError("--epoch must be positive".into()));
     }
-    let engine = engine_kind(args)?;
+    let engine = engine_kind(args, EngineKind::Cycle)?;
     let metrics_out = args.get("metrics-out");
     if metrics_out.is_some() {
         TraceLog::enable();
@@ -391,7 +395,7 @@ pub fn sched(args: &Args) -> Result<(), ArgError> {
     } else {
         SchedConfig::default()
     };
-    let engine = engine_kind(args)?;
+    let engine = engine_kind(args, EngineKind::Cycle)?;
     cfg.probe.engine = engine;
     let metrics_out = args.get("metrics-out");
     if metrics_out.is_some() {
@@ -554,7 +558,7 @@ pub fn serve(args: &Args) -> Result<(), ArgError> {
     })?;
     cfg.admission = admission;
     cfg.batch.max_batch = args.get_usize("batch", cfg.batch.max_batch)?;
-    let engine = engine_kind(args)?;
+    let engine = engine_kind(args, EngineKind::Event)?;
     cfg.probe.engine = engine;
     let metrics_out = args.get("metrics-out");
     if metrics_out.is_some() {
@@ -748,6 +752,55 @@ pub fn bench(args: &Args) -> Result<(), ArgError> {
     Ok(())
 }
 
+/// `pccs audit` — replays the validation figures with the prediction-audit
+/// ledger enabled, prints the accuracy scorecard, and writes the
+/// schema-validated `ACCURACY_<host>_<date>.json` baseline. `--check
+/// <baseline.json>` additionally runs the accuracy gate against a stored
+/// baseline (tolerance override via `--tolerance`, percentage points);
+/// `--validate <file>` only schema-checks a stored baseline and exits
+/// (the check.sh guard on the committed baseline); `--quick` shrinks the
+/// sweeps for CI smoke use; `--out` overrides the canonical file name.
+pub fn audit(args: &Args) -> Result<(), ArgError> {
+    use pccs_bench::accuracy;
+    if let Some(path) = args.get("validate") {
+        let text =
+            fs::read_to_string(path).map_err(|e| ArgError(format!("reading {path}: {e}")))?;
+        let value: Value =
+            serde_json::from_str(&text).map_err(|e| ArgError(format!("parsing {path}: {e}")))?;
+        accuracy::validate(&value).map_err(|e| ArgError(format!("{path}: {e}")))?;
+        println!("{path}: valid {} report", accuracy::SCHEMA);
+        return Ok(());
+    }
+    let quick = args.has("quick");
+    eprintln!(
+        "auditing model accuracy ({} sweep sizes) ...",
+        if quick { "quick" } else { "full" }
+    );
+    let report = accuracy::run_accuracy(quick);
+    let json = report.to_json();
+    accuracy::validate(&json).map_err(|e| ArgError(format!("accuracy report invalid: {e}")))?;
+    print!("{}", report.format());
+    let path = args
+        .get("out")
+        .map(str::to_owned)
+        .unwrap_or_else(|| report.filename());
+    let mut text = serde_json::to_string_pretty(&json)
+        .map_err(|e| ArgError(format!("serialization failed: {e}")))?;
+    text.push('\n');
+    fs::write(&path, text).map_err(|e| ArgError(format!("writing {path}: {e}")))?;
+    println!("accuracy baseline written to {path}");
+    if let Some(baseline_path) = args.get("check") {
+        let tolerance = args.get_f64("tolerance", accuracy::DEFAULT_TOLERANCE_PCT_POINTS)?;
+        let text = fs::read_to_string(baseline_path)
+            .map_err(|e| ArgError(format!("reading {baseline_path}: {e}")))?;
+        let baseline: Value = serde_json::from_str(&text)
+            .map_err(|e| ArgError(format!("parsing {baseline_path}: {e}")))?;
+        accuracy::compare(&baseline, &json, tolerance).map_err(ArgError)?;
+        println!("accuracy gate passed against {baseline_path} (tolerance {tolerance} pct points)");
+    }
+    Ok(())
+}
+
 /// `pccs trace-check` — validates a Chrome/Perfetto trace exported by
 /// `repro --trace-out`: JSON well-formedness, balanced B/E spans per lane,
 /// monotonic timestamps, and optional minimum nesting depth
@@ -810,22 +863,28 @@ mod tests {
     }
 
     #[test]
-    fn engine_flag_parses_and_defaults_to_cycle() {
+    fn engine_flag_parses_against_per_command_defaults() {
         let parse = |s: &str| Args::parse(s.split_whitespace().map(String::from)).unwrap();
         assert_eq!(
-            engine_kind(&parse("corun")).unwrap(),
+            engine_kind(&parse("corun"), EngineKind::Cycle).unwrap(),
             EngineKind::Cycle,
-            "default must stay the cycle-exact reference"
+            "corun/sched default must stay the cycle-exact reference"
         );
         assert_eq!(
-            engine_kind(&parse("corun --engine event")).unwrap(),
+            engine_kind(&parse("serve"), EngineKind::Event).unwrap(),
+            EngineKind::Event,
+            "serve defaults to the event fast path"
+        );
+        assert_eq!(
+            engine_kind(&parse("serve --engine cycle"), EngineKind::Event).unwrap(),
+            EngineKind::Cycle,
+            "the explicit override beats the per-command default"
+        );
+        assert_eq!(
+            engine_kind(&parse("corun --engine event"), EngineKind::Cycle).unwrap(),
             EngineKind::Event
         );
-        assert_eq!(
-            engine_kind(&parse("corun --engine cycle")).unwrap(),
-            EngineKind::Cycle
-        );
-        let err = engine_kind(&parse("corun --engine warp")).unwrap_err();
+        let err = engine_kind(&parse("corun --engine warp"), EngineKind::Cycle).unwrap_err();
         assert!(err.to_string().contains("warp"));
     }
 

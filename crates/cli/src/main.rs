@@ -20,6 +20,8 @@
 //! pccs policies    [--victim 48]
 //! pccs lint        [--root .] [--json]
 //! pccs bench       [--quick] [--out BENCH.json]
+//! pccs audit       [--quick] [--out ACCURACY.json] [--check baseline.json]
+//!                  [--tolerance 0.5] [--validate ACCURACY.json]
 //! pccs trace-check --file trace.json [--min-depth 3] [--min-counters 10]
 //! ```
 //!
@@ -35,8 +37,11 @@
 //! admission control, batching, and per-class SLO accounting; `policies`
 //! reproduces the Section 2.3 scheduling-policy comparison; `bench` runs
 //! the fixed benchmark workloads and writes the `BENCH_<host>_<date>.json`
-//! baseline (DESIGN.md §9); `trace-check` validates a Chrome/Perfetto
-//! trace exported with `repro --trace-out`.
+//! baseline (DESIGN.md §9); `audit` replays the validation figures with
+//! the prediction-audit ledger enabled, prints the accuracy scorecard,
+//! writes the `ACCURACY_<host>_<date>.json` baseline, and can gate
+//! against a stored one (DESIGN.md §12); `trace-check` validates a
+//! Chrome/Perfetto trace exported with `repro --trace-out`.
 
 mod args;
 mod commands;
@@ -71,6 +76,8 @@ USAGE:
   pccs policies     [--victim <GB/s>]
   pccs lint         [--root <path>] [--json]
   pccs bench        [--quick] [--out <BENCH.json>]
+  pccs audit        [--quick] [--out <ACCURACY.json>] [--check <baseline.json>]
+                    [--tolerance <pct-points>] [--validate <ACCURACY.json>]
   pccs trace-check  --file <trace.json> [--min-depth <N>] [--min-counters <N>]
 
 Run `pccs <command> --help` equivalents by reading the crate docs.";
@@ -94,6 +101,7 @@ fn main() -> ExitCode {
         Some("policies") => commands::policies(&args),
         Some("lint") => commands::lint(&args),
         Some("bench") => commands::bench(&args),
+        Some("audit") => commands::audit(&args),
         Some("trace-check") => commands::trace_check(&args),
         Some(other) => Err(args::ArgError(format!("unknown command '{other}'"))),
         None => {

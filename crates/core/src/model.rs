@@ -208,6 +208,14 @@ impl SlowdownModel for PccsModel {
     fn relative_speed_pct(&self, demand_gbps: f64, external_gbps: f64) -> f64 {
         self.predict(demand_gbps, external_gbps)
     }
+
+    fn region_label(&self, demand_gbps: f64) -> &'static str {
+        match self.region(demand_gbps) {
+            Region::Minor => "minor",
+            Region::Normal => "normal",
+            Region::Intensive => "intensive",
+        }
+    }
 }
 
 #[cfg(test)]

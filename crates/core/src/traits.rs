@@ -17,6 +17,14 @@ pub trait SlowdownModel {
     /// Implementations must return values in `[0, 100]`.
     fn relative_speed_pct(&self, demand_gbps: f64, external_gbps: f64) -> f64;
 
+    /// The three-region contention label ("minor" / "normal" /
+    /// "intensive") of a standalone demand under this model's view, used
+    /// as audit-ledger provenance. Models without a region structure
+    /// (Gables, constant baselines) report `"-"`.
+    fn region_label(&self, _demand_gbps: f64) -> &'static str {
+        "-"
+    }
+
     /// The predicted slowdown factor (standalone time ÷ co-run time is
     /// `relative speed`; slowdown is its reciprocal). Returns `f64::INFINITY`
     /// when the predicted relative speed is zero.

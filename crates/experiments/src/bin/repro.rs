@@ -2,8 +2,8 @@
 //! simulated SoC substrate.
 //!
 //! ```text
-//! repro [--quick] [--curves] [--jobs N] [--metrics-out <dir>]
-//!       [--trace-out <file>]
+//! repro [--quick] [--curves] [--jobs N] [--engine <cycle|event>]
+//!       [--metrics-out <dir>] [--trace-out <file>] [--audit-out <file>]
 //!       [all | validate | fig2 fig3 fig5 fig6 table5 table7 fig8 fig9
 //!        fig10 fig11 fig12 fig13 fig14 table9 table10 oblivious sched]
 //! ```
@@ -23,14 +23,23 @@
 //! Chrome/Perfetto trace (open it at <https://ui.perfetto.dev>) with
 //! per-worker span lanes and one counter track per `pccs` metric, sampled
 //! at every experiment boundary (DESIGN.md §9).
+//!
+//! Sweeps run on the event-driven memory engine by default (bit-identical
+//! to the cycle-exact reference by the parity suite; DESIGN.md §11);
+//! `--engine cycle` restores the reference, and the manifests record
+//! which one ran. `--audit-out <file>` enables the prediction-audit
+//! ledger (DESIGN.md §12), writes every resolved (prediction,
+//! ground-truth) pair from the validation figures as JSONL, and prints
+//! the accuracy scorecard at the end of the run.
 
+use pccs_dram::engine::EngineKind;
 use pccs_experiments::context::{Context, Quality};
 use pccs_experiments::validate::Figure;
 use pccs_experiments::{
     fig13, fig14, fig2, fig3, fig5, fig6, oblivious, sched_study, serve_study, table10, table5,
     table7, table9, validate,
 };
-use pccs_telemetry::{export, metrics, perfetto, Profiler, RunManifest, TraceLog};
+use pccs_telemetry::{audit, export, metrics, perfetto, Profiler, RunManifest, TraceLog};
 use serde_json::{Number, Value};
 use std::collections::BTreeMap;
 // Wall-clock timing is reporting-only here; it never feeds simulation state.
@@ -77,6 +86,17 @@ fn main() {
     // and `pccs sched`); `--json` stays as an alias.
     let json_dir: Option<String> = opt_value("--metrics-out").or_else(|| opt_value("--json"));
     let trace_out: Option<String> = opt_value("--trace-out");
+    let audit_out: Option<String> = opt_value("--audit-out");
+    let engine = match opt_value("--engine").as_deref() {
+        None => EngineKind::Event,
+        Some(v) => match v.parse() {
+            Ok(kind) => kind,
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+        },
+    };
     if let Some(dir) = &json_dir {
         if let Err(e) = std::fs::create_dir_all(dir) {
             eprintln!("cannot create --metrics-out dir {dir}: {e}");
@@ -98,7 +118,13 @@ fn main() {
     let mut i = 0;
     while i < args.len() {
         let a = &args[i];
-        if a == "--json" || a == "--metrics-out" || a == "--jobs" || a == "--trace-out" {
+        if a == "--json"
+            || a == "--metrics-out"
+            || a == "--jobs"
+            || a == "--trace-out"
+            || a == "--audit-out"
+            || a == "--engine"
+        {
             i += 2; // skip the flag and its value
             continue;
         }
@@ -133,14 +159,21 @@ fn main() {
     }
 
     let quality = if quick { Quality::Quick } else { Quality::Full };
-    let mut ctx = Context::new(quality).with_jobs(jobs);
+    let mut ctx = Context::new(quality).with_jobs(jobs).with_engine(engine);
     println!(
-        "# PCCS reproduction — {} fidelity (horizon {} cycles, {} repeats, {} jobs)\n",
+        "# PCCS reproduction — {} fidelity (horizon {} cycles, {} repeats, {} jobs, {} engine)\n",
         if quick { "quick" } else { "full" },
         ctx.horizon(),
         ctx.repeats(),
-        ctx.jobs()
+        ctx.jobs(),
+        ctx.engine().label()
     );
+    if audit_out.is_some() {
+        // Every resolved (prediction, ground truth) pair from the
+        // validation sweeps lands in the process-global ledger.
+        audit::set_enabled(true);
+        audit::drain();
+    }
     if json_dir.is_some() {
         // Phase spans (model construction, sweeps) end up in trace.jsonl.
         TraceLog::enable();
@@ -168,6 +201,10 @@ fn main() {
         c.insert(
             "jobs".to_owned(),
             Value::Number(Number::U(ctx.jobs() as u64)),
+        );
+        c.insert(
+            "engine".to_owned(),
+            Value::String(ctx.engine().label().to_owned()),
         );
         Value::Object(c)
     };
@@ -231,6 +268,19 @@ fn main() {
         let path = format!("{dir}/trace.jsonl");
         if let Err(e) = std::fs::write(&path, export::jsonl_events(None, None, &spans)) {
             eprintln!("warning: could not write {path}: {e}");
+        }
+    }
+    if let Some(path) = &audit_out {
+        let records = audit::drain();
+        audit::set_enabled(false);
+        match std::fs::write(path, audit::jsonl(&records)) {
+            Ok(()) => println!("audit ledger: {} records -> {path}", records.len()),
+            Err(e) => eprintln!("warning: could not write {path}: {e}"),
+        }
+        if records.is_empty() {
+            println!("audit scorecard: no predictions were resolved (run the validation figures)");
+        } else {
+            println!("{}", audit::render_scorecard(&audit::scorecard(&records)));
         }
     }
     if let Some(path) = &trace_out {

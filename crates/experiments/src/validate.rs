@@ -16,6 +16,7 @@ use pccs_core::SlowdownModel;
 use pccs_gables::GablesModel;
 use pccs_soc::kernel::KernelDesc;
 use pccs_soc::soc::SocConfig;
+use pccs_telemetry::audit::{self, AuditRecord};
 use pccs_workloads::dnn::DnnModel;
 use pccs_workloads::rodinia::RodiniaBenchmark;
 use serde::{Deserialize, Serialize};
@@ -212,6 +213,7 @@ impl Experiment for ValidateExperiment {
     ) -> Result<BenchValidation> {
         let standalone = ctx.standalone(&prep.soc, prep.pu, kernel);
         let x = standalone.bw_gbps;
+        let cfg = ctx.corun_config();
         let points = prep
             .grid
             .iter()
@@ -219,6 +221,17 @@ impl Experiment for ValidateExperiment {
                 let actual = ctx.actual_rs_pct(&prep.soc, prep.pu, kernel, &standalone, y);
                 let p = prep.pccs.relative_speed_pct(x, y);
                 let g = prep.gables.relative_speed_pct(x, y);
+                if audit::is_enabled() {
+                    audit::record(
+                        AuditRecord::new("validate", "rs_pct", p, actual)
+                            .with_soc(&prep.soc.slug())
+                            .with_pu(&prep.soc.pus[prep.pu].name)
+                            .with_workload(name)
+                            .with_region(prep.pccs.region_label(x))
+                            .with_policy(cfg.policy.label())
+                            .with_engine(cfg.engine.label()),
+                    );
+                }
                 (y, actual, p, g)
             })
             .collect();
@@ -342,5 +355,31 @@ mod tests {
             assert!(!b.points.is_empty());
         }
         assert!(v.format().contains("Figure 12"));
+    }
+
+    #[test]
+    fn audited_sweep_matches_the_reported_error() {
+        let mut ctx = Context::new(Quality::Quick);
+        audit::set_enabled(true);
+        let v = run(&mut ctx, Figure::XavierDla).expect("experiment runs");
+        audit::set_enabled(false);
+        let recs: Vec<_> = audit::snapshot()
+            .into_iter()
+            .filter(|r| r.source == "validate" && r.soc == "xavier" && r.pu == "DLA")
+            .collect();
+        let expected: usize = v.benches.iter().map(|b| b.points.len()).sum();
+        assert_eq!(recs.len(), expected, "one record per sweep point");
+        // Every bench sweeps the same grid, so the ledger-wide MAE equals
+        // the figure's headline (a mean of equal-weight per-bench means).
+        let mae = audit::mean_abs_error(recs.iter());
+        assert!(
+            (mae - v.avg_pccs_error()).abs() < 1e-9,
+            "ledger MAE {mae} vs avg_pccs_error {}",
+            v.avg_pccs_error()
+        );
+        for r in &recs {
+            assert_ne!(r.region, "-", "PCCS models attribute a region");
+            assert_eq!(r.engine, "event", "sweeps default to the event engine");
+        }
     }
 }

@@ -18,6 +18,7 @@ use crate::report::{DecisionRecord, JobOutcome, ScheduleReport};
 use pccs_soc::corun::{CoRunConfig, CoRunSim, Placement};
 use pccs_soc::kernel::KernelDesc;
 use pccs_soc::soc::SocConfig;
+use pccs_telemetry::audit::{self, AuditRecord};
 use pccs_telemetry::{metrics, Profiler, TraceLog};
 use std::collections::BTreeMap;
 
@@ -129,7 +130,9 @@ impl Probe for SimProbe<'_> {
     }
 }
 
-/// A job in flight.
+/// A job in flight. Carries the placement decision's predicted cost and
+/// provenance so completion can resolve the prediction into an
+/// audit-ledger pair.
 #[derive(Debug)]
 struct Running {
     job: Job,
@@ -137,6 +140,9 @@ struct Running {
     phase: usize,
     remaining_lines: f64,
     start: f64,
+    predicted_cost: f64,
+    placed_by: String,
+    region: String,
 }
 
 impl Running {
@@ -359,6 +365,12 @@ pub fn run_schedule(
                     predicted_cost: a.predicted_cost,
                     queue_depth: queue.len(),
                 });
+                let first_kernel = job.phases[0]
+                    .kernel_for(soc.pus[a.pu_idx].kind)
+                    .expect("eligibility validated above")
+                    .clone();
+                let (_, demand) = probe.standalone(a.pu_idx, &first_kernel);
+                let region = policy.region_label(a.pu_idx, demand).to_owned();
                 let remaining_lines = job.phases[0].work_lines;
                 running.push(Running {
                     job,
@@ -366,6 +378,9 @@ pub fn run_schedule(
                     phase: 0,
                     remaining_lines,
                     start: now,
+                    predicted_cost: a.predicted_cost,
+                    placed_by: policy.name().to_owned(),
+                    region,
                 });
                 placed_any = true;
             }
@@ -397,6 +412,12 @@ pub fn run_schedule(
                     predicted_cost: cost,
                     queue_depth: queue.len(),
                 });
+                let first_kernel = job.phases[0]
+                    .kernel_for(soc.pus[pu_idx].kind)
+                    .expect("eligibility validated above")
+                    .clone();
+                let (_, demand) = probe.standalone(pu_idx, &first_kernel);
+                let region = policy.region_label(pu_idx, demand).to_owned();
                 let remaining_lines = job.phases[0].work_lines;
                 running.push(Running {
                     job,
@@ -404,6 +425,9 @@ pub fn run_schedule(
                     phase: 0,
                     remaining_lines,
                     start: now,
+                    predicted_cost: cost,
+                    placed_by: "forced".to_owned(),
+                    region,
                 });
             }
         }
@@ -457,6 +481,17 @@ pub fn run_schedule(
             let r = running.remove(idx);
             let standalone = standalone_cycles(&mut probe, soc, &r.job, r.pu_idx);
             let residence = (now - r.start).max(1.0);
+            if audit::is_enabled() {
+                audit::record(
+                    AuditRecord::new("sched", "cycles", r.predicted_cost, residence)
+                        .with_soc(&soc.slug())
+                        .with_pu(&soc.pus[r.pu_idx].name)
+                        .with_workload(&r.job.name)
+                        .with_region(&r.region)
+                        .with_policy(&r.placed_by)
+                        .with_engine(cfg.probe.engine.label()),
+                );
+            }
             outcomes.push(JobOutcome {
                 job_id: r.job.id,
                 name: r.job.name.clone(),
@@ -491,7 +526,8 @@ pub fn run_schedule(
 mod tests {
     use super::*;
     use crate::job::JobPhase;
-    use crate::policy::{ObliviousGreedy, RoundRobin};
+    use crate::policy::{ObliviousGreedy, PccsPolicy, RoundRobin};
+    use pccs_core::PccsModel;
     use pccs_soc::pu::PuKind;
 
     fn small_job(id: usize, arrival: u64, opb: f64, lines: f64) -> Job {
@@ -571,6 +607,43 @@ mod tests {
         assert_eq!(probe.corun_cache.len(), 1);
         let (rate, bw) = probe.standalone(1, &k);
         assert!(rate > 0.0 && bw > 0.0);
+    }
+
+    #[test]
+    fn completions_resolve_predictions_into_the_audit_ledger() {
+        let soc = SocConfig::xavier();
+        let jobs = vec![
+            small_job(9301, 0, 1.0, 3_000.0),
+            small_job(9302, 0, 0.2, 3_000.0),
+        ];
+        let mut policy = PccsPolicy::new(vec![
+            Box::new(PccsModel::xavier_cpu_paper()),
+            Box::new(PccsModel::xavier_gpu_paper()),
+            Box::new(PccsModel::xavier_dla_paper()),
+        ]);
+        audit::set_enabled(true);
+        let r = run_schedule(&soc, "audit", &jobs, &mut policy, &SchedConfig::quick()).unwrap();
+        audit::set_enabled(false);
+        // Filter by this test's unique job names: the ledger is
+        // process-global and other tests may run concurrently.
+        let recs: Vec<_> = audit::snapshot()
+            .into_iter()
+            .filter(|rec| rec.workload == "job9301" || rec.workload == "job9302")
+            .collect();
+        assert_eq!(r.jobs.len(), 2);
+        assert_eq!(recs.len(), 2, "one audit pair per completed job");
+        for rec in &recs {
+            assert_eq!(
+                (rec.source.as_str(), rec.unit.as_str()),
+                ("sched", "cycles")
+            );
+            assert_eq!(rec.soc, "xavier");
+            assert!(rec.predicted > 0.0 && rec.achieved > 0.0);
+            assert!(rec.policy == "pccs" || rec.policy == "forced");
+            if rec.policy == "pccs" {
+                assert_ne!(rec.region, "-", "model-guided policy attributes a region");
+            }
+        }
     }
 
     #[test]

@@ -203,6 +203,13 @@ pub trait Policy {
     /// Decides which queued jobs to place on which free PUs. Returning no
     /// assignment for a job means it waits for a better slot.
     fn decide(&mut self, input: &DecisionInput, probe: &mut dyn Probe) -> Vec<Assignment>;
+
+    /// The contention-region label of a standalone demand on PU `pu_idx`
+    /// under this policy's model view, used as audit-ledger provenance.
+    /// Model-free policies report `"-"`.
+    fn region_label(&self, _pu_idx: usize, _demand_gbps: f64) -> &'static str {
+        "-"
+    }
 }
 
 /// Tracks how long each busy PU is expected to stay busy during one
@@ -611,6 +618,12 @@ pub fn default_calibration() -> CalibrationConfig {
 impl Policy for PccsPolicy {
     fn name(&self) -> &'static str {
         "pccs"
+    }
+
+    fn region_label(&self, pu_idx: usize, demand_gbps: f64) -> &'static str {
+        self.models
+            .get(pu_idx)
+            .map_or("-", |m| m.region_label(demand_gbps))
     }
 
     fn decide(&mut self, input: &DecisionInput, probe: &mut dyn Probe) -> Vec<Assignment> {

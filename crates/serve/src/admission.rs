@@ -113,6 +113,14 @@ impl AdmissionController {
         self.policy
     }
 
+    /// The contention-region label of a standalone demand on PU `pu_idx`
+    /// under the admission models, for audit-ledger provenance.
+    pub fn region_label(&self, pu_idx: usize, demand_gbps: f64) -> &'static str {
+        self.models
+            .get(pu_idx)
+            .map_or("-", |m| m.region_label(demand_gbps))
+    }
+
     /// Applies a drift-corrected service-time multiplier for PU `pu_idx`.
     pub fn set_correction(&mut self, pu_idx: usize, factor: f64) {
         if let Some(c) = self.correction.get_mut(pu_idx) {

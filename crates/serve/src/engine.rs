@@ -35,6 +35,7 @@ use pccs_sched::policy::{
 use pccs_soc::corun::CoRunConfig;
 use pccs_soc::kernel::KernelDesc;
 use pccs_soc::soc::SocConfig;
+use pccs_telemetry::audit::AuditRecord;
 use pccs_telemetry::{Profiler, TraceLog};
 use pccs_workloads::calibrate::{build_model, CalibrationConfig};
 
@@ -661,11 +662,22 @@ pub fn run_serve(
             }
             let done = running.remove(idx);
             let observed = (now - done.start).max(1.0);
-            if let Some(factor) = drift.observe(done.pu_idx, done.predicted_service, observed) {
-                admission.set_correction(done.pu_idx, factor);
-            }
             let pu_name = soc.pus[done.pu_idx].name.clone();
             let class_name = classes[done.bundle.class_idx].name.clone();
+            // Resolve the admission prediction into an audit pair; the
+            // drift monitor is the windowed view over the same stream.
+            let demand =
+                profile.table[done.bundle.class_idx][done.pu_idx].map_or(0.0, |(_, bw)| bw);
+            let rec = AuditRecord::new("serve", "cycles", done.predicted_service, observed)
+                .with_soc(&soc.slug())
+                .with_pu(&pu_name)
+                .with_workload(&class_name)
+                .with_region(admission.region_label(done.pu_idx, demand))
+                .with_policy(policy.name())
+                .with_engine(cfg.probe.engine.label());
+            if let Some(factor) = drift.observe_audited(done.pu_idx, rec) {
+                admission.set_correction(done.pu_idx, factor);
+            }
             let batch_size = done.bundle.members.len();
             for &member in &done.bundle.members {
                 let o = &mut outcomes[member];

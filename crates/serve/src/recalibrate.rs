@@ -8,7 +8,16 @@
 //! the correction currently in force by more than a bound, it refreshes
 //! the correction (a multiplicative service-time factor the admission
 //! controller applies) and counts a recalibration.
+//!
+//! The monitor is a *windowed view over the prediction-audit ledger*
+//! (`pccs_telemetry::audit`): the serving engine resolves each completed
+//! bundle into one [`AuditRecord`] and feeds it through
+//! [`DriftMonitor::observe_audited`], which writes the pair to the
+//! process-global ledger and folds it into the sliding window in one
+//! step. What the offline scorecards slice after a run is exactly the
+//! stream the monitor reacted to online.
 
+use pccs_telemetry::audit::{self, AuditRecord};
 use pccs_telemetry::metrics;
 use std::collections::VecDeque;
 
@@ -74,6 +83,16 @@ impl DriftMonitor {
         Some(refreshed)
     }
 
+    /// Feeds one resolved prediction as an audit record: the record is
+    /// written to the process-global ledger (when auditing is enabled)
+    /// and its (predicted, achieved) pair drives the drift window exactly
+    /// like [`DriftMonitor::observe`].
+    pub fn observe_audited(&mut self, pu_idx: usize, rec: AuditRecord) -> Option<f64> {
+        let (predicted, achieved) = (rec.predicted, rec.achieved);
+        audit::record(rec);
+        self.observe(pu_idx, predicted, achieved)
+    }
+
     /// The correction currently in force for PU `pu_idx`.
     pub fn correction(&self, pu_idx: usize) -> f64 {
         self.corrections.get(pu_idx).copied().unwrap_or(1.0)
@@ -135,5 +154,75 @@ mod tests {
         assert!(mon.observe(0, 100.0, 0.0).is_none());
         assert!(mon.observe(5, 100.0, 100.0).is_none()); // out of range
         assert_eq!(mon.recalibrations(), 0);
+    }
+
+    #[test]
+    fn empty_window_reports_identity_correction() {
+        let mon = DriftMonitor::new(3, 4, 0.25);
+        for pu in 0..3 {
+            assert_eq!(mon.correction(pu), 1.0);
+        }
+        assert_eq!(mon.correction(99), 1.0, "out-of-range PU reads identity");
+        assert_eq!(mon.recalibrations(), 0);
+    }
+
+    #[test]
+    fn single_sample_window_triggers_immediately() {
+        let mut mon = DriftMonitor::new(1, 1, 0.25);
+        // One drifting observation fills a window of one and triggers.
+        let factor = mon.observe(0, 1_000.0, 3_000.0).expect("window of one");
+        assert!((factor - 3.0).abs() < 1e-9);
+        assert_eq!(mon.recalibrations(), 1);
+        // An in-bound single observation does not.
+        assert!(mon.observe(0, 1_000.0, 1_100.0).is_none());
+    }
+
+    #[test]
+    fn window_boundary_evicts_the_oldest_sample() {
+        let mut mon = DriftMonitor::new(1, 2, 0.25);
+        // A 4x outlier enters first but never pairs with a full window.
+        assert!(mon.observe(0, 1_000.0, 4_000.0).is_none());
+        // Two accurate samples evict it: means are (4.0+1.0)/2 = 2.5
+        // (trigger), then after the refresh-clear the window refills.
+        let refreshed = mon.observe(0, 1_000.0, 1_000.0).expect("mean 2.5 drifts");
+        assert!((refreshed - 2.5).abs() < 1e-9);
+        // Post-refresh, only new samples count: two accurate ones stay
+        // quiet because the outlier is gone from the window.
+        assert!(mon.observe(0, 1_000.0, 1_000.0).is_none());
+        assert!(mon.observe(0, 1_000.0, 1_000.0).is_none());
+        assert_eq!(mon.recalibrations(), 1);
+        // Eviction keeps the window at its bound: a third consecutive
+        // sample pops the first, so the mean tracks the last two only.
+        let mut mon = DriftMonitor::new(1, 2, 0.25);
+        assert!(mon.observe(0, 1_000.0, 4_000.0).is_none());
+        assert_eq!(mon.windows[0].len(), 1);
+        mon.observe(0, 1_000.0, 4_000.0);
+        assert_eq!(mon.windows[0].len(), 0, "trigger clears the window");
+        assert!(mon.observe(0, 1_000.0, 1_000.0).is_none());
+        assert!(mon.observe(0, 1_000.0, 1_000.0).is_none());
+        assert_eq!(mon.windows[0].len(), 2, "window capped at its length");
+        mon.observe(0, 1_000.0, 1_000.0);
+        assert_eq!(mon.windows[0].len(), 2, "boundary eviction pops the front");
+    }
+
+    #[test]
+    fn audited_observations_land_in_the_ledger() {
+        let mut mon = DriftMonitor::new(1, 1, 0.25);
+        audit::set_enabled(true);
+        let refreshed = mon.observe_audited(
+            0,
+            AuditRecord::new("serve", "cycles", 1_000.0, 2_000.0)
+                .with_soc("xavier")
+                .with_workload("drift-unit-test"),
+        );
+        audit::set_enabled(false);
+        assert!((refreshed.expect("2x drift on a window of one") - 2.0).abs() < 1e-9);
+        let recs: Vec<_> = audit::snapshot()
+            .into_iter()
+            .filter(|r| r.workload == "drift-unit-test")
+            .collect();
+        assert_eq!(recs.len(), 1, "the monitor writes through to the ledger");
+        assert_eq!(recs[0].source, "serve");
+        assert!((recs[0].achieved - 2_000.0).abs() < 1e-12);
     }
 }

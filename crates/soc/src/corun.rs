@@ -14,6 +14,7 @@ use pccs_dram::engine::EngineKind;
 use pccs_dram::policy::PolicyKind;
 use pccs_dram::request::SourceId;
 use pccs_dram::sim::{DramSystem, SimOutcome};
+use pccs_telemetry::audit::{self, AuditRecord};
 use pccs_telemetry::{metrics, EpochRecorder, Profiler, TraceLog};
 
 use serde::{Deserialize, Serialize};
@@ -272,12 +273,24 @@ impl CoRunOutcome {
     }
 }
 
+/// A predicted relative speed registered with [`CoRunSim::expect_rs`],
+/// waiting to be resolved against the achieved rate.
+#[derive(Debug, Clone)]
+struct RsExpectation {
+    source: String,
+    workload: String,
+    region: String,
+    standalone: StandaloneProfile,
+    predicted_rs_pct: f64,
+}
+
 /// A co-run simulation under construction.
 #[derive(Debug)]
 pub struct CoRunSim {
     soc: SocConfig,
     config: CoRunConfig,
     placements: Vec<Placement>,
+    expectations: Vec<RsExpectation>,
     epoch: Option<u64>,
     conformance: bool,
 }
@@ -296,8 +309,55 @@ impl CoRunSim {
             soc: soc.clone(),
             config,
             placements: Vec::new(),
+            expectations: Vec::new(),
             epoch: None,
             conformance: false,
+        }
+    }
+
+    /// Registers a predicted relative speed for the PU of `standalone`:
+    /// when the co-run executes, the achieved RS is measured against the
+    /// profile and the (prediction, ground-truth) pair lands in the
+    /// process-global audit ledger ([`pccs_telemetry::audit`]) with this
+    /// simulation's SoC/policy/engine provenance attached. A no-op when
+    /// the ledger is disabled or the PU ends up with no work placed.
+    pub fn expect_rs(
+        &mut self,
+        source: &str,
+        workload: &str,
+        region: &str,
+        standalone: StandaloneProfile,
+        predicted_rs_pct: f64,
+    ) -> &mut Self {
+        self.expectations.push(RsExpectation {
+            source: source.to_owned(),
+            workload: workload.to_owned(),
+            region: region.to_owned(),
+            standalone,
+            predicted_rs_pct,
+        });
+        self
+    }
+
+    /// Resolves every registered expectation against `out` and writes the
+    /// pairs to the audit ledger.
+    fn audit_expectations(&self, out: &CoRunOutcome) {
+        if !audit::is_enabled() {
+            return;
+        }
+        for e in &self.expectations {
+            let pu_idx = e.standalone.pu_idx;
+            if let Ok(achieved) = out.relative_speed_pct(pu_idx, &e.standalone) {
+                audit::record(
+                    AuditRecord::new(&e.source, "rs_pct", e.predicted_rs_pct, achieved)
+                        .with_soc(&self.soc.slug())
+                        .with_pu(&self.soc.pus[pu_idx].name)
+                        .with_workload(&e.workload)
+                        .with_region(&e.region)
+                        .with_policy(self.config.policy.label())
+                        .with_engine(self.config.engine.label()),
+                );
+            }
         }
     }
 
@@ -464,11 +524,13 @@ impl CoRunSim {
                 )
             })
             .collect();
-        CoRunOutcome {
+        let out = CoRunOutcome {
             per_pu,
             horizon,
             memory,
-        }
+        };
+        self.audit_expectations(&out);
+        out
     }
 
     fn run_once(&self, horizon: u64, warmup: u64, run_seed: u64) -> SimOutcome {
@@ -775,6 +837,42 @@ mod tests {
         assert!(CoRunError::NotPlaced { pu_idx: gpu }
             .to_string()
             .contains("not placed"));
+    }
+
+    #[test]
+    fn expectations_resolve_into_the_audit_ledger() {
+        let soc = xavier();
+        let gpu = soc.pu_index("GPU").unwrap();
+        let cpu = soc.pu_index("CPU").unwrap();
+        let kernel = KernelDesc::memory_streaming("stream", 0.5);
+        let standalone = CoRunSim::standalone(&soc, gpu, &kernel, 20_000);
+        let mut sim = CoRunSim::new(&soc);
+        sim.horizon(20_000);
+        sim.place(Placement::kernel(gpu, kernel));
+        sim.external_pressure(cpu, 60.0);
+        sim.expect_rs("corun-test", "stream", "normal", standalone, 80.0);
+
+        // Disabled ledger: the expectation is dropped silently.
+        audit::set_enabled(false);
+        let before = audit::snapshot().len();
+        sim.execute();
+        assert_eq!(audit::snapshot().len(), before);
+
+        audit::set_enabled(true);
+        let out = sim.execute();
+        audit::set_enabled(false);
+        let recs: Vec<_> = audit::snapshot()
+            .into_iter()
+            .filter(|r| r.source == "corun-test")
+            .collect();
+        assert_eq!(recs.len(), 1, "one expectation, one record");
+        let r = &recs[0];
+        assert_eq!((r.soc.as_str(), r.pu.as_str()), ("xavier", "GPU"));
+        assert_eq!((r.region.as_str(), r.unit.as_str()), ("normal", "rs_pct"));
+        assert_eq!((r.policy.as_str(), r.engine.as_str()), ("ATLAS", "cycle"));
+        assert!((r.predicted - 80.0).abs() < 1e-12);
+        let achieved = out.relative_speed_pct(gpu, &standalone).unwrap();
+        assert!((r.achieved - achieved).abs() < 1e-12);
     }
 
     #[test]

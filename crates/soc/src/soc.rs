@@ -41,6 +41,21 @@ impl SocConfig {
         }
     }
 
+    /// Short stable identifier for provenance records: `"xavier"` and
+    /// `"snapdragon855"` for the bundled presets, a sanitized lower-case
+    /// form of [`SocConfig::name`] otherwise.
+    pub fn slug(&self) -> String {
+        match self.name.as_str() {
+            "NVIDIA Jetson AGX Xavier" => "xavier".to_owned(),
+            "Qualcomm Snapdragon 855" => "snapdragon855".to_owned(),
+            other => other
+                .to_lowercase()
+                .chars()
+                .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+                .collect(),
+        }
+    }
+
     /// Index of the PU named `name`, if present.
     pub fn pu_index(&self, name: &str) -> Option<usize> {
         self.pus.iter().position(|p| p.name == name)

@@ -24,6 +24,12 @@
 //! - [`perfetto`] — Chrome/Perfetto `trace.json` exporter for profiler
 //!   spans and counter tracks, plus the structural validator behind
 //!   `pccs trace-check`.
+//!
+//! The model-observability layer (DESIGN.md §12) adds one more:
+//!
+//! - [`audit`] — process-global prediction-audit ledger of (prediction,
+//!   ground-truth) pairs with SoC/PU/region/policy/engine provenance,
+//!   plus the accuracy scorecards behind `pccs audit`.
 
 mod histogram;
 mod manifest;
@@ -31,6 +37,10 @@ mod profiler;
 mod recorder;
 mod trace;
 
+/// Prediction-audit ledger: (prediction, ground-truth) pairs with
+/// provenance, plus accuracy scorecards sliced per SoC × PU × region ×
+/// policy.
+pub mod audit;
 /// Exporters: JSONL event stream, CSV time-series, and a human-readable.
 pub mod export;
 /// Process-global metrics registry: named counters and watermark gauges.

@@ -40,6 +40,21 @@ engine_parity() {
   diff <(echo "${cyc}") <(echo "${evt}")
 }
 
+# The committed model-accuracy baseline (ACCURACY_<host>_<date>.json,
+# DESIGN.md §12) must exist and satisfy the pccs-accuracy/v1 schema.
+accuracy_baseline() {
+  local f found=0
+  for f in ACCURACY_*.json; do
+    [[ -e ${f} ]] || break
+    found=1
+    ./target/release/pccs audit --validate "${f}" || return 1
+  done
+  if ((!found)); then
+    echo "no committed ACCURACY_*.json baseline at the repo root" >&2
+    return 1
+  fi
+}
+
 # Every workspace crate must appear in the rustdoc output; a crate missing
 # from target/doc means it fell out of the doc build (e.g. dropped from the
 # workspace members) without anyone noticing.
@@ -80,6 +95,13 @@ step trace-check ./target/release/pccs trace-check --file target/trace-smoke.jso
 # Bench smoke: a quick `pccs bench` run must produce a schema-valid
 # BENCH_*.json (the CLI validates before writing; failure exits non-zero).
 step bench-smoke ./target/release/pccs bench --quick --out target/BENCH_smoke.json
+# Audit smoke: a quick `pccs audit` must replay the validation figures
+# with the prediction-audit ledger on and produce a schema-valid
+# ACCURACY_*.json (the CLI validates before writing, and run_accuracy
+# asserts the ledger MAE matches each figure's headline error).
+step audit-smoke ./target/release/pccs audit --quick --out target/ACCURACY_smoke.json
+# The committed accuracy baseline must pass schema validation.
+step accuracy-baseline accuracy_baseline
 # Conformance smoke: a short co-run with the DDR protocol sanitizer
 # attached must replay with zero JEDEC timing violations.
 step conformance-smoke ./target/release/pccs corun --soc xavier --pu GPU \

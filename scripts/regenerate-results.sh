@@ -12,3 +12,8 @@ echo "results written to results/"
 # repo root; full workload sizes — see DESIGN.md §9.3).
 ./target/release/pccs bench
 echo "benchmark baseline refreshed"
+
+# Refresh the committed model-accuracy baseline (ACCURACY_<host>_<date>.json
+# at the repo root; full validation-figure sweeps — see DESIGN.md §12).
+./target/release/pccs audit
+echo "accuracy baseline refreshed"
