@@ -1,0 +1,317 @@
+//! Per-crate module graph and cycle detection (phase-2 support).
+//!
+//! Nodes are a crate's *top-level* modules: `src/foo.rs`, `src/foo/mod.rs`,
+//! and everything under `src/foo/` collapse into node `foo`; `src/lib.rs`
+//! is the crate root and not a node; binary targets are excluded by the
+//! caller. Edges come from `use crate::X::…` paths and `use super::…`
+//! chains that climb back to the crate root, as recorded by the symbol
+//! index ([`crate::symbols`]).
+//!
+//! A strongly-connected component with two or more modules is a
+//! dependency cycle. Every edge inside the component is reported as a
+//! separate finding site, so each can be fixed or waived independently —
+//! and so diff-aware runs (which filter findings to changed files)
+//! remain a strict subset of full runs.
+
+use crate::symbols::{FileSymbols, UseKind};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One module-graph edge, with the `use` site that created it.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Edge {
+    /// Repo-relative path of the file containing the `use`.
+    pub file: String,
+    /// 1-based line of the `use`.
+    pub line: u32,
+    /// Top-level module the file belongs to.
+    pub from: String,
+    /// Top-level module the path reaches into.
+    pub to: String,
+}
+
+/// One dependency cycle: a strongly-connected component of the module
+/// graph and every edge inside it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cycle {
+    /// The participating top-level modules, sorted.
+    pub modules: Vec<String>,
+    /// All edges between participating modules, sorted by (file, line, to).
+    pub edges: Vec<Edge>,
+}
+
+/// The top-level module and module-path depth of a crate-relative source
+/// path: `src/foo.rs` and `src/foo/mod.rs` → `("foo", 1)`,
+/// `src/foo/bar.rs` → `("foo", 2)`. `None` for the crate root
+/// (`src/lib.rs`), binary targets, and paths outside `src/`.
+pub fn module_of(inner: &str) -> Option<(String, usize)> {
+    let rest = inner.strip_prefix("src/")?;
+    if rest == "lib.rs" || rest == "main.rs" {
+        return None;
+    }
+    let rest = rest.strip_suffix(".rs")?;
+    let segs: Vec<&str> = rest.split('/').collect();
+    if segs.first() == Some(&"bin") {
+        return None;
+    }
+    let mut depth = segs.len();
+    if segs.last() == Some(&"mod") {
+        depth -= 1;
+    }
+    if depth == 0 {
+        return None;
+    }
+    Some((segs[0].to_owned(), depth))
+}
+
+/// Builds the module-graph edges for one crate.
+///
+/// `files` holds `(repo-relative path, crate-relative path, symbols)` for
+/// the crate's library sources (callers filter out test paths and bins).
+/// Only paths that resolve to a *known* top-level module produce edges;
+/// self-edges (a module using its own submodules) never do.
+pub fn crate_edges(files: &[(&str, &str, &FileSymbols)]) -> Vec<Edge> {
+    let modules: BTreeSet<String> = files
+        .iter()
+        .filter_map(|(_, inner, _)| module_of(inner).map(|(m, _)| m))
+        .collect();
+    let mut edges = Vec::new();
+    for (rel_path, inner, syms) in files {
+        let Some((me, depth)) = module_of(inner) else {
+            continue;
+        };
+        for u in &syms.uses {
+            if u.in_test {
+                continue;
+            }
+            let reaches_root = match u.kind {
+                UseKind::Crate => true,
+                // `super::…` climbing exactly back to the crate root makes
+                // the first segment a top-level module; climbing less stays
+                // inside `me` (self-edge), climbing more leaves the crate.
+                UseKind::Super(n) => n == depth,
+                UseKind::SelfMod | UseKind::External => false,
+            };
+            if !reaches_root {
+                continue;
+            }
+            for first in &u.firsts {
+                if modules.contains(first) && first != &me {
+                    edges.push(Edge {
+                        file: (*rel_path).to_owned(),
+                        line: u.line,
+                        from: me.clone(),
+                        to: first.clone(),
+                    });
+                }
+            }
+        }
+    }
+    edges.sort();
+    edges.dedup();
+    edges
+}
+
+/// Finds dependency cycles: each strongly-connected component with at
+/// least two modules, with all of its internal edges. Deterministic
+/// (nodes and output are sorted).
+pub fn cycles(edges: &[Edge]) -> Vec<Cycle> {
+    let mut adj: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for e in edges {
+        adj.entry(&e.from).or_default().insert(&e.to);
+        adj.entry(&e.to).or_default();
+    }
+    let mut t = Tarjan {
+        adj: &adj,
+        index: BTreeMap::new(),
+        low: BTreeMap::new(),
+        on_stack: BTreeSet::new(),
+        stack: Vec::new(),
+        next: 0,
+        sccs: Vec::new(),
+    };
+    let nodes: Vec<&str> = adj.keys().copied().collect();
+    for v in nodes {
+        if !t.index.contains_key(v) {
+            t.visit(v);
+        }
+    }
+    let mut out = Vec::new();
+    for scc in t.sccs {
+        if scc.len() < 2 {
+            continue;
+        }
+        let members: BTreeSet<&str> = scc.iter().copied().collect();
+        let mut modules: Vec<String> = members.iter().map(|m| (*m).to_owned()).collect();
+        modules.sort();
+        let mut cycle_edges: Vec<Edge> = edges
+            .iter()
+            .filter(|e| members.contains(e.from.as_str()) && members.contains(e.to.as_str()))
+            .cloned()
+            .collect();
+        cycle_edges.sort();
+        out.push(Cycle {
+            modules,
+            edges: cycle_edges,
+        });
+    }
+    out.sort_by(|a, b| a.modules.cmp(&b.modules));
+    out
+}
+
+/// Tarjan's strongly-connected-components algorithm over the module
+/// graph. Module graphs are tiny (tens of nodes), so recursion depth is
+/// never a concern.
+struct Tarjan<'a> {
+    adj: &'a BTreeMap<&'a str, BTreeSet<&'a str>>,
+    index: BTreeMap<&'a str, usize>,
+    low: BTreeMap<&'a str, usize>,
+    on_stack: BTreeSet<&'a str>,
+    stack: Vec<&'a str>,
+    next: usize,
+    sccs: Vec<Vec<&'a str>>,
+}
+
+impl<'a> Tarjan<'a> {
+    fn visit(&mut self, v: &'a str) {
+        self.index.insert(v, self.next);
+        self.low.insert(v, self.next);
+        self.next += 1;
+        self.stack.push(v);
+        self.on_stack.insert(v);
+        if let Some(succs) = self.adj.get(v) {
+            for &w in succs {
+                if !self.index.contains_key(w) {
+                    self.visit(w);
+                    let lw = self.low[w];
+                    let lv = self.low.get_mut(v).unwrap();
+                    *lv = (*lv).min(lw);
+                } else if self.on_stack.contains(w) {
+                    let iw = self.index[w];
+                    let lv = self.low.get_mut(v).unwrap();
+                    *lv = (*lv).min(iw);
+                }
+            }
+        }
+        if self.low[v] == self.index[v] {
+            let mut scc = Vec::new();
+            while let Some(w) = self.stack.pop() {
+                self.on_stack.remove(w);
+                scc.push(w);
+                if w == v {
+                    break;
+                }
+            }
+            self.sccs.push(scc);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::rules::test_mask;
+    use crate::symbols::index_file;
+
+    fn syms(src: &str) -> FileSymbols {
+        let lexed = lex(src);
+        let mask = test_mask(&lexed.tokens);
+        index_file(&lexed, &mask)
+    }
+
+    #[test]
+    fn module_of_maps_paths() {
+        assert_eq!(module_of("src/foo.rs"), Some(("foo".into(), 1)));
+        assert_eq!(module_of("src/foo/mod.rs"), Some(("foo".into(), 1)));
+        assert_eq!(module_of("src/foo/bar.rs"), Some(("foo".into(), 2)));
+        assert_eq!(module_of("src/lib.rs"), None);
+        assert_eq!(module_of("src/main.rs"), None);
+        assert_eq!(module_of("src/bin/tool.rs"), None);
+        assert_eq!(module_of("tests/a.rs"), None);
+    }
+
+    #[test]
+    fn two_module_cycle_is_found_with_both_edge_sites() {
+        let a = syms("use crate::b::Thing;\npub fn fa() {}\n");
+        let b = syms("use crate::a::fa;\npub struct Thing;\n");
+        let edges = crate_edges(&[
+            ("crates/x/src/a.rs", "src/a.rs", &a),
+            ("crates/x/src/b.rs", "src/b.rs", &b),
+        ]);
+        assert_eq!(edges.len(), 2);
+        let found = cycles(&edges);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].modules, vec!["a", "b"]);
+        assert_eq!(found[0].edges.len(), 2);
+        assert_eq!(found[0].edges[0].file, "crates/x/src/a.rs");
+    }
+
+    #[test]
+    fn acyclic_and_self_uses_are_clean() {
+        // a -> b -> c is acyclic; a file using its own submodule via
+        // `super` (staying inside the module) adds no edge.
+        let a = syms("use crate::b::X;\n");
+        let b = syms("use crate::c::Y;\n");
+        let c = syms("pub struct Y;\n");
+        let sub = syms("use super::util;\n");
+        let edges = crate_edges(&[
+            ("crates/x/src/a.rs", "src/a.rs", &a),
+            ("crates/x/src/b.rs", "src/b.rs", &b),
+            ("crates/x/src/c.rs", "src/c.rs", &c),
+            ("crates/x/src/a/deep.rs", "src/a/deep.rs", &sub),
+        ]);
+        assert_eq!(edges.len(), 2);
+        assert!(cycles(&edges).is_empty());
+    }
+
+    #[test]
+    fn super_chains_that_reach_the_root_make_edges() {
+        // src/a/deep.rs (depth 2): `super::super::b` climbs to the root,
+        // so it references top-level module b — completing a cycle with
+        // b's use of a.
+        let deep = syms("use super::super::b::Helper;\n");
+        let b = syms("use crate::a::Entry;\n");
+        let a = syms("pub struct Entry;\npub mod deep;\n");
+        let edges = crate_edges(&[
+            ("crates/x/src/a.rs", "src/a.rs", &a),
+            ("crates/x/src/a/deep.rs", "src/a/deep.rs", &deep),
+            ("crates/x/src/b.rs", "src/b.rs", &b),
+        ]);
+        let found = cycles(&edges);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].modules, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn external_and_unknown_targets_are_ignored() {
+        let a = syms(
+            "use std::collections::BTreeMap;\nuse crate::engine::E;\nuse crate::nonexistent::Z;\n",
+        );
+        let engine = syms("pub struct E;\n");
+        let edges = crate_edges(&[
+            ("crates/x/src/a.rs", "src/a.rs", &a),
+            ("crates/x/src/engine.rs", "src/engine.rs", &engine),
+        ]);
+        assert_eq!(edges.len(), 1);
+        assert_eq!(
+            (edges[0].from.as_str(), edges[0].to.as_str()),
+            ("a", "engine")
+        );
+    }
+
+    #[test]
+    fn three_module_ring_reports_every_edge() {
+        let a = syms("use crate::b::X;\n");
+        let b = syms("use crate::c::Y;\n");
+        let c = syms("use crate::a::Z;\n");
+        let edges = crate_edges(&[
+            ("crates/x/src/a.rs", "src/a.rs", &a),
+            ("crates/x/src/b.rs", "src/b.rs", &b),
+            ("crates/x/src/c.rs", "src/c.rs", &c),
+        ]);
+        let found = cycles(&edges);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].modules, vec!["a", "b", "c"]);
+        assert_eq!(found[0].edges.len(), 3);
+    }
+}

@@ -1,14 +1,23 @@
 //! A hand-rolled Rust lexer, just deep enough for linting.
 //!
-//! The engine needs exactly three things from a source file: the identifier
-//! and punctuation stream with line numbers (comments and literal *contents*
-//! stripped, so `"panic!"` inside a string never trips a rule), the set of
-//! lines carrying rustdoc comments (for the `missing-docs` rule), and any
-//! `// pccs-lint: allow(<rule>)` waiver directives. A full parser — or a
-//! `syn` dependency — would be overkill and is unavailable offline; this
-//! scanner handles the token-level subtleties that actually matter: nested
-//! block comments, raw strings (`r#"…"#`), byte strings, raw identifiers,
-//! and the lifetime-vs-char-literal ambiguity at `'`.
+//! The engine needs four things from a source file: the identifier and
+//! punctuation stream with line numbers (comments and literal *contents*
+//! stripped from the token stream, so `"panic!"` inside a string never
+//! trips a rule), the set of lines carrying rustdoc comments (for the
+//! `missing-docs` rule), the `// pccs-lint:` directives (`allow(<rule>)`
+//! waivers and `publishes(<metric>)` declarations), and — for the
+//! workspace symbol index — the *contents* of string literals, kept in a
+//! side table ([`LexedFile::strings`]) so brace matching over tokens stays
+//! exact while `counter("dram.cycles")`-style call sites remain
+//! inspectable. A full parser — or a `syn` dependency — would be overkill
+//! and is unavailable offline; this scanner handles the token-level
+//! subtleties that actually matter: shebang lines, nested block comments,
+//! raw strings (`r#"…"#`, `r##"…"##`), byte and raw-byte strings, raw
+//! identifiers, and the lifetime-vs-char-literal ambiguity at `'`.
+//!
+//! Directives inside doc comments (`///`, `//!`, `/** */`, `/*! */`) are
+//! deliberately ignored: rustdoc text is prose about the code, not the
+//! code — quoting the waiver syntax in documentation must never waive.
 
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -45,8 +54,20 @@ pub struct LexedFile {
     /// `line -> rules waived on that line` from `pccs-lint: allow(...)`
     /// comment directives.
     pub waivers: BTreeMap<u32, BTreeSet<String>>,
+    /// `line -> metric names declared published on that line` from
+    /// `pccs-lint: publishes(...)` comment directives — the escape hatch
+    /// for metric names assembled at runtime (e.g. `format!("{prefix}.x")`)
+    /// that the symbol index cannot see as literals.
+    pub publishes: BTreeMap<u32, BTreeSet<String>>,
     /// Lines that carry a rustdoc comment (`///`, `//!`, `/** */`, `/*! */`).
     pub doc_lines: BTreeSet<u32>,
+    /// String-literal contents, keyed by index into [`LexedFile::tokens`].
+    /// Covers plain, raw, byte, and raw-byte strings (char and numeric
+    /// literals are not recorded). The token itself stays a `"<lit>"`
+    /// placeholder so rules and brace matching never see literal text.
+    pub strings: BTreeMap<usize, String>,
+    /// Total source lines (1-based line number of the last character).
+    pub lines: u32,
 }
 
 impl LexedFile {
@@ -59,25 +80,30 @@ impl LexedFile {
     }
 }
 
-/// Scans waiver directives of the form `pccs-lint: allow(rule-a, rule-b)`
-/// out of a comment body.
-fn scan_waiver(comment: &str, line: u32, waivers: &mut BTreeMap<u32, BTreeSet<String>>) {
+/// Scans `pccs-lint:` directives (`allow(rule-a, rule-b)` waivers and
+/// `publishes(metric.a, metric.b)` declarations) out of a comment body.
+fn scan_directives(comment: &str, line: u32, out: &mut LexedFile) {
     let Some(at) = comment.find("pccs-lint:") else {
         return;
     };
     let rest = &comment[at + "pccs-lint:".len()..];
-    let Some(open) = rest.find("allow(") else {
-        return;
-    };
-    let body = &rest[open + "allow(".len()..];
-    let Some(close) = body.find(')') else {
-        return;
-    };
-    let entry = waivers.entry(line).or_default();
-    for rule in body[..close].split(',') {
-        let rule = rule.trim();
-        if !rule.is_empty() {
-            entry.insert(rule.to_owned());
+    for (keyword, map) in [
+        ("allow(", &mut out.waivers),
+        ("publishes(", &mut out.publishes),
+    ] {
+        let Some(open) = rest.find(keyword) else {
+            continue;
+        };
+        let body = &rest[open + keyword.len()..];
+        let Some(close) = body.find(')') else {
+            continue;
+        };
+        let entry = map.entry(line).or_default();
+        for name in body[..close].split(',') {
+            let name = name.trim();
+            if !name.is_empty() {
+                entry.insert(name.to_owned());
+            }
         }
     }
 }
@@ -103,6 +129,14 @@ pub fn lex(src: &str) -> LexedFile {
 
     let at = |i: usize| chars.get(i).copied();
 
+    // A shebang (`#!/usr/bin/env …`) is legal on the first line of a Rust
+    // source file and is not tokens; an inner attribute (`#![…]`) is.
+    if chars.first() == Some(&'#') && at(1) == Some('!') && at(2) != Some('[') {
+        while i < chars.len() && chars[i] != '\n' {
+            i += 1;
+        }
+    }
+
     while i < chars.len() {
         let c = chars[i];
         match c {
@@ -119,8 +153,10 @@ pub fn lex(src: &str) -> LexedFile {
                 let text: String = chars[start..i].iter().collect();
                 if text.starts_with("///") || text.starts_with("//!") {
                     out.doc_lines.insert(line);
+                } else {
+                    // Directives in rustdoc text are prose, not directives.
+                    scan_directives(&text, line, &mut out);
                 }
-                scan_waiver(&text, line, &mut out.waivers);
             }
             '/' if at(i + 1) == Some('*') => {
                 let start_line = line;
@@ -150,13 +186,26 @@ pub fn lex(src: &str) -> LexedFile {
                     for l in start_line..=line {
                         out.doc_lines.insert(l);
                     }
+                } else {
+                    let text: String = chars[start..i.min(chars.len())].iter().collect();
+                    scan_directives(&text, start_line, &mut out);
                 }
-                let text: String = chars[start..i.min(chars.len())].iter().collect();
-                scan_waiver(&text, start_line, &mut out.waivers);
             }
             '"' => {
                 let tok_line = line;
+                let start = i;
                 i = consume_string(&chars, i, &mut line);
+                let content_end = if at(i.saturating_sub(1)) == Some('"') {
+                    i - 1
+                } else {
+                    i
+                };
+                out.strings.insert(
+                    out.tokens.len(),
+                    chars[start + 1..content_end.max(start + 1)]
+                        .iter()
+                        .collect(),
+                );
                 out.tokens.push(Token {
                     line: tok_line,
                     text: "<lit>".into(),
@@ -165,7 +214,12 @@ pub fn lex(src: &str) -> LexedFile {
             }
             'r' | 'b' if starts_string_prefix(&chars, i) => {
                 let tok_line = line;
-                i = consume_prefixed_string(&chars, i, &mut line);
+                let (end, content) = consume_prefixed_string(&chars, i, &mut line);
+                i = end;
+                if let Some((from, to)) = content {
+                    out.strings
+                        .insert(out.tokens.len(), chars[from..to].iter().collect());
+                }
                 out.tokens.push(Token {
                     line: tok_line,
                     text: "<lit>".into(),
@@ -241,6 +295,7 @@ pub fn lex(src: &str) -> LexedFile {
             }
         }
     }
+    out.lines = line;
     out
 }
 
@@ -287,7 +342,13 @@ fn consume_string(chars: &[char], mut i: usize, line: &mut u32) -> usize {
 }
 
 /// Consumes an `r`/`b`-prefixed string (raw, byte, raw-byte) or byte char.
-fn consume_prefixed_string(chars: &[char], mut i: usize, line: &mut u32) -> usize {
+/// Returns the index past the literal plus the content span (start, end)
+/// for string forms (`None` for byte chars and non-strings).
+fn consume_prefixed_string(
+    chars: &[char],
+    mut i: usize,
+    line: &mut u32,
+) -> (usize, Option<(usize, usize)>) {
     let at = |k: usize| chars.get(k).copied();
     // Skip the prefix letters.
     while matches!(at(i), Some('r') | Some('b')) {
@@ -302,7 +363,7 @@ fn consume_prefixed_string(chars: &[char], mut i: usize, line: &mut u32) -> usiz
         while i < chars.len() && chars[i] != '\'' && chars[i] != '\n' {
             i += 1;
         }
-        return i + 1;
+        return (i + 1, None);
     }
     let mut hashes = 0usize;
     while at(i) == Some('#') {
@@ -310,12 +371,20 @@ fn consume_prefixed_string(chars: &[char], mut i: usize, line: &mut u32) -> usiz
         i += 1;
     }
     if at(i) != Some('"') {
-        return i; // not actually a string; nothing consumed beyond prefix
+        // Not actually a string; nothing consumed beyond prefix.
+        return (i, None);
     }
     if hashes == 0 {
-        return consume_string(chars, i, line);
+        let end = consume_string(chars, i, line);
+        let content_end = if at(end.saturating_sub(1)) == Some('"') {
+            end - 1
+        } else {
+            end
+        };
+        return (end, Some((i + 1, content_end.max(i + 1))));
     }
     i += 1;
+    let content_start = i;
     while i < chars.len() {
         if chars[i] == '\n' {
             *line += 1;
@@ -328,12 +397,12 @@ fn consume_prefixed_string(chars: &[char], mut i: usize, line: &mut u32) -> usiz
                 k += 1;
             }
             if k == hashes {
-                return i + 1 + hashes;
+                return (i + 1 + hashes, Some((content_start, i)));
             }
         }
         i += 1;
     }
-    i
+    (i, Some((content_start, i)))
 }
 
 #[cfg(test)]
@@ -425,5 +494,85 @@ mod tests {
     fn nested_block_comments_terminate_correctly() {
         let ids = idents("/* outer /* inner */ still comment */ real();");
         assert_eq!(ids, vec!["real".to_owned()]);
+    }
+
+    #[test]
+    fn shebang_line_is_skipped() {
+        let src = "#!/usr/bin/env run-cargo-script\nfn main() {}\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.tokens[0].text, "fn");
+        assert_eq!(lexed.tokens[0].line, 2);
+        // An inner attribute is NOT a shebang: `#![deny(warnings)]`.
+        let lexed = lex("#![deny(warnings)]\nfn f() {}\n");
+        assert_eq!(lexed.tokens[0].text, "#");
+        assert!(lexed.tokens.iter().any(|t| t.text == "deny"));
+    }
+
+    #[test]
+    fn nested_raw_strings_capture_contents() {
+        let src = "let x = r##\"inner \"#\" quote\"##; after();\n";
+        let lexed = lex(src);
+        assert_eq!(
+            lexed.strings.values().collect::<Vec<_>>(),
+            vec![&"inner \"#\" quote".to_owned()]
+        );
+        // The token stream never sees the contents.
+        assert!(lexed.tokens.iter().all(|t| t.text != "inner"));
+        assert!(lexed.tokens.iter().any(|t| t.text == "after"));
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings_are_single_literals() {
+        let src = "let a = b\"bytes\"; let b = br#\"raw bytes\"#; let c = b'x'; end();\n";
+        let lexed = lex(src);
+        let lits = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Literal)
+            .count();
+        assert_eq!(lits, 3, "two byte strings + one byte char");
+        let contents: Vec<&String> = lexed.strings.values().collect();
+        assert_eq!(contents, vec![&"bytes".to_owned(), &"raw bytes".to_owned()]);
+        assert!(lexed.tokens.iter().any(|t| t.text == "end"));
+    }
+
+    #[test]
+    fn plain_string_contents_are_recorded_with_token_index() {
+        let src = "counter(\"dram.cycles\");\n";
+        let lexed = lex(src);
+        // Tokens: counter ( <lit> ) ;  — the literal is index 2.
+        assert_eq!(lexed.strings.get(&2), Some(&"dram.cycles".to_owned()));
+    }
+
+    #[test]
+    fn waiver_inside_a_doc_comment_does_not_waive() {
+        let src = "/// Suppress with `// pccs-lint: allow(hot-path-panic)`.\n\
+                   pub fn documented() {}\n\
+                   //! pccs-lint: allow(nondeterminism)\n\
+                   /** pccs-lint: allow(missing-docs) */\n\
+                   fn f() {}\n";
+        let lexed = lex(src);
+        assert!(lexed.waivers.is_empty(), "{:?}", lexed.waivers);
+        // The same text in a plain comment still waives.
+        let lexed = lex("// pccs-lint: allow(hot-path-panic)\nfn f() {}\n");
+        assert!(lexed.is_waived("hot-path-panic", 1));
+    }
+
+    #[test]
+    fn publishes_directives_are_collected() {
+        let src = "fn f() {\n    // pccs-lint: publishes(serve.offered, serve.completed)\n    publish();\n}\n";
+        let lexed = lex(src);
+        let declared = lexed.publishes.get(&2).expect("directive on line 2");
+        assert!(declared.contains("serve.offered"));
+        assert!(declared.contains("serve.completed"));
+        // Doc comments never declare.
+        let lexed = lex("/// pccs-lint: publishes(x.y)\npub fn g() {}\n");
+        assert!(lexed.publishes.is_empty());
+    }
+
+    #[test]
+    fn line_total_is_tracked() {
+        assert_eq!(lex("a\nb\nc\n").lines, 4);
+        assert_eq!(lex("one line").lines, 1);
     }
 }

@@ -26,12 +26,18 @@
 //! assert_eq!(report.findings[0].rule, "hot-path-panic");
 //! ```
 
+/// Per-crate module graph and cycle detection.
+pub mod graph;
 /// A hand-rolled Rust lexer, just deep enough for linting.
 pub mod lexer;
 /// Lint findings and machine-readable reports.
 pub mod report;
-/// The lint rules and the engine that applies them to one file.
+/// The file-scoped lint rules and the engine that applies them.
 pub mod rules;
+/// The per-file symbol index (phase 1 of the workspace analysis).
+pub mod symbols;
+/// The cross-file workspace rules (phase 2) and diff-aware linting.
+pub mod workspace;
 
 pub use report::{Finding, LintReport};
 pub use rules::lint_source;
@@ -42,7 +48,7 @@ use std::path::{Path, PathBuf};
 
 /// Recursively collects `.rs` files under `dir`, sorted for determinism.
 /// Hidden directories and `target/` are skipped.
-fn collect_rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+pub(crate) fn collect_rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
     let mut entries: Vec<_> = fs::read_dir(dir)?.collect::<Result<_, _>>()?;
     entries.sort_by_key(|e| e.path());
     for entry in entries {
@@ -61,34 +67,18 @@ fn collect_rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
     Ok(())
 }
 
-/// Lints every `.rs` file under `<root>/crates`, returning the merged
-/// report. Paths in findings are relative to `root`.
+/// Lints every `.rs` file under `<root>/crates` with the file-scoped
+/// *and* workspace-scoped rules, returning the merged report. Paths in
+/// findings are relative to `root`. Equivalent to
+/// [`workspace::analyze_root`] followed by [`workspace::WorkspaceIndex::run`]
+/// with default options.
 ///
 /// # Errors
 ///
 /// Propagates I/O errors from walking or reading the tree; a missing
 /// `crates/` directory is reported as [`io::ErrorKind::NotFound`].
 pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
-    let crates = root.join("crates");
-    if !crates.is_dir() {
-        return Err(io::Error::new(
-            io::ErrorKind::NotFound,
-            format!("no crates/ directory under {}", root.display()),
-        ));
-    }
-    let mut files = Vec::new();
-    collect_rust_files(&crates, &mut files)?;
-    let mut report = LintReport::default();
-    for path in files {
-        let rel = path
-            .strip_prefix(root)
-            .unwrap_or(&path)
-            .to_string_lossy()
-            .replace('\\', "/");
-        let src = fs::read_to_string(&path)?;
-        report.merge(rules::lint_source(&rel, &src));
-    }
-    Ok(report)
+    Ok(workspace::analyze_root(root)?.run(&workspace::LintOptions::default()))
 }
 
 #[cfg(test)]

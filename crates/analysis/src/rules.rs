@@ -22,9 +22,11 @@
 //! (found by brace-matching over the token stream).
 
 use crate::lexer::{lex, LexedFile, Token, TokenKind};
-use crate::report::{Finding, LintReport};
+use crate::report::{Finding, LintReport, Scope};
 
-/// Stable names of every rule, in report order.
+/// Stable names of every rule, in report order: the file-scoped phase-1
+/// rules first, then the workspace-scoped phase-2 rules implemented in
+/// [`crate::workspace`].
 pub const RULE_NAMES: &[&str] = &[
     "hot-path-panic",
     "nondeterminism",
@@ -32,7 +34,25 @@ pub const RULE_NAMES: &[&str] = &[
     "missing-docs",
     "raw-stderr",
     "hot-loop-metrics",
+    "dead-pub-item",
+    "metrics-registry-drift",
+    "stale-waiver",
+    "dependency-cycle",
+    "deprecated-shim-expiry",
 ];
+
+/// The [`Scope`] of a rule by name. Unknown names are file-scoped (the
+/// conservative default for forward compatibility in report consumers).
+pub fn rule_scope(rule: &str) -> Scope {
+    match rule {
+        "dead-pub-item"
+        | "metrics-registry-drift"
+        | "stale-waiver"
+        | "dependency-cycle"
+        | "deprecated-shim-expiry" => Scope::Workspace,
+        _ => Scope::File,
+    }
+}
 
 /// Crates whose non-test code is a simulator hot path.
 const HOT_PATH_CRATES: &[&str] = &["dram", "soc", "core"];
@@ -63,8 +83,10 @@ const HOT_LOOP_CRATES: &[&str] = &["dram", "soc"];
 
 /// Metrics-registry entry points that take the registry lock; one call
 /// per loop iteration is the overhead the `pccs bench` budget guards
-/// against. Accumulate locally, publish once after the loop.
-const METRICS_PUBLISH_FNS: &[&str] = &["add", "observe_max", "counter", "gauge"];
+/// against. Accumulate locally, publish once after the loop. Shared with
+/// the symbol index, which records the metric-name literal at these call
+/// sites for the `metrics-registry-drift` rule.
+pub(crate) const METRICS_PUBLISH_FNS: &[&str] = &["add", "observe_max", "counter", "gauge"];
 
 /// How a file is situated relative to the rules.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -197,6 +219,7 @@ impl RuleCtx<'_> {
     fn finding(&self, rule: &str, line: u32, message: String) -> Finding {
         Finding {
             rule: rule.to_owned(),
+            scope: Scope::File,
             file: self.rel_path.to_owned(),
             line,
             message,
@@ -536,21 +559,29 @@ fn missing_docs(ctx: &RuleCtx<'_>, out: &mut Vec<Finding>) {
     }
 }
 
-/// Lints one file's source text under its repo-relative path.
+/// Marks every token inside a `#[cfg(test)]`-gated item (public within
+/// the crate so the workspace pass shares the same notion of test code).
+pub(crate) fn test_mask(tokens: &[Token]) -> Vec<bool> {
+    test_region_mask(tokens)
+}
+
+/// Raw phase-1 findings for one lexed file, before waivers are applied.
 ///
-/// Returns an empty report (zero files scanned) when [`classify`] ignores
-/// the path.
-pub fn lint_source(rel_path: &str, src: &str) -> LintReport {
-    let Some(class) = classify(rel_path) else {
-        return LintReport::default();
-    };
-    let lexed = lex(src);
-    let in_test = test_region_mask(&lexed.tokens);
+/// The single-file entry point [`lint_source`] and the workspace pass in
+/// [`crate::workspace`] both run the same rule set through here; only the
+/// waiver application differs (the workspace pass applies waivers
+/// centrally so it can afterwards detect stale ones).
+pub(crate) fn file_findings(
+    class: &FileClass,
+    rel_path: &str,
+    lexed: &LexedFile,
+    in_test: &[bool],
+) -> Vec<Finding> {
     let ctx = RuleCtx {
-        class: &class,
+        class,
         rel_path,
-        lexed: &lexed,
-        in_test: &in_test,
+        lexed,
+        in_test,
     };
     let mut raw = Vec::new();
     hot_path_panic(&ctx, &mut raw);
@@ -559,10 +590,26 @@ pub fn lint_source(rel_path: &str, src: &str) -> LintReport {
     missing_docs(&ctx, &mut raw);
     raw_stderr(&ctx, &mut raw);
     hot_loop_metrics(&ctx, &mut raw);
+    raw
+}
+
+/// Lints one file's source text under its repo-relative path.
+///
+/// Returns an empty report (zero files scanned) when [`classify`] ignores
+/// the path. Runs only the file-scoped rules; the workspace rules need
+/// the full tree and live in [`crate::workspace`].
+pub fn lint_source(rel_path: &str, src: &str) -> LintReport {
+    let Some(class) = classify(rel_path) else {
+        return LintReport::default();
+    };
+    let lexed = lex(src);
+    let in_test = test_region_mask(&lexed.tokens);
+    let raw = file_findings(&class, rel_path, &lexed, &in_test);
 
     let mut report = LintReport {
         findings: Vec::new(),
         files_scanned: 1,
+        lines_scanned: lexed.lines as usize,
         waived: 0,
     };
     for f in raw {

@@ -1,0 +1,10 @@
+//! Fixture metrics registry for the drift rule. Never compiled —
+//! consumed by the `fixtures` integration test.
+
+/// Names a valid fixture report must carry. `fixture.never_published`
+/// is planted: no crate publishes it, so the drift rule must flag the
+/// registry entry itself.
+pub const REQUIRED_METRICS: &[&str] = &[
+    "fixture.published",
+    "fixture.never_published",
+];

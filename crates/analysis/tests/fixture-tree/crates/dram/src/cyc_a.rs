@@ -1,0 +1,11 @@
+//! One half of the planted dependency cycle: `cyc_a` uses `cyc_b`.
+
+use crate::cyc_b::helper;
+
+/// A type `cyc_b` imports right back, closing the cycle.
+pub struct Shared;
+
+/// Calls across the cycle.
+pub fn entry() {
+    helper();
+}

@@ -1,0 +1,8 @@
+//! Other half of the planted dependency cycle: `cyc_b` uses `cyc_a`.
+
+use crate::cyc_a::Shared;
+
+/// Holds the shared type from the sibling module.
+pub fn helper() -> Option<Shared> {
+    None
+}

@@ -1,0 +1,21 @@
+//! Fixture crate root: declaring the seeded modules makes the dram
+//! fixture a *library* crate, which is what arms the dead-pub-item and
+//! deprecated-shim-expiry rules. Never compiled — consumed by the
+//! `fixtures` integration test.
+
+/// Seeded per-file violations.
+pub mod seeded;
+/// One half of the planted module cycle.
+pub mod cyc_a;
+/// Other half of the planted module cycle.
+pub mod cyc_b;
+
+/// Dead pub item: nothing in the fixture workspace references this.
+pub fn orphan_api() -> u32 {
+    41
+}
+
+/// An expired shim: deprecated *and* unreferenced, so both the
+/// shim-expiry and dead-pub rules must flag it.
+#[deprecated(since = "0.1.0", note = "kept one release; delete me")]
+pub fn legacy_entry() {}

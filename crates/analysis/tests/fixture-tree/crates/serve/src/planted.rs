@@ -7,3 +7,20 @@
 pub fn planted_queue() -> std::collections::HashMap<String, u64> {
     Default::default()
 }
+
+/// Publishes the registered fixture counter plus a rogue one the
+/// registry has never heard of — the drift rule must flag the rogue
+/// publish site and leave the registered one alone.
+pub fn publish() {
+    metrics::add("fixture.published", 1);
+    metrics::add("fixture.rogue", 1);
+}
+
+/// Nothing to suppress here: both waivers below are stale. The first
+/// names a real rule that produces no finding on these lines; the
+/// second names a rule that does not exist at all.
+pub fn tidy() -> u32 {
+    // pccs-lint: allow(hot-path-panic)
+    // pccs-lint: allow(no-such-rule)
+    42
+}

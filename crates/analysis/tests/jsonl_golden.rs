@@ -1,0 +1,105 @@
+//! Golden-file test for the `lint.finding` JSONL reporter.
+//!
+//! Downstream tooling (the CI gate, log scrapers) keys on the exact
+//! byte-level shape of these records: alphabetical field order from the
+//! vendored serde's `BTreeMap` objects, the `scope` field introduced
+//! with the workspace rules, one record per line, sorted findings. The
+//! golden fixture pins all of it. Any intentional format change must
+//! regenerate the fixture (`UPDATE_GOLDEN=1 cargo test -p pccs-analysis
+//! --test jsonl_golden`) and the diff reviews as part of the change.
+
+use pccs_analysis::report::{Finding, LintReport, Scope};
+use std::path::PathBuf;
+
+fn fixed_report() -> LintReport {
+    let finding = |rule: &str, scope, file: &str, line, message: &str| Finding {
+        rule: rule.to_owned(),
+        scope,
+        file: file.to_owned(),
+        line,
+        message: message.to_owned(),
+    };
+    let mut report = LintReport {
+        findings: vec![
+            // Deliberately out of order: to_jsonl must emit sorted.
+            finding(
+                "dead-pub-item",
+                Scope::Workspace,
+                "crates/soc/src/corun.rs",
+                41,
+                "pub fn `orphan` is referenced nowhere else in the workspace",
+            ),
+            finding(
+                "hot-path-panic",
+                Scope::File,
+                "crates/dram/src/bank.rs",
+                7,
+                ".unwrap() in simulator hot-path code",
+            ),
+            finding(
+                "metrics-registry-drift",
+                Scope::Workspace,
+                "crates/serve/src/slo.rs",
+                109,
+                "metric `serve.rogue` is published here but absent from \
+                 pccs_bench::REQUIRED_METRICS",
+            ),
+        ],
+        files_scanned: 3,
+        lines_scanned: 420,
+        waived: 1,
+    };
+    report.sort();
+    report
+}
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join("lint_findings.jsonl")
+}
+
+#[test]
+fn jsonl_output_matches_golden_fixture() {
+    let text = fixed_report().to_jsonl();
+
+    // Structural invariants the fixture must embody, independent of its
+    // exact bytes: one record per finding, every record carries the
+    // type tag and a lowercase scope, and keys are alphabetical.
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 3);
+    for line in &lines {
+        let v: serde::Value = serde_json::from_str(line).expect("valid JSON line");
+        let obj = match v {
+            serde::Value::Object(m) => m,
+            other => panic!("record is not an object: {other:?}"),
+        };
+        let keys: Vec<&str> = obj.keys().map(String::as_str).collect();
+        assert_eq!(
+            keys,
+            vec!["file", "line", "message", "rule", "scope", "type"],
+            "field order must stay alphabetical and complete"
+        );
+        assert!(matches!(
+            &obj["scope"],
+            serde::Value::String(s) if s == "file" || s == "workspace"
+        ));
+        assert_eq!(obj["type"], serde::Value::String("lint.finding".into()));
+    }
+
+    let path = golden_path();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &text).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden fixture {}: {e}", path.display()));
+    assert_eq!(
+        text,
+        golden,
+        "JSONL output diverged from {}; regenerate with UPDATE_GOLDEN=1 if intentional",
+        path.display()
+    );
+}

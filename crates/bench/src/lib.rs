@@ -61,6 +61,7 @@ use pccs_telemetry::{metrics, Profiler};
 use pccs_workloads::rodinia::RodiniaBenchmark;
 use serde::{Serialize, Value};
 use std::collections::BTreeMap;
+use std::path::Path;
 // Wall-clock timing is the measurement itself here; it never feeds
 // simulation state.
 use std::time::Instant;
@@ -76,24 +77,34 @@ pub const REQUIRED_METRICS: &[&str] = &[
     "dram.cycles",
     "dram.queue.hwm",
     "dram.requests.enqueued",
+    "dram.requests.rejected",
     "dram.requests.served",
     "dram.row.conflicts",
     "dram.row.hits",
     "dram.row.misses",
+    "dram.sched.bus_blocked",
     "dram.sched.idle",
     "dram.sched.issued",
+    "dram.sched.no_candidate",
     "profile_cache.misses",
     "sched.decisions",
+    "sched.jobs",
+    "serve.admitted",
     "serve.completed",
+    "serve.epochs",
+    "serve.missed",
     "serve.offered",
+    "serve.p99_latency",
+    "serve.shed",
     "sim.runs",
     "sweep.cells",
 ];
 
-/// The five fixed workload names, in report (sorted) order.
+/// The six fixed workload names, in report (sorted) order.
 pub const WORKLOADS: &[&str] = &[
     "corun_contended",
     "dram_fastpath",
+    "lint_workspace",
     "sched_replay",
     "serve_replay",
     "sweep_oblivious",
@@ -175,9 +186,10 @@ impl BenchReport {
 }
 
 /// Validates a parsed report against the [`SCHEMA`] contract: schema tag,
-/// host/date, all four workloads with positive wall time, cycles/sec and
-/// cells/sec where the workload promises them, the registry-overhead
-/// measurement, and every [`REQUIRED_METRICS`] name.
+/// host/date, every fixed workload with positive wall time, the
+/// throughput figure each workload promises (cycles/sec, cells/sec, or
+/// lines/sec), the registry-overhead measurement, and every
+/// [`REQUIRED_METRICS`] name.
 ///
 /// # Errors
 ///
@@ -226,6 +238,15 @@ pub fn validate(report: &Value) -> Result<(), String> {
     per_sec("sched_replay", "cycles_per_sec")?;
     per_sec("serve_replay", "cycles_per_sec")?;
     per_sec("sweep_oblivious", "cells_per_sec")?;
+    let lint_rate = workloads
+        .get("lint_workspace")
+        .and_then(|w| w.get("extra"))
+        .and_then(|e| e.get("lines_per_sec"))
+        .and_then(Value::as_f64);
+    match lint_rate {
+        Some(r) if r > 0.0 => {}
+        _ => return Err("lint_workspace missing positive extra.lines_per_sec".to_owned()),
+    }
     let overhead = workloads
         .get("corun_contended")
         .and_then(|w| w.get("extra"))
@@ -320,8 +341,10 @@ fn contended_sim(soc: &SocConfig, horizon: u64) -> CoRunSim {
     sim
 }
 
-/// Best-of-N wall seconds for `body`.
-pub(crate) fn best_of<F: FnMut()>(iterations: u64, mut body: F) -> f64 {
+/// Best (minimum) wall-clock seconds for `body` over N repetitions —
+/// the measurement primitive every fixed workload (and the linter's own
+/// timing test) shares.
+pub fn best_of<F: FnMut()>(iterations: u64, mut body: F) -> f64 {
     let mut best = f64::INFINITY;
     for _ in 0..iterations {
         let t = Instant::now();
@@ -519,6 +542,41 @@ fn run_sweep_oblivious() -> WorkloadMetrics {
     }
 }
 
+/// The linter's own throughput: the full two-phase workspace analysis
+/// (`pccs lint`) over this repository, reported in lines per second.
+/// Tracking it as a fixed workload keeps the CI gate's cost visible —
+/// a rule whose reference search goes quadratic shows up here first.
+fn run_lint_workspace(quick: bool) -> WorkloadMetrics {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("bench crate lives two levels below the repo root");
+    let iterations = if quick { 1 } else { 3 };
+    let mut report = None;
+    let wall = best_of(iterations, || {
+        report = Some(pccs_analysis::lint_workspace(root).expect("workspace walk succeeds"));
+    });
+    let report = report.expect("at least one timed iteration");
+    let lines = report.lines_scanned as f64;
+    let mut extra = BTreeMap::new();
+    extra.insert("files_scanned".to_owned(), report.files_scanned as f64);
+    extra.insert("lines".to_owned(), lines);
+    extra.insert(
+        "lines_per_sec".to_owned(),
+        lines / wall.max(f64::MIN_POSITIVE),
+    );
+    extra.insert("findings".to_owned(), report.findings.len() as f64);
+    WorkloadMetrics {
+        wall_secs: wall,
+        iterations,
+        cycles: None,
+        cycles_per_sec: None,
+        cells: None,
+        cells_per_sec: None,
+        extra,
+    }
+}
+
 /// Runs the fixed workloads and assembles the baseline report.
 ///
 /// Resets the metrics registry first so the report's `metrics` section
@@ -535,6 +593,7 @@ pub fn run_all(quick: bool) -> BenchReport {
         run_corun_contended(&soc, quick),
     );
     workloads.insert("dram_fastpath".to_owned(), run_dram_fastpath(quick));
+    workloads.insert("lint_workspace".to_owned(), run_lint_workspace(quick));
     workloads.insert("sched_replay".to_owned(), run_sched_replay(&soc, quick));
     workloads.insert("serve_replay".to_owned(), run_serve_replay(&soc, quick));
     workloads.insert("sweep_oblivious".to_owned(), run_sweep_oblivious());

@@ -42,6 +42,7 @@ fn quick_bench_is_schema_valid_deterministic_and_cheap() {
     assert!(first.workloads["corun_contended"].cycles_per_sec.unwrap() > 0.0);
     assert!(first.workloads["sweep_oblivious"].cells_per_sec.unwrap() > 0.0);
     assert!(first.workloads["sched_replay"].cycles_per_sec.unwrap() > 0.0);
+    assert!(first.workloads["lint_workspace"].extra["lines_per_sec"] > 0.0);
 
     // The harness leaves the registry enabled for whoever runs next.
     assert!(pccs_telemetry::metrics::is_enabled());

@@ -18,7 +18,8 @@
 //!                  [--seed 42] [--batch 4] [--quick] [--metrics-out out.jsonl]
 //!                  [--engine cycle|event]
 //! pccs policies    [--victim 48]
-//! pccs lint        [--root .] [--json]
+//! pccs lint        [--root .] [--json] [--changed <git-ref>]
+//!                  [--rule <name>] [--scope file|workspace]
 //! pccs bench       [--quick] [--out BENCH.json]
 //! pccs audit       [--quick] [--out ACCURACY.json] [--check baseline.json]
 //!                  [--tolerance 0.5] [--validate ACCURACY.json]
@@ -74,7 +75,8 @@ USAGE:
                     [--seed <N>] [--batch <N>] [--quick] [--jobs <N>]
                     [--metrics-out <events.jsonl>] [--engine <cycle|event>]
   pccs policies     [--victim <GB/s>]
-  pccs lint         [--root <path>] [--json]
+  pccs lint         [--root <path>] [--json] [--changed <git-ref>]
+                    [--rule <name>] [--scope <file|workspace>]
   pccs bench        [--quick] [--out <BENCH.json>]
   pccs audit        [--quick] [--out <ACCURACY.json>] [--check <baseline.json>]
                     [--tolerance <pct-points>] [--validate <ACCURACY.json>]

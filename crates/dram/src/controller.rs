@@ -227,11 +227,6 @@ impl MemoryController {
         self.conformance = Some(ConformanceChecker::with_reference(&self.config, reference));
     }
 
-    /// Whether the conformance sanitizer is attached.
-    pub fn has_conformance(&self) -> bool {
-        self.conformance.is_some()
-    }
-
     /// Replays the observed command stream and returns the conformance
     /// report, or `None` when the sanitizer was never enabled.
     pub fn conformance_report(&self) -> Option<ConformanceReport> {
@@ -242,11 +237,6 @@ impl MemoryController {
     /// depth, per-serve, and scheduler-stall events.
     pub fn set_recorder(&mut self, recorder: Box<dyn Recorder>) {
         self.recorder = Some(recorder);
-    }
-
-    /// Whether a recorder is attached.
-    pub fn has_recorder(&self) -> bool {
-        self.recorder.is_some()
     }
 
     /// Flushes the attached recorder at `cycle` and returns its report,
@@ -270,11 +260,6 @@ impl MemoryController {
     /// Statistics accumulated so far.
     pub fn stats(&self) -> &MemoryStats {
         &self.stats
-    }
-
-    /// Consumes the controller and returns its statistics.
-    pub fn into_stats(self) -> MemoryStats {
-        self.stats
     }
 
     /// Takes the accumulated statistics, leaving empty ones behind. The
@@ -336,18 +321,6 @@ impl MemoryController {
     pub fn tick_into(&mut self, cycle: u64, out: &mut Vec<Completion>) {
         self.step(cycle);
         self.drain_up_to(cycle, out);
-    }
-
-    /// Advances the controller by one cycle and returns the completions in
-    /// a freshly allocated vector.
-    #[deprecated(
-        since = "0.3.0",
-        note = "use `tick_into` with a caller-supplied reusable buffer"
-    )]
-    pub fn tick(&mut self, cycle: u64) -> Vec<Completion> {
-        let mut done = Vec::new();
-        self.tick_into(cycle, &mut done);
-        done
     }
 
     /// One cycle of scheduling work without draining completions (the
@@ -804,26 +777,6 @@ mod tests {
         // All four channels can issue in the same cycle.
         mc.tick_into(0, &mut Vec::new());
         assert_eq!(mc.pending(), 0);
-    }
-
-    #[test]
-    fn deprecated_tick_matches_tick_into() {
-        let mut a = controller(PolicyKind::FrFcfs);
-        let mut b = controller(PolicyKind::FrFcfs);
-        for i in 0..8u64 {
-            let req = MemoryRequest::read(i, SourceId(0), i * 64 * 131, 0);
-            a.try_enqueue(req).unwrap();
-            b.try_enqueue(req).unwrap();
-        }
-        let mut via_new = Vec::new();
-        let mut via_shim = Vec::new();
-        for cycle in 0..2_000 {
-            a.tick_into(cycle, &mut via_new);
-            #[allow(deprecated)]
-            via_shim.extend(b.tick(cycle));
-        }
-        assert_eq!(via_new, via_shim);
-        assert_eq!(a.stats(), b.stats());
     }
 
     #[test]

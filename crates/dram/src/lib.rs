@@ -49,8 +49,9 @@ pub mod controller;
 pub mod engine;
 /// Physical-address-to-DRAM-coordinate mapping.
 pub mod mapping;
-/// Multi-memory-controller SoCs.
-pub mod multi;
+/// Multi-memory-controller SoCs. Not yet wired into the SoC models —
+/// kept for the chiplet-topology roadmap item.
+pub mod multi; // pccs-lint: allow(dead-pub-item)
 /// Memory-controller scheduling policies (Table 2 of the paper).
 pub mod policy;
 /// Memory request and address types.

@@ -43,7 +43,7 @@ use pccs_telemetry::{audit, export, metrics, perfetto, Profiler, RunManifest, Tr
 use serde_json::{Number, Value};
 use std::collections::BTreeMap;
 // Wall-clock timing is reporting-only here; it never feeds simulation state.
-use std::time::Instant; // pccs-lint: allow(nondeterminism)
+use std::time::Instant;
 
 const ALL: &[&str] = &[
     "fig2",

@@ -186,5 +186,10 @@ mod tests {
             }
         }
         assert!(fig.format().contains("Figure 2"));
+        assert!(
+            fig.contention_before_saturation(),
+            "the paper's headline observation should hold: PUs lose bandwidth \
+             before requested + external traffic reaches the peak"
+        );
     }
 }

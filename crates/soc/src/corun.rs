@@ -442,22 +442,6 @@ impl CoRunSim {
         self.place(Placement::pressure(pu_idx, gbps))
     }
 
-    /// Runs the co-run for `horizon` memory cycles, ignoring the configured
-    /// [`CoRunConfig::horizon`].
-    #[deprecated(
-        since = "0.2.0",
-        note = "set the horizon on `CoRunConfig` (or via `CoRunSim::horizon`) and call `execute`"
-    )]
-    pub fn run(&self, horizon: u64) -> CoRunOutcome {
-        self.run_at(horizon)
-    }
-
-    /// Runs the co-run at the configured horizon.
-    #[deprecated(since = "0.2.0", note = "renamed to `execute`")]
-    pub fn run_configured(&self) -> CoRunOutcome {
-        self.execute()
-    }
-
     /// Runs the co-run at [`CoRunConfig::horizon`] — the single source of
     /// truth for run length. The first [`CoRunConfig::warmup_fraction`] of
     /// the horizon is excluded from the measured rates; when
@@ -761,22 +745,6 @@ mod tests {
         let b = CoRunSim::standalone(&soc, gpu, &kernel, cfg.horizon);
         assert!((a.lines_per_cycle - b.lines_per_cycle).abs() < 1e-12);
         assert_eq!(a.horizon, cfg.horizon);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_match_execute() {
-        let soc = xavier();
-        let gpu = soc.pu_index("GPU").unwrap();
-        let kernel = KernelDesc::memory_streaming("stream", 0.5);
-        let mut sim = CoRunSim::new(&soc);
-        sim.horizon(10_000);
-        sim.place(Placement::kernel(gpu, kernel));
-        let canonical = sim.execute();
-        let shim = sim.run(10_000);
-        let configured = sim.run_configured();
-        assert_eq!(canonical.per_pu, shim.per_pu);
-        assert_eq!(canonical.per_pu, configured.per_pu);
     }
 
     #[test]

@@ -126,11 +126,6 @@ impl PuExecutor {
         self.flops_per_mem_cycle = flops_per_mem_cycle;
     }
 
-    /// Lines fully processed (fetched and computed).
-    pub fn lines_processed(&self) -> u64 {
-        self.consumed
-    }
-
     fn advance_compute(&mut self, cycle: u64) {
         let end = (cycle + 1) as f64;
         while self.compute_free < end {

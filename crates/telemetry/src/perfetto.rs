@@ -17,7 +17,6 @@
 //! verdict.
 
 use crate::profiler::ProfSpan;
-use crate::recorder::TelemetryReport;
 use serde::{Number, Value};
 use std::collections::BTreeMap;
 
@@ -136,51 +135,6 @@ pub fn trace_json(spans: &[ProfSpan], counters: &[CounterSample]) -> String {
     let mut out = String::new();
     document.render(&mut out);
     out
-}
-
-/// Counter samples derived from an epoch-sampled [`TelemetryReport`],
-/// placing one point per epoch on the profiler timebase. Cycle positions
-/// within the report are mapped linearly onto the `[start_us, end_us]`
-/// wall-clock window the run occupied.
-pub fn counters_from_report(
-    report: &TelemetryReport,
-    start_us: u64,
-    end_us: u64,
-) -> Vec<CounterSample> {
-    let mut samples = Vec::new();
-    let Some(last) = report.epochs.last() else {
-        return samples;
-    };
-    let span_cycles = last.end_cycle.max(1);
-    let window = end_us.saturating_sub(start_us);
-    for epoch in &report.epochs {
-        let ts_us = start_us + window * epoch.end_cycle / span_cycles;
-        let mut push = |track: &str, value: f64| {
-            samples.push(CounterSample {
-                track: track.to_owned(),
-                ts_us,
-                value,
-            });
-        };
-        push("epoch.served", epoch.served as f64);
-        push("epoch.row.hits", epoch.row_hits as f64);
-        push("epoch.row.misses", epoch.row_misses as f64);
-        push("epoch.row.conflicts", epoch.row_conflicts as f64);
-        push("epoch.sched.issued", epoch.issued as f64);
-        push("epoch.sched.bus_blocked", epoch.bus_blocked as f64);
-        push("epoch.sched.no_candidate", epoch.no_candidate as f64);
-        push("epoch.sched.idle", epoch.idle as f64);
-        push("epoch.queue.depth_avg", epoch.queue_depth_avg);
-        push("epoch.queue.depth_max", epoch.queue_depth_max as f64);
-        for (source, bytes) in &epoch.bytes_per_source {
-            samples.push(CounterSample {
-                track: format!("epoch.bytes.src{source}"),
-                ts_us,
-                value: *bytes as f64,
-            });
-        }
-    }
-    samples
 }
 
 /// Counter samples from a metrics-registry snapshot, one point per metric

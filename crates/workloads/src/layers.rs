@@ -405,18 +405,6 @@ impl LayerGraph {
         self.total_flops() / self.total_bytes()
     }
 
-    /// The network as a single aggregate kernel (what the DLA experiments
-    /// place).
-    pub fn aggregate_kernel(&self) -> KernelDesc {
-        KernelDesc::new(
-            self.name.clone(),
-            self.aggregate_intensity(),
-            0.9,
-            0.25,
-            1.0,
-        )
-    }
-
     /// Splits the network into coarse execution phases for scheduling: the
     /// convolutional body (high operational intensity, modest bandwidth
     /// demand) followed by the fully connected head (weight streaming at

@@ -80,6 +80,13 @@ step fmt    cargo fmt --all -- --check
 step clippy cargo clippy --workspace --all-targets -- -D warnings
 step build  cargo build --release --workspace
 step lint   ./target/release/pccs-lint --root .
+# Workspace-rule smoke: the full two-phase analysis via the CLI (symbol
+# index + cross-file rules), restricted to workspace scope so a clean
+# tree proves the dead-pub/drift/cycle/expiry/stale-waiver rules pass.
+step lint-workspace ./target/release/pccs lint --scope workspace
+# Diff-aware smoke: `pccs lint --changed` must run end to end against
+# the previous commit (its findings are a subset of the full run).
+step lint-changed ./target/release/pccs lint --changed HEAD~1
 step sched-smoke ./target/release/pccs sched --quick
 # Serving smoke: the online loop must run end to end under the greedy
 # policy (pccs-policy calibration is exercised by the repro sweep below).
